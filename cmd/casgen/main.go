@@ -1,0 +1,118 @@
+// Command casgen generates benchmark circuits and locks them with any of
+// the implemented schemes, writing bench-format netlists plus the correct
+// key — the workload generator for every experiment in this repository.
+//
+// Examples:
+//
+//	casgen -profile c880 -scheme cas -chain "A-O-2A-O-2A-O-2A-O-2A-O-A" -out locked.bench -orig orig.bench -key key.txt
+//	casgen -inputs 12 -gates 80 -scheme sfll -n 8 -hd 2 -out locked.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/lock"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "", "ISCAS-85 profile (c432..c7552); overrides -inputs/-outputs/-gates")
+		inputs  = flag.Int("inputs", 16, "primary inputs of the generated host")
+		outputs = flag.Int("outputs", 4, "primary outputs of the generated host")
+		gates   = flag.Int("gates", 100, "logic gates of the generated host")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		scheme  = flag.String("scheme", "cas", "locking scheme: cas, mcas, antisat, sarlock, sfll, rll, none")
+		chain   = flag.String("chain", "A-O-2A-O-A", "CAS chain configuration (cas/mcas)")
+		n       = flag.Int("n", 8, "block width (antisat/sarlock/sfll) or key count (rll)")
+		hd      = flag.Int("hd", 2, "Hamming distance h (sfll)")
+		out     = flag.String("out", "locked.bench", "locked netlist output path")
+		orig    = flag.String("orig", "", "also write the original host netlist here")
+		keyOut  = flag.String("key", "", "write the correct key (bit string, LSB first) here")
+	)
+	flag.Parse()
+
+	cfg := synth.Config{Name: "host", Inputs: *inputs, Outputs: *outputs, Gates: *gates, Seed: *seed}
+	if *profile != "" {
+		p, err := synth.ProfileByName(*profile)
+		fatalIf(err)
+		cfg = synth.FromProfile(p, *seed)
+	}
+	host, err := synth.Generate(cfg)
+	fatalIf(err)
+
+	var locked *lock.Locked
+	switch *scheme {
+	case "none":
+		locked = &lock.Locked{Circuit: host}
+	case "cas":
+		ch, err := lock.ParseChain(*chain)
+		fatalIf(err)
+		locked, _, err = lock.ApplyCAS(host, lock.CASOptions{Chain: ch, Seed: *seed + 1})
+		fatalIf(err)
+	case "mcas":
+		ch, err := lock.ParseChain(*chain)
+		fatalIf(err)
+		locked, _, err = lock.ApplyMCAS(host, lock.CASOptions{Chain: ch, Seed: *seed + 1})
+		fatalIf(err)
+	case "antisat":
+		var err error
+		locked, _, err = lock.ApplyAntiSAT(host, *n, *seed+1)
+		fatalIf(err)
+	case "sarlock":
+		var err error
+		locked, _, err = lock.ApplySARLock(host, *n, *seed+1)
+		fatalIf(err)
+	case "sfll":
+		var err error
+		locked, _, err = lock.ApplySFLLHD(host, *n, *hd, *seed+1)
+		fatalIf(err)
+	case "rll":
+		var err error
+		locked, _, err = lock.ApplyRLL(host, *n, *seed+1)
+		fatalIf(err)
+	default:
+		fatalIf(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	fatalIf(writeBench(*out, locked.Circuit))
+	fmt.Printf("wrote %s: %s\n", *out, locked.Circuit)
+	if *orig != "" {
+		fatalIf(writeBench(*orig, host))
+		fmt.Printf("wrote %s: %s\n", *orig, host)
+	}
+	if *keyOut != "" && locked.Key != nil {
+		var sb strings.Builder
+		for _, b := range locked.Key {
+			if b {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+		fatalIf(os.WriteFile(*keyOut, []byte(sb.String()), 0o644))
+		fmt.Printf("wrote %s: %d key bits\n", *keyOut, len(locked.Key))
+	}
+}
+
+func writeBench(path string, c *netlist.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return bench.Write(f, c)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casgen:", err)
+		os.Exit(1)
+	}
+}

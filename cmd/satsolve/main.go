@@ -1,0 +1,67 @@
+// Command satsolve runs the repository's CDCL solver on a DIMACS CNF
+// file, printing a standard s/v result — useful for exercising the
+// solver outside the locking pipeline.
+//
+//	satsolve problem.cnf
+//	satsolve -stats problem.cnf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print solver statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: satsolve [-stats] problem.cnf")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satsolve:", err)
+		os.Exit(1)
+	}
+	formula, err := cnf.ParseDIMACS(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satsolve:", err)
+		os.Exit(1)
+	}
+	solver := sat.NewFromFormula(formula)
+	status := solver.Solve()
+	switch status {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		model := solver.Model()
+		fmt.Print("v")
+		for v := 1; v <= formula.NumVars; v++ {
+			lit := v
+			if !model[v] {
+				lit = -v
+			}
+			fmt.Printf(" %d", lit)
+		}
+		fmt.Println(" 0")
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+	if *stats {
+		st := solver.Stats()
+		fmt.Printf("c decisions=%d propagations=%d conflicts=%d restarts=%d learned=%d removed=%d\n",
+			st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Learned, st.Removed)
+	}
+	if status == sat.Unsat {
+		os.Exit(20)
+	}
+	if status == sat.Sat {
+		os.Exit(10)
+	}
+}

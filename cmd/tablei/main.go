@@ -1,0 +1,61 @@
+// Command tablei regenerates the paper's Table I: it locks synthetic
+// hosts with the ISCAS-85 I/O profiles using the paper's chain
+// configurations, mounts the DIP-learning attack on each, and prints the
+// measured DIP counts next to the published ones.
+//
+//	tablei            # the 32-bit half (seconds)
+//	tablei -rows 64   # the 64-bit half (minutes: 2^32 enumeration per row)
+//	tablei -rows all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		rows  = flag.String("rows", "32", "which half of Table I to run: 32, 64 or all")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+		prove = flag.Bool("prove", true, "SAT-prove every recovered key")
+	)
+	flag.Parse()
+
+	var selected []experiments.TableIRow
+	switch *rows {
+	case "32":
+		selected = experiments.TableI32
+	case "64":
+		selected = experiments.TableI64
+	case "all":
+		selected = append(append([]experiments.TableIRow(nil), experiments.TableI32...), experiments.TableI64...)
+	default:
+		fatalIf(fmt.Errorf("unknown -rows value %q", *rows))
+	}
+
+	var results []*experiments.TableIResult
+	for _, row := range selected {
+		fmt.Fprintf(os.Stderr, "running %s |K|=%d %s ...\n", row.Benchmark, row.KeyBits, row.Chain)
+		res, err := experiments.RunTableIRow(row, experiments.TableIOptions{
+			Seed: *seed, Prove: *prove, MatchPaperRegime: true,
+		})
+		fatalIf(err)
+		results = append(results, res)
+	}
+	experiments.PrintTableI(os.Stdout, results)
+	for _, r := range results {
+		if r.Row.Note != "" {
+			fmt.Printf("note (%s, %s): %s\n", r.Row.Benchmark, r.Row.Chain, r.Row.Note)
+		}
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablei:", err)
+		os.Exit(1)
+	}
+}

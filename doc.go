@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of "DIP Learning on
+// CAS-Lock: Using Distinguishing Input Patterns for Attacking Logic
+// Locking" (Saha, Chatterjee, Mukhopadhyay, Chakraborty — DATE 2022).
+//
+// The library lives under internal/: a gate-level netlist IR, an
+// ISCAS-85 bench-format parser, a Tseitin CNF encoder, a CDCL SAT
+// solver, the logic-locking schemes the paper discusses (RLL, Anti-SAT,
+// SARLock, SFLL-HD, CAS-Lock, Mirrored CAS-Lock), the baseline attacks
+// (oracle-guided SAT attack, SPS removal, CAS-Unlock) and, as the
+// centrepiece, the paper's DIP-learning attack (internal/core).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate every row of the paper's Table I and its
+// analytical claims.
+package repro

@@ -1,0 +1,54 @@
+// Attack comparison: why CAS-Lock needs the DIP-learning attack. On the
+// same instances, the baseline SAT attack needs exponentially many
+// iterations (and is capped), CAS-Unlock's uniform keys fail, AppSAT
+// settles for an approximate (wrong) key, and the DIP-learning attack
+// recovers the exact key from the DIP set directly.
+//
+//	go run ./examples/attackcomparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	configs := []string{"4A-O-A", "2A-O-3A-O-A", "A-O-2A-O-2A-O-A"}
+	const satCap = 600
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "chain\t|K|\tSAT attack\tCAS-Unlock\tAppSAT\tDIP-learning\t#DIPs\tDIP time")
+	for i, cfg := range configs {
+		res, err := experiments.RunComparison(14, cfg, satCap, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		satCell := fmt.Sprintf("broke in %d iters", res.SATIterations)
+		if !res.SATCompleted {
+			satCell = fmt.Sprintf("capped at %d iters", res.SATIterations)
+		}
+		cuCell := "fails"
+		if res.CASUnlockSucceeded {
+			cuCell = "succeeds"
+		}
+		asCell := fmt.Sprintf("approx (err≈%.3f)", res.AppSATError)
+		if res.AppSATExact || res.AppSATKeyCorrect {
+			asCell = "exact"
+		}
+		dipCell := "key recovered"
+		if !res.DIPKeyRecovered {
+			dipCell = "FAILED"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%d\t%v\n",
+			cfg, 2*res.BlockWidth, satCell, cuCell, asCell, dipCell, res.DIPCount,
+			res.DIPTime.Round(time.Millisecond))
+	}
+	tw.Flush()
+	fmt.Println("\nThe SAT attack column shows the defense working as designed;")
+	fmt.Println("the DIP-learning column shows the paper's attack defeating it.")
+}

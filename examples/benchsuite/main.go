@@ -1,0 +1,29 @@
+// Benchsuite regenerates the 32-bit half of the paper's Table I from the
+// command line (the 64-bit half takes minutes per row; use cmd/tablei
+// -rows 64 for it).
+//
+//	go run ./examples/benchsuite
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var results []*experiments.TableIResult
+	for _, row := range experiments.TableI32 {
+		fmt.Fprintf(os.Stderr, "running %s (%s) ...\n", row.Benchmark, row.Chain)
+		res, err := experiments.RunTableIRow(row, experiments.TableIOptions{
+			Seed: 1, Prove: true, MatchPaperRegime: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	experiments.PrintTableI(os.Stdout, results)
+}

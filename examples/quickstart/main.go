@@ -1,0 +1,76 @@
+// Quickstart: lock a circuit with CAS-Lock and break it with the
+// DIP-learning attack.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+func main() {
+	// 1. A host design (stand-in for an ISCAS-85 circuit).
+	host, err := synth.Generate(synth.Config{
+		Name: "demo", Inputs: 16, Outputs: 4, Gates: 120, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("host:   ", host)
+
+	// 2. Lock it with CAS-Lock: an 8-input cascade "2A-O-2A-O-A" per
+	// block, random XOR/XNOR key gates, 16 key bits total.
+	chain := lock.MustParseChain("2A-O-2A-O-A")
+	locked, inst, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("locked: ", locked.Circuit)
+	fmt.Printf("secret:  chain=%s, correct key exists (2^%d of 2^%d keys work)\n",
+		inst.Chain, inst.N, 2*inst.N)
+
+	// 3. The adversary has the locked netlist and an activated chip.
+	chip := oracle.MustNewSim(host)
+
+	// 4. Mount the DIP-learning attack.
+	res, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: chip, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attack:  recovered chain %s from %d DIPs (%d oracle queries)\n",
+		res.Chain, res.TotalDIPs, res.OracleQueries)
+	fmt.Printf("         key = %v\n", bits(res.Key))
+
+	// 5. Verify: the instance accepts the key, and SAT proves the
+	// unlocked circuit equivalent to the original.
+	if !inst.IsCorrectCASKey(res.Key) {
+		log.Fatal("recovered key is wrong")
+	}
+	proven, err := miter.ProveUnlockedHashed(locked.Circuit, res.Key, host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verify:  key accepted and SAT-proven — design unlocked")
+	_ = proven
+	if !proven {
+		log.Fatal("SAT proof failed")
+	}
+}
+
+func bits(key []bool) string {
+	out := make([]byte, len(key))
+	for i, b := range key {
+		out[i] = '0'
+		if b {
+			out[i] = '1'
+		}
+	}
+	return string(out)
+}

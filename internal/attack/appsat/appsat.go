@@ -1,0 +1,219 @@
+// Package appsat implements AppSAT (Shamsi et al., HOST 2017), the
+// approximate variant of the SAT attack: the DIP loop is interleaved
+// with random oracle sampling, and the attack settles for a key whose
+// estimated error rate falls below a threshold. Against
+// low-corruptibility schemes like Anti-SAT and CAS-Lock this terminates
+// quickly with an *approximate* key — the design goal of those schemes —
+// whereas on traditional locking it converges to an exact key. It is the
+// third baseline the DIP-learning attack is contrasted with: AppSAT
+// trades exactness for termination, the paper's attack gets both.
+package appsat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// Options tunes the attack.
+type Options struct {
+	// RoundInterval is the number of DIP iterations between sampling
+	// rounds (default 8).
+	RoundInterval int
+	// SamplesPerRound is the number of random oracle queries per
+	// sampling round (default 64).
+	SamplesPerRound int
+	// ErrorThreshold is the estimated error rate below which the
+	// current candidate is accepted as the approximate key (default:
+	// accept only a perfect sample, i.e. < 1/SamplesPerRound).
+	ErrorThreshold float64
+	// MaxIterations bounds the DIP loop (0 = 4096).
+	MaxIterations int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Result reports the attack outcome.
+type Result struct {
+	// Key is the recovered (possibly approximate) key.
+	Key []bool
+	// Exact is true when the miter became UNSAT (the SAT attack's own
+	// termination), i.e. the key is provably correct.
+	Exact bool
+	// ErrorEstimate is the sampled disagreement rate of Key at
+	// termination (0 for exact keys).
+	ErrorEstimate float64
+	// Iterations is the number of DIPs consumed.
+	Iterations int
+	// OracleQueries counts oracle patterns consumed.
+	OracleQueries uint64
+}
+
+// Run mounts AppSAT on a locked netlist with oracle access.
+func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	if opts.RoundInterval <= 0 {
+		opts.RoundInterval = 8
+	}
+	if opts.SamplesPerRound <= 0 {
+		opts.SamplesPerRound = 64
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 4096
+	}
+	if locked.NumInputs() != orc.NumInputs() || locked.NumOutputs() != orc.NumOutputs() {
+		return nil, fmt.Errorf("appsat: locked netlist I/O does not match oracle")
+	}
+	kd, err := miter.NewKeyDiff(locked)
+	if err != nil {
+		return nil, err
+	}
+	solver := sat.New()
+	enc, err := cnf.EncodeInto(kd.Circuit, solver)
+	if err != nil {
+		return nil, err
+	}
+	diffLit := enc.OutputLits(kd.Circuit)[0]
+	inputLits := enc.InputLits(kd.Circuit)
+	keyLits := enc.KeyLits(kd.Circuit)
+	keysA := keyLits[:kd.NKeys]
+	keysB := keyLits[kd.NKeys:]
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	addIO := func(keys []cnf.Lit, in, out []bool) error {
+		e, err := cnf.EncodeInto(locked, solver)
+		if err != nil {
+			return err
+		}
+		for i, kl := range e.KeyLits(locked) {
+			solver.Add(kl.Neg(), keys[i])
+			solver.Add(kl, keys[i].Neg())
+		}
+		for i, il := range e.InputLits(locked) {
+			if in[i] {
+				solver.Add(il)
+			} else {
+				solver.Add(il.Neg())
+			}
+		}
+		for i, ol := range e.OutputLits(locked) {
+			if out[i] {
+				solver.Add(ol)
+			} else {
+				solver.Add(ol.Neg())
+			}
+		}
+		return nil
+	}
+
+	extractKey := func() ([]bool, error) {
+		if st := solver.Solve(); st != sat.Sat {
+			return nil, fmt.Errorf("appsat: key extraction returned %v", st)
+		}
+		key := make([]bool, kd.NKeys)
+		for i, l := range keysA {
+			key[i] = solver.ModelValue(l)
+		}
+		return key, nil
+	}
+
+	for {
+		// Sampling round.
+		if res.Iterations > 0 && res.Iterations%opts.RoundInterval == 0 {
+			key, err := extractKey()
+			if err != nil {
+				return nil, err
+			}
+			disagree := 0
+			var failIn []bool
+			var failOut []bool
+			for s := 0; s < opts.SamplesPerRound; s++ {
+				in := make([]bool, locked.NumInputs())
+				for i := range in {
+					in[i] = rng.Intn(2) == 1
+				}
+				want, err := orc.Query(in)
+				if err != nil {
+					return nil, err
+				}
+				res.OracleQueries++
+				got, err := sim.Run(in, key)
+				if err != nil {
+					return nil, err
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						disagree++
+						failIn = append([]bool(nil), in...)
+						failOut = append([]bool(nil), want...)
+						break
+					}
+				}
+			}
+			errRate := float64(disagree) / float64(opts.SamplesPerRound)
+			if errRate <= opts.ErrorThreshold {
+				res.Key = key
+				res.ErrorEstimate = errRate
+				return res, nil
+			}
+			// Reinforce: the worst sampled disagreement becomes an IO
+			// constraint for both key copies (AppSAT's amendment step).
+			if failIn != nil {
+				if err := addIO(keysA, failIn, failOut); err != nil {
+					return nil, err
+				}
+				if err := addIO(keysB, failIn, failOut); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if res.Iterations >= opts.MaxIterations {
+			key, err := extractKey()
+			if err != nil {
+				return nil, err
+			}
+			res.Key = key
+			res.ErrorEstimate = 1
+			return res, nil
+		}
+		// One DIP iteration.
+		switch solver.Solve(diffLit) {
+		case sat.Unsat:
+			key, err := extractKey()
+			if err != nil {
+				return nil, err
+			}
+			res.Key = key
+			res.Exact = true
+			return res, nil
+		case sat.Unknown:
+			return nil, fmt.Errorf("appsat: solver returned UNKNOWN")
+		}
+		res.Iterations++
+		dip := make([]bool, len(inputLits))
+		for i, l := range inputLits {
+			dip[i] = solver.ModelValue(l)
+		}
+		out, err := orc.Query(dip)
+		if err != nil {
+			return nil, err
+		}
+		res.OracleQueries++
+		if err := addIO(keysA, dip, out); err != nil {
+			return nil, err
+		}
+		if err := addIO(keysB, dip, out); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package appsat
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+func host(t *testing.T, inputs int) *netlist.Circuit {
+	t.Helper()
+	c, err := synth.Generate(synth.Config{Name: "h", Inputs: inputs, Outputs: 3, Gates: 45, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAppSATExactOnRLL(t *testing.T) {
+	// Traditional locking: AppSAT behaves like the SAT attack and ends
+	// with an exact key.
+	h := host(t, 10)
+	locked, _, err := lock.ApplyRLL(h, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(locked.Circuit, oracle.MustNewSim(h), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := miter.ProveUnlockedHashed(locked.Circuit, res.Key, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("AppSAT key on RLL is not correct")
+	}
+}
+
+func TestAppSATApproximateOnCAS(t *testing.T) {
+	// Low-corruptibility locking: AppSAT terminates early with an
+	// approximate key — a wrong key whose sampled error is ~0 because
+	// the flip fires on a vanishing fraction of inputs. This is exactly
+	// the resistance CAS-Lock advertises and the reason the paper's
+	// attack matters.
+	h := host(t, 12)
+	locked, inst, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("8A-O-A"), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(locked.Circuit, oracle.MustNewSim(h), Options{
+		Seed:          2,
+		MaxIterations: 256, // well below the 2^10-ish needed for exactness
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Skip("solver finished exactly within the cap on this instance")
+	}
+	if res.ErrorEstimate > 0.1 {
+		t.Errorf("approximate key error estimate %v too high", res.ErrorEstimate)
+	}
+	// The approximate key is NOT actually correct — the point of the
+	// contrast with the DIP-learning attack.
+	if inst.IsCorrectCASKey(res.Key) {
+		t.Log("note: AppSAT happened to land on a correct key for this seed")
+	} else {
+		ok, err := miter.ProveUnlockedHashed(locked.Circuit, res.Key, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Error("instance metadata rejects the key but SAT proves it — inconsistent")
+		}
+	}
+}
+
+func TestAppSATValidation(t *testing.T) {
+	h := host(t, 10)
+	locked, _, err := lock.ApplyRLL(h, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := synth.Generate(synth.Config{Name: "s", Inputs: 4, Outputs: 1, Gates: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(locked.Circuit, oracle.MustNewSim(small), Options{}); err == nil {
+		t.Error("oracle shape mismatch accepted")
+	}
+}

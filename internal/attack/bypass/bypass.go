@@ -1,0 +1,359 @@
+// Package bypass implements the bypass attack of Xu, Shakya, Tehranipoor
+// and Forte (CHES 2017): instead of recovering the key, apply an
+// arbitrary wrong key and attach corrective circuitry ("bypass") that
+// flips the outputs back on exactly the input patterns the wrong key
+// corrupts. Against one-point-function schemes (SARLock, Anti-SAT) a
+// single comparator suffices; against CAS-Lock the number of corrupted
+// patterns — the DIP count the paper's Lemma 2 quantifies — makes the
+// bypass circuitry blow up, which is the paper's motivation for
+// attacking CAS-Lock through DIP *learning* instead.
+package bypass
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// Options configures the attack.
+type Options struct {
+	// Layout is the CAS key-port layout (nil: discovered automatically).
+	Layout *core.BlockLayout
+	// MaxFixes aborts when the bypass would need more corrections than
+	// this (0 = 1<<16), modeling the practical area budget that makes
+	// the attack infeasible on high-corruptibility schemes.
+	MaxFixes int
+}
+
+// Result is the corrected circuit and its cost.
+type Result struct {
+	// Circuit behaves like the original design: the locked netlist under
+	// the chosen wrong key plus the bypass network.
+	Circuit *netlist.Circuit
+	// AppliedKey is the (wrong) key the bypass corrects.
+	AppliedKey []bool
+	// Fixes is the number of corrected block patterns (the DIP count).
+	Fixes int
+	// OverheadGates is the gate count added by the bypass network.
+	OverheadGates int
+}
+
+// Run mounts the bypass attack on a CAS-locked netlist. It uses the
+// Lemma-1 key pair for DIP enumeration (so every corruption of the
+// chosen key is caught), queries the oracle on each DIP to learn the
+// correct outputs, and synthesizes a comparator-plus-XOR bypass.
+func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	layout := opts.Layout
+	if layout == nil {
+		var err error
+		layout, err = core.DiscoverLayout(locked)
+		if err != nil {
+			return nil, err
+		}
+	}
+	maxFixes := opts.MaxFixes
+	if maxFixes == 0 {
+		maxFixes = 1 << 16
+	}
+	n := layout.N()
+	nk := locked.NumKeys()
+
+	// Lemma-1 pair: copy A (the key we will bypass) has the active block
+	// all-1; copy B all-0. Every pattern copy A corrupts is a miter DIP.
+	assign := core.PairAssign{A: make([]bool, nk), B: make([]bool, nk)}
+	for _, pos := range layout.Key1Pos {
+		assign.A[pos] = true
+	}
+	var ext core.Extractor
+	var err error
+	if n <= 12 {
+		ext, err = core.NewSATExtractor(locked, layout)
+	} else {
+		ext, err = core.NewSimExtractor(locked, layout, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dips, err := ext.DIPs(assign)
+	if err != nil {
+		return nil, err
+	}
+	if len(dips) > maxFixes {
+		return nil, fmt.Errorf("bypass: %d DIPs exceed the fix budget %d — bypass impractical on this instance",
+			len(dips), maxFixes)
+	}
+
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return nil, err
+	}
+	// For each DIP (a block pattern), decide whether copy A is the wrong
+	// one there and on which outputs, then wire a comparator.
+	out := locked.Clone()
+	out.Name = locked.Name + "_bypassed"
+	// Bake the applied key in: replace key inputs by constants, keeping
+	// the clone's gate IDs aligned with the original circuit's.
+	applied, err := oracle.Activate(out, assign.A)
+	if err != nil {
+		return nil, err
+	}
+	baseGates := applied.NumGates()
+
+	// flipAccum[o] accumulates the OR of all comparators that must flip
+	// output o.
+	flipAccum := make([]netlist.ID, applied.NumOutputs())
+	for i := range flipAccum {
+		flipAccum[i] = netlist.InvalidID
+	}
+	fixes := 0
+	fullIn := make([]bool, locked.NumInputs())
+	for pat := range dips {
+		// Learn the correct outputs: block inputs set to the DIP, other
+		// inputs zero (the CAS flip depends only on block inputs, so the
+		// correction condition is a block-pattern comparator; output
+		// differences elsewhere would contradict the extractor's cone
+		// self-check).
+		for i := range fullIn {
+			fullIn[i] = false
+		}
+		for i, pos := range layout.InputPos {
+			fullIn[pos] = pat&(1<<uint(i)) != 0
+		}
+		want, err := orc.Query(fullIn)
+		if err != nil {
+			return nil, err
+		}
+		got, err := sim.Run(fullIn, assign.A)
+		if err != nil {
+			return nil, err
+		}
+		wrongOutputs := make([]int, 0, 1)
+		for o := range want {
+			if want[o] != got[o] {
+				wrongOutputs = append(wrongOutputs, o)
+			}
+		}
+		if len(wrongOutputs) == 0 {
+			continue // this DIP corrupts copy B, not our key
+		}
+		fixes++
+		cmp, err := blockComparator(applied, layout, pat, fixes)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range wrongOutputs {
+			if flipAccum[o] == netlist.InvalidID {
+				flipAccum[o] = cmp
+				continue
+			}
+			acc, err := applied.AddGate(netlist.Or, fmt.Sprintf("byp_or_%d_%d", o, fixes), flipAccum[o], cmp)
+			if err != nil {
+				return nil, err
+			}
+			flipAccum[o] = acc
+		}
+	}
+	for o, acc := range flipAccum {
+		if acc == netlist.InvalidID {
+			continue
+		}
+		orig := applied.Outputs()[o]
+		g, err := applied.AddGate(netlist.Xor, fmt.Sprintf("byp_fix_%d", o), orig, acc)
+		if err != nil {
+			return nil, err
+		}
+		if err := applied.ReplaceOutput(o, g); err != nil {
+			return nil, err
+		}
+	}
+	if err := applied.Validate(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Circuit:       applied,
+		AppliedKey:    assign.A,
+		Fixes:         fixes,
+		OverheadGates: applied.NumGates() - baseGates,
+	}, nil
+}
+
+// RunGeneric mounts the scheme-agnostic form of the bypass attack: pick
+// two arbitrary wrong keys, enumerate the full-input DIPs of their miter
+// by SAT (up to the fix budget), learn the correct outputs from the
+// oracle, and attach full-width comparators correcting the applied key.
+// This is the published attack's shape for one-point-function schemes
+// (SARLock, Anti-SAT): the applied key's corruption set is inside the
+// miter's DIP set, so correcting those patterns yields an exact circuit
+// (verified by the caller). On high-corruptibility schemes the fix
+// budget blows up, which is the point.
+func RunGeneric(locked *netlist.Circuit, orc oracle.Oracle, maxFixes int, seed int64) (*Result, error) {
+	if maxFixes <= 0 {
+		maxFixes = 1 << 12
+	}
+	nk := locked.NumKeys()
+	if nk == 0 {
+		return nil, fmt.Errorf("bypass: circuit has no key inputs")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keyA := make([]bool, nk)
+	keyB := make([]bool, nk)
+	for i := range keyA {
+		keyA[i] = rng.Intn(2) == 1
+		keyB[i] = rng.Intn(2) == 1
+	}
+	m, err := miter.NewFixedKey(locked, keyA, keyB)
+	if err != nil {
+		return nil, err
+	}
+	solver := sat.New()
+	enc, err := cnf.EncodeInto(m, solver)
+	if err != nil {
+		return nil, err
+	}
+	solver.Add(enc.OutputLits(m)[0])
+	inLits := enc.InputLits(m)
+
+	applied, err := oracle.Activate(locked, keyA)
+	if err != nil {
+		return nil, err
+	}
+	baseGates := applied.NumGates()
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return nil, err
+	}
+
+	flipAccum := make([]netlist.ID, applied.NumOutputs())
+	for i := range flipAccum {
+		flipAccum[i] = netlist.InvalidID
+	}
+	fixes := 0
+	for solver.Solve() == sat.Sat {
+		pat := make([]bool, len(inLits))
+		blocking := make([]cnf.Lit, len(inLits))
+		for i, l := range inLits {
+			pat[i] = solver.ModelValue(l)
+			if pat[i] {
+				blocking[i] = l.Neg()
+			} else {
+				blocking[i] = l
+			}
+		}
+		solver.Add(blocking...)
+		want, err := orc.Query(pat)
+		if err != nil {
+			return nil, err
+		}
+		got, err := sim.Run(pat, keyA)
+		if err != nil {
+			return nil, err
+		}
+		var wrong []int
+		for o := range want {
+			if want[o] != got[o] {
+				wrong = append(wrong, o)
+			}
+		}
+		if len(wrong) == 0 {
+			continue // this DIP corrupts key B only
+		}
+		fixes++
+		if fixes > maxFixes {
+			return nil, fmt.Errorf("bypass: fix budget %d exceeded — bypass impractical on this instance", maxFixes)
+		}
+		cmp, err := inputComparator(applied, pat, fixes)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range wrong {
+			if flipAccum[o] == netlist.InvalidID {
+				flipAccum[o] = cmp
+				continue
+			}
+			acc, err := applied.AddGate(netlist.Or, fmt.Sprintf("bypg_or_%d_%d", o, fixes), flipAccum[o], cmp)
+			if err != nil {
+				return nil, err
+			}
+			flipAccum[o] = acc
+		}
+	}
+	for o, acc := range flipAccum {
+		if acc == netlist.InvalidID {
+			continue
+		}
+		orig := applied.Outputs()[o]
+		g, err := applied.AddGate(netlist.Xor, fmt.Sprintf("bypg_fix_%d", o), orig, acc)
+		if err != nil {
+			return nil, err
+		}
+		if err := applied.ReplaceOutput(o, g); err != nil {
+			return nil, err
+		}
+	}
+	if err := applied.Validate(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Circuit:       applied,
+		AppliedKey:    keyA,
+		Fixes:         fixes,
+		OverheadGates: applied.NumGates() - baseGates,
+	}, nil
+}
+
+// inputComparator builds AND(all primary inputs == pat) inside c.
+func inputComparator(c *netlist.Circuit, pat []bool, tag int) (netlist.ID, error) {
+	bits := make([]netlist.ID, len(pat))
+	for i, in := range c.Inputs() {
+		if pat[i] {
+			bits[i] = in
+		} else {
+			inv, err := c.AddGate(netlist.Not, fmt.Sprintf("bypg_n%d_%d", tag, i), in)
+			if err != nil {
+				return netlist.InvalidID, err
+			}
+			bits[i] = inv
+		}
+	}
+	acc := bits[0]
+	for i := 1; i < len(bits); i++ {
+		var err error
+		acc, err = c.AddGate(netlist.And, fmt.Sprintf("bypg_a%d_%d", tag, i), acc, bits[i])
+		if err != nil {
+			return netlist.InvalidID, err
+		}
+	}
+	return acc, nil
+}
+
+// blockComparator builds AND(block inputs == pat) inside c.
+func blockComparator(c *netlist.Circuit, layout *core.BlockLayout, pat uint64, tag int) (netlist.ID, error) {
+	bits := make([]netlist.ID, layout.N())
+	for i, pos := range layout.InputPos {
+		in := c.Inputs()[pos]
+		if pat&(1<<uint(i)) != 0 {
+			bits[i] = in
+		} else {
+			inv, err := c.AddGate(netlist.Not, fmt.Sprintf("byp_n%d_%d", tag, i), in)
+			if err != nil {
+				return netlist.InvalidID, err
+			}
+			bits[i] = inv
+		}
+	}
+	acc := bits[0]
+	for i := 1; i < len(bits); i++ {
+		var err error
+		acc, err = c.AddGate(netlist.And, fmt.Sprintf("byp_a%d_%d", tag, i), acc, bits[i])
+		if err != nil {
+			return netlist.InvalidID, err
+		}
+	}
+	return acc, nil
+}

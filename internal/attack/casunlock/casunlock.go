@@ -1,0 +1,94 @@
+// Package casunlock implements CAS-Unlock (Sengupta & Sinanoglu, ePrint
+// 2019/1443): the claim that CAS-Lock falls to simply applying all-0 or
+// all-1 keys to both blocks. As Shakya et al. showed in "Defeating
+// CAS-Unlock" (ePrint 2020/324) — and as this package's tests reproduce —
+// the trick only works on the degenerate instance where every key gate in
+// a block has the same polarity, because only then does a uniform key
+// reduce the two blocks to exact complements. It is included as the
+// failed-baseline contrast for the paper's DIP-learning attack.
+package casunlock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+)
+
+// Result reports a CAS-Unlock attempt.
+type Result struct {
+	// Key is the candidate that matched the oracle on every probe, or
+	// nil if all candidates failed.
+	Key []bool
+	// Tried lists every candidate key evaluated.
+	Tried [][]bool
+	// Succeeded is true when Key is non-nil.
+	Succeeded bool
+}
+
+// Run tries the four uniform key candidates (g block all-0/all-1 ×
+// ḡ block all-0/all-1) against the oracle on random probe patterns.
+// probes is the number of random patterns per candidate.
+func Run(locked *netlist.Circuit, orc oracle.Oracle, probes int, seed int64) (*Result, error) {
+	nk := locked.NumKeys()
+	if nk == 0 || nk%2 != 0 {
+		return nil, fmt.Errorf("casunlock: expected an even number of key inputs, got %d", nk)
+	}
+	if locked.NumInputs() != orc.NumInputs() {
+		return nil, fmt.Errorf("casunlock: input width mismatch")
+	}
+	half := nk / 2
+	res := &Result{}
+	rng := rand.New(rand.NewSource(seed))
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return nil, err
+	}
+	for _, g1 := range []bool{false, true} {
+		for _, g2 := range []bool{false, true} {
+			key := make([]bool, nk)
+			for i := 0; i < half; i++ {
+				key[i] = g1
+			}
+			for i := half; i < nk; i++ {
+				key[i] = g2
+			}
+			res.Tried = append(res.Tried, key)
+			ok, err := matchesOracle(sim, orc, key, probes, rng)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Key = key
+				res.Succeeded = true
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+func matchesOracle(sim *netlist.Simulator, orc oracle.Oracle, key []bool, probes int, rng *rand.Rand) (bool, error) {
+	nIn := orc.NumInputs()
+	for p := 0; p < probes; p++ {
+		in := make([]bool, nIn)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		want, err := orc.Query(in)
+		if err != nil {
+			return false, err
+		}
+		got, err := sim.Run(in, key)
+		if err != nil {
+			return false, err
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

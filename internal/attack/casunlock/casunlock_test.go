@@ -1,0 +1,99 @@
+package casunlock
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+func host(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := synth.Generate(synth.Config{Name: "h", Inputs: 10, Outputs: 2, Gates: 35, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func allSame(typ netlist.GateType, n int) []netlist.GateType {
+	out := make([]netlist.GateType, n)
+	for i := range out {
+		out[i] = typ
+	}
+	return out
+}
+
+func TestCASUnlockSucceedsOnDegenerateInstance(t *testing.T) {
+	// All-XOR key gates in both blocks: the misinterpretation CAS-Unlock
+	// was built on. Uniform all-0 keys unlock this instance.
+	h := host(t)
+	locked, _, err := lock.ApplyCAS(h, lock.CASOptions{
+		Chain:     lock.MustParseChain("A-O-2A"),
+		KeyGates1: allSame(netlist.Xor, 5),
+		KeyGates2: allSame(netlist.Xor, 5),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(locked.Circuit, oracle.MustNewSim(h), 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatal("CAS-Unlock failed on the all-XOR instance it is supposed to break")
+	}
+	ok, err := miter.ProveUnlocked(locked.Circuit, res.Key, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("probe-matched key is not actually correct")
+	}
+}
+
+func TestCASUnlockFailsInGeneral(t *testing.T) {
+	// Mixed key-gate polarities (the real CAS-Lock construction): none
+	// of the four uniform keys can work, as shown in "Defeating
+	// CAS-Unlock". We verify over several seeds; any uniform key that
+	// happens to probe-match must fail the exact equivalence check.
+	h := host(t)
+	kg1 := []netlist.GateType{netlist.Xor, netlist.Xnor, netlist.Xor, netlist.Xnor, netlist.Xor}
+	kg2 := []netlist.GateType{netlist.Xnor, netlist.Xor, netlist.Xor, netlist.Xor, netlist.Xnor}
+	locked, _, err := lock.ApplyCAS(h, lock.CASOptions{
+		Chain:     lock.MustParseChain("A-O-2A"),
+		KeyGates1: kg1,
+		KeyGates2: kg2,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(locked.Circuit, oracle.MustNewSim(h), 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded {
+		ok, err := miter.ProveUnlocked(locked.Circuit, res.Key, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("uniform key exactly unlocked a mixed-polarity CAS instance")
+		}
+	}
+	if len(res.Tried) != 4 {
+		t.Errorf("tried %d candidates, want 4", len(res.Tried))
+	}
+}
+
+func TestCASUnlockValidation(t *testing.T) {
+	h := host(t)
+	if _, err := Run(h, oracle.MustNewSim(h), 10, 1); err == nil {
+		t.Error("key-free circuit accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Package satattack implements the oracle-guided SAT attack of
+// Subramanyan, Ray and Malik (HOST 2015), the baseline every
+// SAT-resilient locking scheme (including CAS-Lock) is designed to
+// defeat. The attack repeatedly finds distinguishing input patterns with
+// a key-differential miter, constrains both key copies to agree with the
+// oracle on each DIP, and terminates when no further DIP exists — at
+// which point any key satisfying the accumulated constraints is correct.
+package satattack
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// Options bounds the attack.
+type Options struct {
+	// MaxIterations stops the DIP loop early (0 = unlimited). SAT-hard
+	// schemes like CAS-Lock need an exponential number of iterations, so
+	// benchmarks set a cap to measure "did not finish".
+	MaxIterations int
+	// ConflictBudget bounds each individual SAT call (0 = unlimited).
+	ConflictBudget uint64
+}
+
+// Result reports the attack outcome.
+type Result struct {
+	// Key is the recovered key (nil when the attack hit a bound).
+	Key []bool
+	// Iterations is the number of DIPs used.
+	Iterations int
+	// Completed is true when the attack proved key correctness (the
+	// miter became UNSAT), false when it stopped on a bound.
+	Completed bool
+	// OracleQueries is the number of oracle patterns consumed.
+	OracleQueries uint64
+	// SolverStats aggregates SAT work.
+	SolverStats sat.Stats
+}
+
+// Run mounts the SAT attack on a locked netlist with black-box oracle
+// access.
+func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	if locked.NumInputs() != orc.NumInputs() || locked.NumOutputs() != orc.NumOutputs() {
+		return nil, fmt.Errorf("satattack: locked netlist I/O (%d/%d) does not match oracle (%d/%d)",
+			locked.NumInputs(), locked.NumOutputs(), orc.NumInputs(), orc.NumOutputs())
+	}
+	kd, err := miter.NewKeyDiff(locked)
+	if err != nil {
+		return nil, err
+	}
+	solver := sat.New()
+	solver.ConflictBudget = opts.ConflictBudget
+	enc, err := cnf.EncodeInto(kd.Circuit, solver)
+	if err != nil {
+		return nil, err
+	}
+
+	diffLit := enc.OutputLits(kd.Circuit)[0]
+	inputLits := enc.InputLits(kd.Circuit)
+	keyLits := enc.KeyLits(kd.Circuit)
+	keysA := keyLits[:kd.NKeys]
+	keysB := keyLits[kd.NKeys:]
+
+	res := &Result{}
+	queriesBefore := countQueries(orc)
+
+	for {
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			res.SolverStats = solver.Stats()
+			res.OracleQueries = countQueries(orc) - queriesBefore
+			return res, nil
+		}
+		status := solver.Solve(diffLit)
+		if status == sat.Unknown {
+			res.SolverStats = solver.Stats()
+			res.OracleQueries = countQueries(orc) - queriesBefore
+			return res, nil
+		}
+		if status == sat.Unsat {
+			break // no more DIPs: constraints pin a correct key
+		}
+		res.Iterations++
+
+		dip := make([]bool, len(inputLits))
+		for i, l := range inputLits {
+			dip[i] = solver.ModelValue(l)
+		}
+		out, err := orc.Query(dip)
+		if err != nil {
+			return nil, err
+		}
+		// Constrain both key copies to reproduce the oracle on this DIP.
+		for _, keys := range [][]cnf.Lit{keysA, keysB} {
+			if err := addIOConstraint(locked, solver, keys, dip, out); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Any satisfying assignment of the constraints is a correct key.
+	if st := solver.Solve(); st != sat.Sat {
+		return nil, fmt.Errorf("satattack: final key extraction returned %v", st)
+	}
+	key := make([]bool, kd.NKeys)
+	for i, l := range keysA {
+		key[i] = solver.ModelValue(l)
+	}
+	res.Key = key
+	res.Completed = true
+	res.SolverStats = solver.Stats()
+	res.OracleQueries = countQueries(orc) - queriesBefore
+	return res, nil
+}
+
+// addIOConstraint encodes a fresh copy of the locked circuit into the
+// live solver with inputs fixed to dip, outputs fixed to out, and key
+// variables tied to keyVars.
+func addIOConstraint(locked *netlist.Circuit, solver *sat.Solver,
+	keyVars []cnf.Lit, dip []bool, out []bool) error {
+
+	enc, err := cnf.EncodeInto(locked, solver)
+	if err != nil {
+		return err
+	}
+	for i, kl := range enc.KeyLits(locked) {
+		solver.Add(kl.Neg(), keyVars[i])
+		solver.Add(kl, keyVars[i].Neg())
+	}
+	for i, il := range enc.InputLits(locked) {
+		if dip[i] {
+			solver.Add(il)
+		} else {
+			solver.Add(il.Neg())
+		}
+	}
+	for i, ol := range enc.OutputLits(locked) {
+		if out[i] {
+			solver.Add(ol)
+		} else {
+			solver.Add(ol.Neg())
+		}
+	}
+	return nil
+}
+
+func countQueries(orc oracle.Oracle) uint64 {
+	if s, ok := orc.(*oracle.Sim); ok {
+		return s.Queries()
+	}
+	return 0
+}

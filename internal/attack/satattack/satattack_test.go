@@ -1,0 +1,151 @@
+package satattack
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+func host(t *testing.T, inputs int) *netlist.Circuit {
+	t.Helper()
+	c, err := synth.Generate(synth.Config{Name: "h", Inputs: inputs, Outputs: 3, Gates: 45, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSATAttackBreaksRLL(t *testing.T) {
+	h := host(t, 10)
+	locked, _, err := lock.ApplyRLL(h, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.MustNewSim(h)
+	res, err := Run(locked.Circuit, orc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("attack did not complete on RLL")
+	}
+	ok, err := miter.ProveUnlocked(locked.Circuit, res.Key, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("recovered key %v is not correct", res.Key)
+	}
+	if res.Iterations > 1<<10 {
+		t.Errorf("suspiciously many iterations: %d", res.Iterations)
+	}
+}
+
+func TestSATAttackBreaksSmallCAS(t *testing.T) {
+	// CAS-Lock with a tiny block is still brute-forceable by the SAT
+	// attack; the point of the scheme is the exponential blow-up, which
+	// TestSATAttackIterationGrowth demonstrates.
+	h := host(t, 10)
+	locked, inst, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("2A-O"), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.MustNewSim(h)
+	res, err := Run(locked.Circuit, orc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("attack did not complete on 4-input CAS")
+	}
+	if !inst.IsCorrectCASKey(res.Key) {
+		t.Errorf("recovered key %v not a correct CAS key", res.Key)
+	}
+}
+
+func TestSATAttackIterationGrowth(t *testing.T) {
+	// The number of DIP iterations on Anti-SAT/CAS style locking grows
+	// exponentially with the block width: that is the defense's design
+	// point and the reason the paper's attack matters.
+	h := host(t, 12)
+	iters := make(map[int]int)
+	for _, n := range []int{3, 5, 7} {
+		locked, _, err := lock.ApplyAntiSAT(h, n, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orc := oracle.MustNewSim(h)
+		res, err := Run(locked.Circuit, orc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("n=%d: did not complete", n)
+		}
+		iters[n] = res.Iterations
+	}
+	if !(iters[3] < iters[5] && iters[5] < iters[7]) {
+		t.Errorf("iterations not growing: %v", iters)
+	}
+	// Anti-SAT guarantees ≥ 2^(n-1)-ish DIPs; check the trend is
+	// at least superlinear.
+	if iters[7] < 4*iters[3] {
+		t.Errorf("growth too shallow: %v", iters)
+	}
+}
+
+func TestSATAttackRespectsIterationCap(t *testing.T) {
+	h := host(t, 12)
+	locked, _, err := lock.ApplyAntiSAT(h, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.MustNewSim(h)
+	res, err := Run(locked.Circuit, orc, Options{MaxIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("10-input Anti-SAT cracked in 5 iterations — should be impossible")
+	}
+	if res.Iterations != 5 || res.Key != nil {
+		t.Errorf("cap not honored: %d iterations, key %v", res.Iterations, res.Key)
+	}
+}
+
+func TestSATAttackShapeMismatch(t *testing.T) {
+	h := host(t, 10)
+	locked, _, err := lock.ApplyRLL(h, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := host(t, 10)
+	small, err := synth.Generate(synth.Config{Name: "s", Inputs: 4, Outputs: 1, Gates: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = other
+	if _, err := Run(locked.Circuit, oracle.MustNewSim(small), Options{}); err == nil {
+		t.Error("oracle shape mismatch accepted")
+	}
+}
+
+func TestSATAttackOracleQueryAccounting(t *testing.T) {
+	h := host(t, 10)
+	locked, _, err := lock.ApplyRLL(h, 6, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.MustNewSim(h)
+	res, err := Run(locked.Circuit, orc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleQueries != uint64(res.Iterations) {
+		t.Errorf("oracle queries %d != iterations %d", res.OracleQueries, res.Iterations)
+	}
+}

@@ -1,0 +1,208 @@
+// Package sensitization implements the key-sensitization attack
+// (Rajendran et al., DAC 2012): for each key bit, find an input pattern
+// that propagates that bit's value to a primary output while muting the
+// influence of every other key bit; one oracle query then reveals the
+// bit. The attack dissolves randomly inserted key gates (RLL) but is
+// blocked by interfering insertions (SLL) — the evolution step the
+// paper's introduction recounts before the SAT attack changed the game.
+//
+// Candidate patterns come from a SAT query (∃ pattern and background key
+// making the target bit observable); the muting requirement is then
+// verified by simulation across random background keys, which keeps the
+// procedure sound: a bit is only reported when its output image is
+// invariant, so the oracle read-out cannot be misattributed.
+package sensitization
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// Options bounds the attack.
+type Options struct {
+	// CandidatesPerBit is how many SAT-proposed patterns to test per key
+	// bit before declaring it non-sensitizable (default 8).
+	CandidatesPerBit int
+	// MuteSamples is the number of random background keys used to verify
+	// muting (default 24).
+	MuteSamples int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Result reports which key bits leaked.
+type Result struct {
+	// Known[i] is true when bit i was resolved; Key[i] then holds its
+	// value.
+	Known []bool
+	Key   []bool
+	// Resolved counts the known bits.
+	Resolved int
+	// OracleQueries counts oracle patterns consumed.
+	OracleQueries uint64
+}
+
+// Run mounts the sensitization attack.
+func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	if opts.CandidatesPerBit <= 0 {
+		opts.CandidatesPerBit = 8
+	}
+	if opts.MuteSamples <= 0 {
+		opts.MuteSamples = 24
+	}
+	nk := locked.NumKeys()
+	if nk == 0 {
+		return nil, fmt.Errorf("sensitization: circuit has no key inputs")
+	}
+	if locked.NumInputs() != orc.NumInputs() {
+		return nil, fmt.Errorf("sensitization: oracle input width mismatch")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Known: make([]bool, nk), Key: make([]bool, nk)}
+
+	for bit := 0; bit < nk; bit++ {
+		pattern, outIdx, v0, v1, found, err := findSensitizingPattern(locked, sim, bit, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue
+		}
+		want, err := orc.Query(pattern)
+		if err != nil {
+			return nil, err
+		}
+		res.OracleQueries++
+		switch want[outIdx] {
+		case v0:
+			res.Known[bit] = true
+			res.Key[bit] = false
+			res.Resolved++
+		case v1:
+			res.Known[bit] = true
+			res.Key[bit] = true
+			res.Resolved++
+		}
+	}
+	return res, nil
+}
+
+// findSensitizingPattern proposes patterns via a key-differential miter
+// restricted to the target bit and verifies the muting property by
+// simulation. On success it returns the pattern, the output position
+// carrying the bit, and that output's two invariant values (for bit=0
+// and bit=1).
+func findSensitizingPattern(locked *netlist.Circuit, sim *netlist.Simulator, bit int,
+	opts Options, rng *rand.Rand) (pattern []bool, outIdx int, v0, v1 bool, found bool, err error) {
+
+	kd, err := miter.NewKeyDiff(locked)
+	if err != nil {
+		return nil, 0, false, false, false, err
+	}
+	solver := sat.New()
+	enc, err := cnf.EncodeInto(kd.Circuit, solver)
+	if err != nil {
+		return nil, 0, false, false, false, err
+	}
+	keyLits := enc.KeyLits(kd.Circuit)
+	keysA := keyLits[:kd.NKeys]
+	keysB := keyLits[kd.NKeys:]
+	// Both copies share every key bit except the target, which is 0 in
+	// copy A and 1 in copy B.
+	for i := 0; i < kd.NKeys; i++ {
+		if i == bit {
+			solver.Add(keysA[i].Neg())
+			solver.Add(keysB[i])
+			continue
+		}
+		solver.Add(keysA[i].Neg(), keysB[i])
+		solver.Add(keysA[i], keysB[i].Neg())
+	}
+	diff := enc.OutputLits(kd.Circuit)[0]
+	inLits := enc.InputLits(kd.Circuit)
+
+	for cand := 0; cand < opts.CandidatesPerBit; cand++ {
+		if solver.Solve(diff) != sat.Sat {
+			return nil, 0, false, false, false, nil
+		}
+		pat := make([]bool, len(inLits))
+		blocking := make([]cnf.Lit, len(inLits))
+		for i, l := range inLits {
+			pat[i] = solver.ModelValue(l)
+			if pat[i] {
+				blocking[i] = l.Neg()
+			} else {
+				blocking[i] = l
+			}
+		}
+		solver.Add(blocking...)
+
+		idx, b0, b1, muted, err := checkMuting(locked, sim, pat, bit, opts, rng)
+		if err != nil {
+			return nil, 0, false, false, false, err
+		}
+		if muted {
+			return pat, idx, b0, b1, true, nil
+		}
+	}
+	return nil, 0, false, false, false, nil
+}
+
+// checkMuting simulates the pattern under random background keys,
+// looking for an output position whose value depends only on the target
+// bit: it must differ between the bit's two values and stay constant
+// across backgrounds on each side.
+func checkMuting(locked *netlist.Circuit, sim *netlist.Simulator, pat []bool, bit int,
+	opts Options, rng *rand.Rand) (outIdx int, v0, v1 bool, muted bool, err error) {
+
+	nk := locked.NumKeys()
+	no := locked.NumOutputs()
+	key := make([]bool, nk)
+	alive := make([]bool, no)
+	base0 := make([]bool, no)
+	base1 := make([]bool, no)
+	for s := 0; s < opts.MuteSamples; s++ {
+		for i := range key {
+			key[i] = rng.Intn(2) == 1
+		}
+		key[bit] = false
+		g0, err := sim.Run(pat, key)
+		if err != nil {
+			return 0, false, false, false, err
+		}
+		key[bit] = true
+		g1, err := sim.Run(pat, key)
+		if err != nil {
+			return 0, false, false, false, err
+		}
+		if s == 0 {
+			for o := 0; o < no; o++ {
+				alive[o] = g0[o] != g1[o]
+				base0[o] = g0[o]
+				base1[o] = g1[o]
+			}
+			continue
+		}
+		for o := 0; o < no; o++ {
+			if alive[o] && (g0[o] != base0[o] || g1[o] != base1[o] || g0[o] == g1[o]) {
+				alive[o] = false
+			}
+		}
+	}
+	for o := 0; o < no; o++ {
+		if alive[o] {
+			return o, base0[o], base1[o], true, nil
+		}
+	}
+	return 0, false, false, false, nil
+}

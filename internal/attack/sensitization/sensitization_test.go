@@ -1,0 +1,143 @@
+package sensitization
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+func host(t *testing.T, inputs, gates int, seed int64) *netlist.Circuit {
+	t.Helper()
+	c, err := synth.Generate(synth.Config{Name: "h", Inputs: inputs, Outputs: 4, Gates: gates, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// wideHost has enough independent output cones for isolated key gates
+// to exist — the setting the published sensitization attack targets.
+func wideHost(t *testing.T, seed int64) *netlist.Circuit {
+	t.Helper()
+	c, err := synth.Generate(synth.Config{Name: "h", Inputs: 16, Outputs: 12, Gates: 90, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSensitizationResolvesRLLBits(t *testing.T) {
+	// Random insertion: isolated key gates leak through sensitization,
+	// and every resolved bit must be correct.
+	total := 0
+	for _, seed := range []int64{5, 6, 7, 8} {
+		h := wideHost(t, seed)
+		locked, _, err := lock.ApplyRLL(h, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(locked.Circuit, oracle.MustNewSim(h), Options{Seed: 1, CandidatesPerBit: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Resolved
+		for i, known := range res.Known {
+			if known && res.Key[i] != locked.Key[i] {
+				t.Errorf("seed %d bit %d resolved to %v, truth %v", seed, i, res.Key[i], locked.Key[i])
+			}
+		}
+	}
+	if total < 8 {
+		t.Errorf("only %d/16 RLL key bits resolved across seeds", total)
+	}
+}
+
+func TestSLLResistsSensitization(t *testing.T) {
+	// Interfering insertion along one path blocks muting: summed over
+	// seeds, SLL leaks strictly fewer bits than RLL on the same hosts.
+	rllTotal, sllTotal := 0, 0
+	for _, seed := range []int64{5, 6, 7, 8} {
+		h := wideHost(t, seed)
+		rll, _, err := lock.ApplyRLL(h, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sll, _, err := lock.ApplySLL(h, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rllRes, err := Run(rll.Circuit, oracle.MustNewSim(h), Options{Seed: 1, CandidatesPerBit: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sllRes, err := Run(sll.Circuit, oracle.MustNewSim(h), Options{Seed: 1, CandidatesPerBit: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rllTotal += rllRes.Resolved
+		sllTotal += sllRes.Resolved
+		for i, known := range sllRes.Known {
+			if known && sllRes.Key[i] != sll.Key[i] {
+				t.Errorf("seed %d: SLL bit %d resolved wrongly", seed, i)
+			}
+		}
+	}
+	if sllTotal >= rllTotal {
+		t.Errorf("SLL leaked %d bits, RLL %d — interference should reduce leakage", sllTotal, rllTotal)
+	}
+}
+
+func TestSLLCorrectKey(t *testing.T) {
+	h := host(t, 12, 70, 9)
+	locked, inst, err := lock.ApplySLL(h, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.PathGates) != 5 {
+		t.Fatal("instance metadata incomplete")
+	}
+	act, err := oracle.Activate(locked.Circuit, locked.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA := netlist.MustNewSimulator(act)
+	simH := netlist.MustNewSimulator(h)
+	for x := uint64(0); x < 1<<12; x += 3 {
+		in := netlist.PatternFromUint(x, 12)
+		oa, _ := simA.Run(in, nil)
+		oh, _ := simH.Run(in, nil)
+		for i := range oa {
+			if oa[i] != oh[i] {
+				t.Fatalf("correct SLL key differs from host at %d", x)
+			}
+		}
+	}
+	wrong := append([]bool(nil), locked.Key...)
+	wrong[0] = !wrong[0]
+	actW, _ := oracle.Activate(locked.Circuit, wrong)
+	simW := netlist.MustNewSimulator(actW)
+	differs := false
+	for x := uint64(0); x < 1<<12 && !differs; x++ {
+		in := netlist.PatternFromUint(x, 12)
+		ow, _ := simW.Run(in, nil)
+		oh, _ := simH.Run(in, nil)
+		for i := range ow {
+			if ow[i] != oh[i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("wrong SLL key corrupts nothing")
+	}
+}
+
+func TestSensitizationValidation(t *testing.T) {
+	h := host(t, 10, 40, 1)
+	if _, err := Run(h, oracle.MustNewSim(h), Options{}); err == nil {
+		t.Error("key-free circuit accepted")
+	}
+}

@@ -1,0 +1,279 @@
+package sps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+func host(t *testing.T, inputs int) *netlist.Circuit {
+	t.Helper()
+	c, err := synth.Generate(synth.Config{Name: "h", Inputs: inputs, Outputs: 3, Gates: 40, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestProbabilitiesBasics(t *testing.T) {
+	c := netlist.New("t")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	and := c.MustAddGate(netlist.And, "and", a, b)
+	or := c.MustAddGate(netlist.Or, "or", a, b)
+	xor := c.MustAddGate(netlist.Xor, "xor", a, b)
+	not := c.MustAddGate(netlist.Not, "not", and)
+	zero := c.MustAddGate(netlist.Const0, "zero")
+	c.MustMarkOutput(xor)
+	c.MustMarkOutput(not)
+	c.MustMarkOutput(or)
+	c.MustMarkOutput(zero)
+
+	p, err := Probabilities(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[netlist.ID]float64{a: 0.5, and: 0.25, or: 0.75, xor: 0.5, not: 0.75, zero: 0}
+	for id, w := range want {
+		if math.Abs(p[id]-w) > 1e-9 {
+			t.Errorf("p(%s) = %v, want %v", c.Gate(id).Name, p[id], w)
+		}
+	}
+}
+
+func TestProbabilitiesMatchSimulation(t *testing.T) {
+	// The independence approximation is exact on fanout-free logic; on a
+	// random DAG it should still track the empirical estimate loosely.
+	// Use a tree circuit for the exact check.
+	c := netlist.New("tree")
+	var leaves []netlist.ID
+	for i := 0; i < 8; i++ {
+		leaves = append(leaves, c.MustAddInput("in"+string(rune('a'+i))))
+	}
+	l1a := c.MustAddGate(netlist.And, "l1a", leaves[0], leaves[1])
+	l1b := c.MustAddGate(netlist.Or, "l1b", leaves[2], leaves[3])
+	l1c := c.MustAddGate(netlist.Xor, "l1c", leaves[4], leaves[5])
+	l1d := c.MustAddGate(netlist.Nand, "l1d", leaves[6], leaves[7])
+	l2a := c.MustAddGate(netlist.Or, "l2a", l1a, l1b)
+	l2b := c.MustAddGate(netlist.And, "l2b", l1c, l1d)
+	top := c.MustAddGate(netlist.Xor, "top", l2a, l2b)
+	c.MustMarkOutput(top)
+
+	analytic, err := Probabilities(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empirical, err := EstimateProbabilitiesSim(c, 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < c.NumGates(); id++ {
+		if math.Abs(analytic[id]-empirical[id]) > 0.02 {
+			t.Errorf("gate %s: analytic %v vs empirical %v", c.Gate(netlist.ID(id)).Name, analytic[id], empirical[id])
+		}
+	}
+}
+
+func TestSkew(t *testing.T) {
+	if Skew(0.5) != 0 || Skew(0) != 0.5 || Skew(1) != 0.5 || Skew(0.75) != 0.25 {
+		t.Error("Skew broken")
+	}
+}
+
+func TestFindFlipCandidatesOnCAS(t *testing.T) {
+	h := host(t, 12)
+	locked, inst, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("5A-O-A"), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := FindFlipCandidates(locked.Circuit, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no flip candidates on a CAS-locked circuit")
+	}
+	found := false
+	for _, cand := range cands {
+		if cand.Flip == inst.FlipGate {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("true flip gate %d not among candidates %+v", inst.FlipGate, cands)
+	}
+}
+
+func TestRemoveOuterFlipUnlocksPlainCAS(t *testing.T) {
+	// On plain (unmirrored) CAS-Lock, removal alone defeats the scheme —
+	// the motivation for M-CAS.
+	h := host(t, 12)
+	locked, _, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("3A-O-2A"), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RemoveOuterFlip(locked.Circuit, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.NumKeys() != 0 {
+		t.Fatalf("keys remain after removing the only flip: %d", res.Circuit.NumKeys())
+	}
+	// The cleaned circuit must equal the host.
+	sim1 := netlist.MustNewSimulator(res.Circuit)
+	sim2 := netlist.MustNewSimulator(h)
+	for x := uint64(0); x < 1<<12; x += 7 {
+		in := netlist.PatternFromUint(x, 12)
+		o1, _ := sim1.Run(in, nil)
+		o2, _ := sim2.Run(in, nil)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("cleaned circuit differs from host at %d", x)
+			}
+		}
+	}
+}
+
+func TestRemoveOuterFlipOnMCAS(t *testing.T) {
+	// On M-CAS, removal strips the outer instance; the inner keys
+	// survive and the circuit is NOT yet functional — exactly the state
+	// the DIP-learning attack is then mounted on.
+	h := host(t, 12)
+	locked, inst, err := lock.ApplyMCAS(h, lock.CASOptions{Chain: lock.MustParseChain("3A-O-A"), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := 2 * inst.Inner.N
+	res, err := RemoveOuterFlip(locked.Circuit, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Circuit.NumKeys() != n2 {
+		t.Fatalf("surviving keys = %d, want %d (inner instance)", res.Circuit.NumKeys(), n2)
+	}
+	for i, orig := range res.SurvivingKeys {
+		if orig != i {
+			t.Fatalf("surviving key %d maps to original %d; inner keys should be 0..%d", i, orig, n2-1)
+		}
+	}
+	// With the correct inner key, the stripped circuit equals the host.
+	act, err := oracle.Activate(res.Circuit, inst.Inner.CorrectKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA := netlist.MustNewSimulator(act)
+	simH := netlist.MustNewSimulator(h)
+	for x := uint64(0); x < 1<<12; x += 5 {
+		in := netlist.PatternFromUint(x, 12)
+		oa, _ := simA.Run(in, nil)
+		oh, _ := simH.Run(in, nil)
+		for i := range oa {
+			if oa[i] != oh[i] {
+				t.Fatalf("stripped M-CAS with correct inner key differs at %d", x)
+			}
+		}
+	}
+	// With a wrong inner key it must NOT equal the host (the defense's
+	// point: removal alone is not enough).
+	wrong := append([]bool(nil), inst.Inner.CorrectKey...)
+	wrong[0] = !wrong[0]
+	actW, err := oracle.Activate(res.Circuit, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simW := netlist.MustNewSimulator(actW)
+	differs := false
+	for x := uint64(0); x < 1<<12; x++ {
+		in := netlist.PatternFromUint(x, 12)
+		ow, _ := simW.Run(in, nil)
+		oh, _ := simH.Run(in, nil)
+		for i := range ow {
+			if ow[i] != oh[i] {
+				differs = true
+				break
+			}
+		}
+		if differs {
+			break
+		}
+	}
+	if !differs {
+		t.Error("stripped M-CAS functional under a wrong inner key")
+	}
+}
+
+func TestFindFlipCandidatesErrors(t *testing.T) {
+	h := host(t, 8)
+	if _, err := FindFlipCandidates(h, 0.05); err == nil {
+		t.Error("key-free circuit accepted")
+	}
+	locked, _, _ := lock.ApplyRLL(h, 4, 1)
+	if _, err := RemoveOuterFlip(locked.Circuit, 1e-9); err == nil {
+		t.Error("RLL circuit (no skewed flip) produced a removal")
+	}
+}
+
+func TestNullifyFlipSignal(t *testing.T) {
+	// IFS-style nullification: the result behaves like the original for
+	// ANY key value, but no key is learned.
+	h := host(t, 12)
+	locked, _, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("4A-O-A"), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, cand, err := NullifyFlipSignal(locked.Circuit, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand == nil || fixed.NumKeys() != locked.Circuit.NumKeys() {
+		t.Fatal("candidate or key port lost")
+	}
+	simF := netlist.MustNewSimulator(fixed)
+	simH := netlist.MustNewSimulator(h)
+	key := make([]bool, fixed.NumKeys())
+	for i := range key {
+		key[i] = i%2 == 0 // an arbitrary (wrong) key
+	}
+	for x := uint64(0); x < 1<<12; x += 3 {
+		in := netlist.PatternFromUint(x, 12)
+		of, _ := simF.Run(in, key)
+		oh, _ := simH.Run(in, nil)
+		for i := range of {
+			if of[i] != oh[i] {
+				t.Fatalf("nullified circuit differs from host at %d", x)
+			}
+		}
+	}
+}
+
+func TestNullifyFlipSignalOnMCAS(t *testing.T) {
+	// With both nested flips pinned, even M-CAS becomes functional —
+	// matching IFS-SAT's premise that the structural pathway defeats
+	// M-CAS too when both instances are visible.
+	h := host(t, 12)
+	locked, _, err := lock.ApplyMCAS(h, lock.CASOptions{Chain: lock.MustParseChain("3A-O-A"), Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, _, err := NullifyFlipSignal(locked.Circuit, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simF := netlist.MustNewSimulator(fixed)
+	simH := netlist.MustNewSimulator(h)
+	key := make([]bool, fixed.NumKeys())
+	for x := uint64(0); x < 1<<12; x += 5 {
+		in := netlist.PatternFromUint(x, 12)
+		of, _ := simF.Run(in, key)
+		oh, _ := simH.Run(in, nil)
+		for i := range of {
+			if of[i] != oh[i] {
+				t.Fatalf("nullified M-CAS differs from host at %d", x)
+			}
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package bdd implements reduced ordered binary decision diagrams with
+// hash-consing and memoized ITE, plus a netlist compiler. In this
+// repository BDDs are the third, independent engine for the paper's
+// central quantity: exact DIP-set and corruption counts (SAT enumeration
+// and bit-parallel simulation being the other two), tractable even for
+// wide CAS chains because cascade functions have linear-size BDDs.
+package bdd
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/netlist"
+)
+
+// Ref identifies a BDD node within a Manager. The constants False and
+// True are the terminal nodes.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable level; terminals use a sentinel
+	lo, hi Ref
+}
+
+const terminalLevel = int32(1) << 30
+
+// Manager owns a BDD forest over a fixed number of ordered variables.
+// Variable i is tested at level i (smaller levels nearer the root). The
+// zero Manager is not usable; call New.
+type Manager struct {
+	nodes  []node
+	unique map[node]Ref
+	iteMem map[[3]Ref]Ref
+	nvars  int
+}
+
+// New returns a manager over nvars ordered variables.
+func New(nvars int) *Manager {
+	m := &Manager{
+		unique: make(map[node]Ref),
+		iteMem: make(map[[3]Ref]Ref),
+		nvars:  nvars,
+	}
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel}, // False
+		node{level: terminalLevel}, // True
+	)
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// NumNodes returns the number of live nodes (including terminals).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD of ¬variable i.
+func (m *Manager) NVar(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", i))
+	}
+	return m.mk(int32(i), True, False)
+}
+
+// Const returns the terminal for a boolean.
+func (m *Manager) Const(v bool) Ref {
+	if v {
+		return True
+	}
+	return False
+}
+
+// mk returns the canonical node (level, lo, hi), applying the reduction
+// rule lo==hi and hash-consing.
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// ITE computes if-then-else(f, g, h) — the universal ternary operator
+// all boolean connectives reduce to.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.iteMem[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.iteMem[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(r Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[r]
+	if n.level != level {
+		return r, r
+	}
+	return n.lo, n.hi
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Xnor returns ¬(f ⊕ g).
+func (m *Manager) Xnor(f, g Ref) Ref { return m.ITE(f, g, m.Not(g)) }
+
+// Apply folds a gate function over operands.
+func (m *Manager) Apply(t netlist.GateType, ops []Ref) (Ref, error) {
+	switch t {
+	case netlist.Const0:
+		return False, nil
+	case netlist.Const1:
+		return True, nil
+	case netlist.Buf:
+		return ops[0], nil
+	case netlist.Not:
+		return m.Not(ops[0]), nil
+	}
+	if len(ops) == 0 {
+		return False, fmt.Errorf("bdd: %s with no operands", t)
+	}
+	acc := ops[0]
+	for _, o := range ops[1:] {
+		switch t {
+		case netlist.And, netlist.Nand:
+			acc = m.And(acc, o)
+		case netlist.Or, netlist.Nor:
+			acc = m.Or(acc, o)
+		case netlist.Xor, netlist.Xnor:
+			acc = m.Xor(acc, o)
+		default:
+			return False, fmt.Errorf("bdd: cannot apply %s", t)
+		}
+	}
+	if t == netlist.Nand || t == netlist.Nor || t == netlist.Xnor {
+		acc = m.Not(acc)
+	}
+	return acc, nil
+}
+
+// SatCount returns the number of satisfying assignments of f over the
+// manager's variables.
+func (m *Manager) SatCount(f Ref) *big.Int {
+	memo := make(map[Ref]*big.Int)
+	var count func(r Ref, level int32) *big.Int
+	count = func(r Ref, level int32) *big.Int {
+		// Number of solutions in the subspace of variables ≥ level.
+		var base *big.Int
+		if r == False {
+			base = big.NewInt(0)
+		} else if r == True {
+			base = big.NewInt(1)
+		} else if c, ok := memo[r]; ok {
+			base = c
+		} else {
+			n := m.nodes[r]
+			lo := count(n.lo, n.level+1)
+			hi := count(n.hi, n.level+1)
+			base = new(big.Int).Add(lo, hi)
+			memo[r] = base
+		}
+		// Scale by the variables skipped between level and node level.
+		nodeLevel := m.level(r)
+		if nodeLevel > int32(m.nvars) {
+			nodeLevel = int32(m.nvars)
+		}
+		skip := uint(nodeLevel - level)
+		if skip == 0 {
+			return base
+		}
+		return new(big.Int).Lsh(base, skip)
+	}
+	return count(f, 0)
+}
+
+// Eval evaluates f under a total assignment.
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// AnySat returns one satisfying assignment of f (false-filled on don't
+// cares), or ok=false for the constant False.
+func (m *Manager) AnySat(f Ref) (assign []bool, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	assign = make([]bool, m.nvars)
+	for f != True {
+		n := m.nodes[f]
+		if n.lo != False {
+			f = n.lo
+		} else {
+			assign[n.level] = true
+			f = n.hi
+		}
+	}
+	return assign, true
+}
+
+// Compile builds BDDs for every output of a circuit. Primary inputs map
+// to manager variables 0..NumInputs-1 in declaration order; key inputs
+// must be bound to constants via the key argument.
+func Compile(m *Manager, c *netlist.Circuit, key []bool) ([]Ref, error) {
+	if m.nvars < c.NumInputs() {
+		return nil, fmt.Errorf("bdd: manager has %d vars, circuit needs %d", m.nvars, c.NumInputs())
+	}
+	if len(key) != c.NumKeys() {
+		return nil, fmt.Errorf("bdd: key length %d, circuit has %d key inputs", len(key), c.NumKeys())
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]Ref, c.NumGates())
+	for i, id := range c.Inputs() {
+		refs[id] = m.Var(i)
+	}
+	for i, id := range c.Keys() {
+		refs[id] = m.Const(key[i])
+	}
+	for _, id := range order {
+		g := c.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		ops := make([]Ref, len(g.Fanin))
+		for i, f := range g.Fanin {
+			ops[i] = refs[f]
+		}
+		r, err := m.Apply(g.Type, ops)
+		if err != nil {
+			return nil, err
+		}
+		refs[id] = r
+	}
+	outs := make([]Ref, c.NumOutputs())
+	for i, o := range c.Outputs() {
+		outs[i] = refs[o]
+	}
+	return outs, nil
+}

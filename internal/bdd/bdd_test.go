@@ -1,0 +1,203 @@
+package bdd
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestTerminalAndVarBasics(t *testing.T) {
+	m := New(3)
+	x := m.Var(0)
+	if m.Eval(x, []bool{true, false, false}) != true {
+		t.Error("Var eval broken")
+	}
+	if m.Eval(m.NVar(0), []bool{true, false, false}) != false {
+		t.Error("NVar eval broken")
+	}
+	if m.Const(true) != True || m.Const(false) != False {
+		t.Error("Const broken")
+	}
+	// Hash consing: same node built twice is the same ref.
+	if m.Var(1) != m.Var(1) {
+		t.Error("unique table broken")
+	}
+}
+
+func TestBooleanIdentities(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	if m.And(a, m.Not(a)) != False {
+		t.Error("a ∧ ¬a ≠ 0")
+	}
+	if m.Or(a, m.Not(a)) != True {
+		t.Error("a ∨ ¬a ≠ 1")
+	}
+	if m.Xor(a, a) != False || m.Xnor(a, a) != True {
+		t.Error("xor identities broken")
+	}
+	// De Morgan as canonical-form equality.
+	if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+		t.Error("De Morgan violated")
+	}
+	// Commutativity gives identical refs (canonicity).
+	if m.And(a, b) != m.And(b, a) {
+		t.Error("AND not canonical")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	cases := []struct {
+		f    Ref
+		want int64
+	}{
+		{True, 8}, {False, 0},
+		{a, 4},
+		{m.And(a, b), 2},
+		{m.Or(a, b), 6},
+		{m.Xor(a, c), 4},
+		{m.And(m.And(a, b), c), 1},
+	}
+	for i, cse := range cases {
+		if got := m.SatCount(cse.f); got.Cmp(big.NewInt(cse.want)) != 0 {
+			t.Errorf("case %d: SatCount = %v, want %d", i, got, cse.want)
+		}
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(4)
+	f := m.And(m.NVar(1), m.Var(3))
+	assign, ok := m.AnySat(f)
+	if !ok {
+		t.Fatal("satisfiable function reported unsat")
+	}
+	if !m.Eval(f, assign) {
+		t.Error("AnySat witness does not satisfy f")
+	}
+	if _, ok := m.AnySat(False); ok {
+		t.Error("False reported satisfiable")
+	}
+}
+
+// TestCompileMatchesSimulation cross-checks the netlist compiler against
+// the bit-parallel simulator on random circuits, exhaustively.
+func TestCompileMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		c := randomCircuit(rng, 7, 40)
+		m := New(c.NumInputs())
+		outs, err := Compile(m, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := netlist.NewSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := uint64(0); x < 1<<uint(c.NumInputs()); x++ {
+			in := netlist.PatternFromUint(x, c.NumInputs())
+			want, _ := sim.Run(in, nil)
+			for i, f := range outs {
+				if m.Eval(f, in) != want[i] {
+					t.Fatalf("trial %d x=%d output %d differs", trial, x, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSatCountMatchesBruteForce checks counting on random circuits.
+func TestSatCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 8, 30)
+		m := New(c.NumInputs())
+		outs, err := Compile(m, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, _ := netlist.NewSimulator(c)
+		want := int64(0)
+		for x := uint64(0); x < 256; x++ {
+			out, _ := sim.Run(netlist.PatternFromUint(x, 8), nil)
+			if out[0] {
+				want++
+			}
+		}
+		if got := m.SatCount(outs[0]); got.Cmp(big.NewInt(want)) != 0 {
+			t.Fatalf("trial %d: SatCount %v, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func TestCompileWithKeys(t *testing.T) {
+	c := netlist.New("locked")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("k")
+	g := c.MustAddGate(netlist.Xor, "g", a, k)
+	c.MustMarkOutput(g)
+	m := New(1)
+	outs, err := Compile(m, c, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a XOR 1 = ¬a.
+	if outs[0] != m.NVar(0) {
+		t.Error("key constant not folded")
+	}
+	if _, err := Compile(m, c, nil); err == nil {
+		t.Error("missing key accepted")
+	}
+}
+
+func TestChainBDDIsLinear(t *testing.T) {
+	// Cascade functions have linear-size BDDs — the reason this engine
+	// scales to wide chains.
+	m := New(24)
+	acc := m.Var(0)
+	for i := 1; i < 24; i++ {
+		if i%3 == 0 {
+			acc = m.Or(acc, m.Var(i))
+		} else {
+			acc = m.And(acc, m.Var(i))
+		}
+	}
+	// NumNodes counts every node ever interned, including intermediate
+	// accumulator steps — still linear in the chain length.
+	if m.NumNodes() > 24*24 {
+		t.Errorf("chain BDD has %d nodes — not linear", m.NumNodes())
+	}
+	if m.SatCount(acc).Sign() <= 0 {
+		t.Error("chain count not positive")
+	}
+}
+
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *netlist.Circuit {
+	c := netlist.New("rand")
+	ids := make([]netlist.ID, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		ids = append(ids, c.MustAddInput("in"+string(rune('a'+i))))
+	}
+	types := []netlist.GateType{netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor, netlist.Not}
+	for i := 0; i < nGates; i++ {
+		typ := types[rng.Intn(len(types))]
+		var fanin []netlist.ID
+		if typ == netlist.Not {
+			fanin = []netlist.ID{ids[rng.Intn(len(ids))]}
+		} else {
+			k := 2 + rng.Intn(2)
+			for j := 0; j < k; j++ {
+				fanin = append(fanin, ids[rng.Intn(len(ids))])
+			}
+		}
+		ids = append(ids, c.MustAddGate(typ, "g"+string(rune('0'+i/10))+string(rune('0'+i%10)), fanin...))
+	}
+	c.MustMarkOutput(ids[len(ids)-1])
+	c.MustMarkOutput(ids[len(ids)-2])
+	return c
+}

@@ -1,0 +1,130 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// expr is a random boolean expression over k variables, used to compare
+// BDD evaluation against direct evaluation.
+type expr struct {
+	op       byte // 'v' var, '&', '|', '^', '!'
+	varIdx   int
+	lhs, rhs *expr
+}
+
+func randExpr(rng *rand.Rand, vars, depth int) *expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return &expr{op: 'v', varIdx: rng.Intn(vars)}
+	}
+	ops := []byte{'&', '|', '^', '!'}
+	op := ops[rng.Intn(len(ops))]
+	e := &expr{op: op, lhs: randExpr(rng, vars, depth-1)}
+	if op != '!' {
+		e.rhs = randExpr(rng, vars, depth-1)
+	}
+	return e
+}
+
+func (e *expr) eval(assign []bool) bool {
+	switch e.op {
+	case 'v':
+		return assign[e.varIdx]
+	case '!':
+		return !e.lhs.eval(assign)
+	case '&':
+		return e.lhs.eval(assign) && e.rhs.eval(assign)
+	case '|':
+		return e.lhs.eval(assign) || e.rhs.eval(assign)
+	default:
+		return e.lhs.eval(assign) != e.rhs.eval(assign)
+	}
+}
+
+func (e *expr) build(m *Manager) Ref {
+	switch e.op {
+	case 'v':
+		return m.Var(e.varIdx)
+	case '!':
+		return m.Not(e.lhs.build(m))
+	case '&':
+		return m.And(e.lhs.build(m), e.rhs.build(m))
+	case '|':
+		return m.Or(e.lhs.build(m), e.rhs.build(m))
+	default:
+		return m.Xor(e.lhs.build(m), e.rhs.build(m))
+	}
+}
+
+// TestRandomExpressionsExhaustive: for random expressions, the BDD agrees
+// with direct evaluation on the whole assignment space, SatCount is
+// exact, and AnySat is sound.
+func TestRandomExpressionsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	const vars = 7
+	for trial := 0; trial < 120; trial++ {
+		e := randExpr(rng, vars, 5)
+		m := New(vars)
+		f := e.build(m)
+		count := int64(0)
+		assign := make([]bool, vars)
+		for x := 0; x < 1<<vars; x++ {
+			for i := range assign {
+				assign[i] = x&(1<<uint(i)) != 0
+			}
+			want := e.eval(assign)
+			if m.Eval(f, assign) != want {
+				t.Fatalf("trial %d: eval mismatch at %d", trial, x)
+			}
+			if want {
+				count++
+			}
+		}
+		if m.SatCount(f).Int64() != count {
+			t.Fatalf("trial %d: SatCount %v, brute force %d", trial, m.SatCount(f), count)
+		}
+		if w, ok := m.AnySat(f); ok {
+			if !m.Eval(f, w) {
+				t.Fatalf("trial %d: AnySat witness invalid", trial)
+			}
+		} else if count != 0 {
+			t.Fatalf("trial %d: AnySat missed %d solutions", trial, count)
+		}
+	}
+}
+
+// Property: canonicity — two structurally different constructions of the
+// same function yield the identical Ref.
+func TestCanonicityProperty(t *testing.T) {
+	m := New(6)
+	f := func(aIdx, bIdx, cIdx uint8) bool {
+		a := m.Var(int(aIdx % 6))
+		b := m.Var(int(bIdx % 6))
+		c := m.Var(int(cIdx % 6))
+		// (a∧b)∨(a∧c) == a∧(b∨c)  — distributivity as ref equality.
+		lhs := m.Or(m.And(a, b), m.And(a, c))
+		rhs := m.And(a, m.Or(b, c))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double negation and XOR self-inverse as ref identities.
+func TestInvolutionProperties(t *testing.T) {
+	m := New(8)
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 80; trial++ {
+		e := randExpr(rng, 8, 4)
+		f := e.build(m)
+		if m.Not(m.Not(f)) != f {
+			t.Fatal("¬¬f ≠ f")
+		}
+		g := randExpr(rng, 8, 4).build(m)
+		if m.Xor(m.Xor(f, g), g) != f {
+			t.Fatal("(f⊕g)⊕g ≠ f")
+		}
+	}
+}

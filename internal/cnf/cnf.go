@@ -1,0 +1,169 @@
+// Package cnf provides CNF formulas, Tseitin encoding of gate-level
+// netlists, and DIMACS serialization. Literals use the DIMACS convention:
+// variables are positive integers, a negative literal is the negation of
+// its variable, and 0 is reserved as a terminator and never a valid
+// literal.
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lit is a DIMACS-style literal: +v or -v for variable v ≥ 1.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// Formula is a CNF formula: a conjunction of clauses over NumVars
+// variables (numbered 1..NumVars).
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewVar allocates a fresh variable and returns its positive literal.
+func (f *Formula) NewVar() Lit {
+	f.NumVars++
+	return Lit(f.NumVars)
+}
+
+// Add appends a clause. Literals over unseen variables grow NumVars. A
+// zero literal is a programming error and panics.
+func (f *Formula) Add(lits ...Lit) {
+	cl := make(Clause, len(lits))
+	for i, l := range lits {
+		if l == 0 {
+			panic("cnf: zero literal in clause")
+		}
+		if v := l.Var(); v > f.NumVars {
+			f.NumVars = v
+		}
+		cl[i] = l
+	}
+	f.Clauses = append(f.Clauses, cl)
+}
+
+// Eval evaluates the formula under a total assignment. assign[v] is the
+// value of variable v (index 0 unused).
+func (f *Formula) Eval(assign []bool) (bool, error) {
+	if len(assign) < f.NumVars+1 {
+		return false, fmt.Errorf("cnf: assignment covers %d vars, formula has %d", len(assign)-1, f.NumVars)
+	}
+	for _, cl := range f.Clauses {
+		sat := false
+		for _, l := range cl {
+			if assign[l.Var()] == l.Sign() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// WriteDIMACS serializes the formula in DIMACS CNF format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			bw.WriteString(strconv.Itoa(int(l)))
+			bw.WriteByte(' ')
+		}
+		bw.WriteString("0\n")
+	}
+	return bw.Flush()
+}
+
+// DIMACSString returns the DIMACS serialization as a string.
+func (f *Formula) DIMACSString() string {
+	var sb strings.Builder
+	_ = f.WriteDIMACS(&sb)
+	return sb.String()
+}
+
+// ParseDIMACS reads a DIMACS CNF file.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	f := &Formula{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	declared := false
+	var cur Clause
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: malformed problem line %q", line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			_, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("cnf: malformed problem line %q", line)
+			}
+			f.NumVars = nv
+			declared = true
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: bad literal %q", tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			if abs := Lit(v).Var(); abs > f.NumVars {
+				f.NumVars = abs
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		f.Clauses = append(f.Clauses, cur)
+	}
+	if !declared {
+		return nil, fmt.Errorf("cnf: missing problem line")
+	}
+	return f, nil
+}
+
+// Clone returns a deep copy of the formula; useful when a caller wants to
+// extend a base encoding with scenario-specific clauses.
+func (f *Formula) Clone() *Formula {
+	out := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, cl := range f.Clauses {
+		out.Clauses[i] = append(Clause(nil), cl...)
+	}
+	return out
+}

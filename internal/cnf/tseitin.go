@@ -1,0 +1,179 @@
+package cnf
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Sink receives an encoding: fresh variables and clauses. *Formula
+// implements Sink; so does the CDCL solver in internal/sat, which is what
+// makes incremental attack loops possible (new circuit copies are encoded
+// straight into a live solver).
+type Sink interface {
+	// NewVar allocates a fresh variable, returned as its positive literal.
+	NewVar() Lit
+	// Add appends a clause.
+	Add(lits ...Lit)
+}
+
+// Encoding is the result of Tseitin-encoding a circuit: the variable
+// assigned to every gate.
+type Encoding struct {
+	// GateVar[id] is the positive literal of the variable carrying gate
+	// id's value.
+	GateVar []Lit
+}
+
+// Var returns the literal for a gate's value.
+func (e *Encoding) Var(id netlist.ID) Lit { return e.GateVar[id] }
+
+// InputLits returns the literals of the circuit's primary inputs in order.
+func (e *Encoding) InputLits(c *netlist.Circuit) []Lit {
+	out := make([]Lit, c.NumInputs())
+	for i, id := range c.Inputs() {
+		out[i] = e.GateVar[id]
+	}
+	return out
+}
+
+// KeyLits returns the literals of the circuit's key inputs in order.
+func (e *Encoding) KeyLits(c *netlist.Circuit) []Lit {
+	out := make([]Lit, c.NumKeys())
+	for i, id := range c.Keys() {
+		out[i] = e.GateVar[id]
+	}
+	return out
+}
+
+// OutputLits returns the literals of the circuit's outputs in order.
+func (e *Encoding) OutputLits(c *netlist.Circuit) []Lit {
+	out := make([]Lit, c.NumOutputs())
+	for i, id := range c.Outputs() {
+		out[i] = e.GateVar[id]
+	}
+	return out
+}
+
+// Encode Tseitin-encodes the circuit into a fresh formula. Every gate
+// gets a variable; gate semantics are encoded as the standard
+// equisatisfiable clause sets (n-ary AND/OR directly, XOR/XNOR as a
+// chain of binary constraints with auxiliary variables).
+func Encode(c *netlist.Circuit) (*Encoding, *Formula, error) {
+	f := &Formula{}
+	enc, err := EncodeInto(c, f)
+	return enc, f, err
+}
+
+// EncodeInto encodes the circuit into an existing sink (allocating fresh
+// variables), allowing several circuits to share one formula or one live
+// solver instance — the building block for miters and incremental attack
+// loops.
+func EncodeInto(c *netlist.Circuit, f Sink) (*Encoding, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	enc := &Encoding{GateVar: make([]Lit, c.NumGates())}
+	for _, id := range order {
+		g := c.Gate(id)
+		v := f.NewVar()
+		enc.GateVar[id] = v
+		switch g.Type {
+		case netlist.Input:
+			// Free variable.
+		case netlist.Const0:
+			f.Add(v.Neg())
+		case netlist.Const1:
+			f.Add(v)
+		case netlist.Buf:
+			a := enc.GateVar[g.Fanin[0]]
+			f.Add(v.Neg(), a)
+			f.Add(v, a.Neg())
+		case netlist.Not:
+			a := enc.GateVar[g.Fanin[0]]
+			f.Add(v.Neg(), a.Neg())
+			f.Add(v, a)
+		case netlist.And, netlist.Nand:
+			encodeAnd(f, v, faninLits(enc, g), g.Type == netlist.Nand)
+		case netlist.Or, netlist.Nor:
+			encodeOr(f, v, faninLits(enc, g), g.Type == netlist.Nor)
+		case netlist.Xor, netlist.Xnor:
+			encodeXor(f, v, faninLits(enc, g), g.Type == netlist.Xnor)
+		default:
+			return nil, fmt.Errorf("cnf: cannot encode gate type %s", g.Type)
+		}
+	}
+	return enc, nil
+}
+
+func faninLits(enc *Encoding, g *netlist.Gate) []Lit {
+	lits := make([]Lit, len(g.Fanin))
+	for i, f := range g.Fanin {
+		lits[i] = enc.GateVar[f]
+	}
+	return lits
+}
+
+// encodeAnd emits v ↔ AND(in...) (or v ↔ NAND when inverted).
+func encodeAnd(f Sink, v Lit, in []Lit, inverted bool) {
+	out := v
+	if inverted {
+		out = v.Neg()
+	}
+	// out → a for each a ; (a ∧ b ∧ …) → out.
+	long := make(Clause, 0, len(in)+1)
+	for _, a := range in {
+		f.Add(out.Neg(), a)
+		long = append(long, a.Neg())
+	}
+	long = append(long, out)
+	f.Add(long...)
+}
+
+// encodeOr emits v ↔ OR(in...) (or v ↔ NOR when inverted).
+func encodeOr(f Sink, v Lit, in []Lit, inverted bool) {
+	out := v
+	if inverted {
+		out = v.Neg()
+	}
+	long := make(Clause, 0, len(in)+1)
+	for _, a := range in {
+		f.Add(out, a.Neg())
+		long = append(long, a)
+	}
+	long = append(long, out.Neg())
+	f.Add(long...)
+}
+
+// encodeXorPair emits v ↔ a XOR b.
+func encodeXorPair(f Sink, v, a, b Lit) {
+	f.Add(v.Neg(), a, b)
+	f.Add(v.Neg(), a.Neg(), b.Neg())
+	f.Add(v, a.Neg(), b)
+	f.Add(v, a, b.Neg())
+}
+
+// encodeXor emits v ↔ XOR(in...) (parity), or its complement for XNOR,
+// chaining binary XORs through auxiliary variables.
+func encodeXor(f Sink, v Lit, in []Lit, inverted bool) {
+	acc := in[0]
+	for i := 1; i < len(in); i++ {
+		var next Lit
+		if i == len(in)-1 && !inverted {
+			next = v
+		} else {
+			next = f.NewVar()
+		}
+		encodeXorPair(f, next, acc, in[i])
+		acc = next
+	}
+	if inverted {
+		// v ↔ ¬acc
+		f.Add(v.Neg(), acc.Neg())
+		f.Add(v, acc)
+	} else if len(in) == 1 {
+		f.Add(v.Neg(), acc)
+		f.Add(v, acc.Neg())
+	}
+}

@@ -1,0 +1,887 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+)
+
+// Options configures the DIP-learning attack.
+type Options struct {
+	// Locked is the reverse-engineered CAS-locked netlist (black box to
+	// the attack: it is only simulated / SAT-queried).
+	Locked *netlist.Circuit
+	// Oracle is the activated chip.
+	Oracle oracle.Oracle
+	// Layout is the key-port layout; nil runs DiscoverLayout.
+	Layout *BlockLayout
+	// Extractor overrides the DIP-set engine; nil picks the SAT engine
+	// for blocks up to SATWidthLimit inputs and the exhaustive
+	// simulation engine above.
+	Extractor Extractor
+	// SATWidthLimit is the largest block width attacked with the SAT
+	// engine when Extractor is nil (default 12).
+	SATWidthLimit int
+	// MaxCalibrations caps the Algorithm-2 brute-force loop over the
+	// calibration block's upper key bits (default 1<<20).
+	MaxCalibrations uint64
+	// MaxOnePoints caps the aligned DIP-set size the attack will
+	// materialize (default 1<<27).
+	MaxOnePoints uint64
+	// Seed drives probe sampling.
+	Seed int64
+	// Log, when non-nil, receives progress messages (stage boundaries,
+	// extraction sizes, calibration sweeps) — useful for the minutes-long
+	// 64-bit-key runs.
+	Log func(format string, args ...any)
+}
+
+// Result reports a successful key recovery.
+type Result struct {
+	// Key is a correct key for the locked circuit, in its key-input
+	// order.
+	Key []bool
+	// Chain is the recovered cascade configuration (under the convention
+	// that block 1 of the layout is g_cas).
+	Chain lock.ChainConfig
+	// KeyGates1/KeyGates2 are the recovered XOR/XNOR key-gate types of
+	// the two blocks, exact up to the inherent joint complement (both
+	// blocks' polarities flipped together with the key, which yields an
+	// indistinguishable circuit).
+	KeyGates1, KeyGates2 []netlist.GateType
+	// Case is 1 for AND/NAND-terminated instances, 2 for OR/NOR.
+	Case int
+	// AlignedDIPs is |A|, the structured class size — the quantity
+	// Lemma 2's closed form predicts (1 + Σ 2^{c_i}).
+	AlignedDIPs uint64
+	// TotalDIPs is the full miter DIP-set size |I_l| of the successful
+	// extraction.
+	TotalDIPs uint64
+	// Extractions counts DIP-set extractions (including the calibration
+	// sweep); Calibrations counts brute-forced calibration candidates;
+	// CandidatesTried counts key candidates submitted to oracle probes.
+	Extractions, Calibrations, CandidatesTried int
+	// OracleQueries counts oracle pattern evaluations spent by the
+	// attack (probing and final verification).
+	OracleQueries uint64
+}
+
+// Run mounts the DIP-learning attack. It tries both block-role
+// hypotheses (Lemma 1's Case 1 and Case 2) and returns the first
+// oracle-verified key.
+func Run(opts Options) (*Result, error) {
+	if opts.Locked == nil || opts.Oracle == nil {
+		return nil, fmt.Errorf("core: Locked and Oracle are required")
+	}
+	if opts.SATWidthLimit == 0 {
+		opts.SATWidthLimit = 12
+	}
+	if opts.MaxCalibrations == 0 {
+		opts.MaxCalibrations = 1 << 20
+	}
+	if opts.MaxOnePoints == 0 {
+		opts.MaxOnePoints = 1 << 27
+	}
+	layout := opts.Layout
+	if layout == nil {
+		var err error
+		layout, err = DiscoverLayout(opts.Locked)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := layout.Validate(opts.Locked); err != nil {
+		return nil, err
+	}
+	if layout.N()*2 != opts.Locked.NumKeys() {
+		return nil, fmt.Errorf("core: layout covers %d key bits, circuit has %d", layout.N()*2, opts.Locked.NumKeys())
+	}
+	ext := opts.Extractor
+	if ext == nil {
+		var err error
+		if layout.N() <= opts.SATWidthLimit {
+			ext, err = NewSATExtractor(opts.Locked, layout)
+		} else {
+			ext, err = NewSimExtractor(opts.Locked, layout, opts.Seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	a := &attack{opts: opts, layout: layout, ext: ext,
+		rng: rand.New(rand.NewSource(opts.Seed ^ 0x5eed))}
+	var firstErr error
+	for _, active := range []int{1, 2} {
+		res, err := a.runWithActive(active)
+		if err == nil {
+			res.Extractions = ext.Extractions()
+			return res, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, fmt.Errorf("core: attack failed under both terminator hypotheses: %w", firstErr)
+}
+
+type attack struct {
+	opts   Options
+	layout *BlockLayout
+	ext    Extractor
+	rng    *rand.Rand
+
+	queries      uint64
+	calibrations int
+	candidates   int
+}
+
+// assign builds the miter key vectors: the active block's keys are all-1
+// in copy A and all-0 in copy B (Lemma 1); the other ("calibration")
+// block gets the bits of c in both copies.
+func (a *attack) assign(active int, c uint64) PairAssign {
+	nk := a.opts.Locked.NumKeys()
+	n := a.layout.N()
+	out := PairAssign{A: make([]bool, nk), B: make([]bool, nk)}
+	actPos, calPos := a.layout.Key1Pos, a.layout.Key2Pos
+	if active == 2 {
+		actPos, calPos = calPos, actPos
+	}
+	for i := 0; i < n; i++ {
+		out.A[actPos[i]] = true
+		cb := c&(1<<uint(i)) != 0
+		out.A[calPos[i]] = cb
+		out.B[calPos[i]] = cb
+	}
+	return out
+}
+
+// structured holds the decoded structure of one extraction.
+type structured struct {
+	chainH  lock.ChainConfig
+	wSet    map[uint64]struct{}
+	wList   []uint64
+	s       uint64 // shift: A = W ⊕ s
+	dipNC   uint64 // the non-repeating DIP (w_nc ⊕ s)
+	big     map[uint64]struct{}
+	small   map[uint64]struct{}
+	total   int
+	nBig    uint64
+	deltas  []uint64 // effective-misalignment candidates (empty: need calibration)
+	classOK bool
+}
+
+// decode performs Algorithm 1 on an extracted DIP set: class split, chain
+// recovery from the structured class size (Lemma 2 inverted), DIP_nc by
+// the bit-flip membership rule, shift/key-gate recovery, and full
+// structural validation A == W(chain) ⊕ s.
+func (a *attack) decode(dips map[uint64]struct{}) (*structured, error) {
+	n := a.layout.N()
+	if len(dips) == 0 {
+		return nil, fmt.Errorf("core: miter produced no DIPs (keys behave identically)")
+	}
+	top := uint64(1) << uint(n-1)
+	big := make(map[uint64]struct{})
+	small := make(map[uint64]struct{})
+	for p := range dips {
+		if p&top != 0 {
+			big[p] = struct{}{}
+		} else {
+			small[p] = struct{}{}
+		}
+	}
+	if len(small) > len(big) {
+		big, small = small, big
+	}
+	st := &structured{big: big, small: small, total: len(dips), nBig: uint64(len(big))}
+
+	chainH, err := ChainFromDIPCount(st.nBig, n)
+	if err != nil {
+		return nil, err
+	}
+	if chainH.Terminator() != lock.ChainAnd {
+		return nil, fmt.Errorf("core: structured class implies an OR-terminated chain in reduced space; wrong hypothesis")
+	}
+	if st.nBig > a.opts.MaxOnePoints {
+		return nil, fmt.Errorf("core: structured class has %d patterns, beyond MaxOnePoints", st.nBig)
+	}
+	st.chainH = chainH
+	st.wList = OnePoints(chainH)
+	st.wSet = make(map[uint64]struct{}, len(st.wList))
+	for _, w := range st.wList {
+		st.wSet[w] = struct{}{}
+	}
+
+	// DIP_nc: the unique member of the structured class that leaves it
+	// when bit 0 is flipped (Algorithm 1, line 9).
+	var dipNC uint64
+	found := 0
+	for p := range big {
+		if _, in := big[p^1]; !in {
+			dipNC = p
+			found++
+		}
+	}
+	if found != 1 {
+		return nil, fmt.Errorf("core: %d non-repeating DIP candidates, want exactly 1", found)
+	}
+	st.dipNC = dipNC
+	st.s = dipNC ^ NonControllingPattern(chainH)
+
+	// Structural validation: big == W ⊕ s.
+	for _, w := range st.wList {
+		if _, in := big[w^st.s]; !in {
+			return nil, fmt.Errorf("core: structured class does not match the recovered chain")
+		}
+	}
+	if uint64(len(st.wList)) != st.nBig {
+		return nil, fmt.Errorf("core: class size %d does not match chain one-point count %d", st.nBig, len(st.wList))
+	}
+	st.classOK = true
+	st.deltas = a.deltaCandidates(st)
+	return st, nil
+}
+
+// deltaCandidates recovers the effective misalignment δ between the two
+// blocks' masks from the suppressed part of the small class:
+// small = (W ∖ V) ⊕ ¬s with V = {w ∈ W : w⊕δ ∈ W}. Candidates are found
+// by intersecting pivot translates of W and verified exactly.
+func (a *attack) deltaCandidates(st *structured) []uint64 {
+	n := a.layout.N()
+	mask := blockMask(n)
+	if len(st.small) == 0 {
+		// No suppression at all: the blocks are perfectly aligned (δ = 0).
+		return []uint64{0}
+	}
+	sSmall := ^st.s & mask
+	// The theory gives small = (W ∖ V) ⊕ ¬s with V = {w : w⊕δ ∈ W}; any
+	// element outside W ⊕ ¬s disproves the current hypothesis.
+	present := make(map[uint64]struct{}, len(st.small))
+	for p := range st.small {
+		w := p ^ sSmall
+		if _, in := st.wSet[w]; !in {
+			return nil
+		}
+		present[w] = struct{}{}
+	}
+	var v []uint64
+	for _, w := range st.wList {
+		if _, in := present[w]; !in {
+			v = append(v, w)
+		}
+	}
+	if len(v) == 0 {
+		return nil // OVL = 0: calibration sweep needed
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	vSet := make(map[uint64]struct{}, len(v))
+	for _, w := range v {
+		vSet[w] = struct{}{}
+	}
+	// δ satisfies: w ∈ V ⇒ w⊕δ ∈ W and w ∉ V ⇒ w⊕δ ∉ W. Candidates are
+	// translates of a pivot from V; a two-sided pivot prefilter (pivots
+	// drawn from both V and its complement) discriminates sharply, so
+	// only a handful of candidates reach the exact O(N) verification —
+	// essential when V = W and the translate set would otherwise make
+	// the scan quadratic in the DIP count.
+	inPivots := pickPivots(v, 6)
+	var outPivots []uint64
+	if len(v) < len(st.wList) {
+		var rest []uint64
+		for w := range present {
+			rest = append(rest, w)
+			if len(rest) >= 64 {
+				break
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+		outPivots = pickPivots(rest, 6)
+	}
+	var out []uint64
+	verified, capped := 0, false
+	for _, w := range st.wList {
+		cand := v[0] ^ w
+		ok := true
+		for _, p := range inPivots {
+			if _, in := st.wSet[p^cand]; !in {
+				ok = false
+				break
+			}
+		}
+		for i := 0; ok && i < len(outPivots); i++ {
+			if _, in := st.wSet[outPivots[i]^cand]; in {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Exact verification of V(cand) == V.
+		verified++
+		if verified > 4096 {
+			// Degenerate symmetry: stop enumerating rather than go
+			// quadratic.
+			capped = true
+			break
+		}
+		match := true
+		count := 0
+		for _, x := range st.wList {
+			_, in := st.wSet[x^cand]
+			if in {
+				count++
+			}
+			if in != containsU64(vSet, x) {
+				match = false
+				break
+			}
+		}
+		if match && count == len(v) {
+			out = append(out, cand)
+		}
+	}
+	if capped && len(out) == 0 {
+		return nil // fall back to the calibration sweep
+	}
+	return dedupeU64(out)
+}
+
+// pickPivots selects up to k elements spread across a sorted slice.
+func pickPivots(xs []uint64, k int) []uint64 {
+	if len(xs) <= k {
+		return xs
+	}
+	out := make([]uint64, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, xs[i*(len(xs)-1)/(k-1)])
+	}
+	return out
+}
+
+func containsU64(m map[uint64]struct{}, x uint64) bool {
+	_, in := m[x]
+	return in
+}
+
+func dedupeU64(xs []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(xs))
+	var out []uint64
+	for _, x := range xs {
+		if _, in := seen[x]; !in {
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func blockMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+func (a *attack) logf(format string, args ...any) {
+	if a.opts.Log != nil {
+		a.opts.Log(format, args...)
+	}
+}
+
+// runWithActive executes the full pipeline under one block-role
+// hypothesis.
+func (a *attack) runWithActive(active int) (*Result, error) {
+	n := a.layout.N()
+	a.logf("hypothesis active=%d: extracting DIP set (Lemma-1 assignment)", active)
+	dips, err := a.ext.DIPs(a.assign(active, 0))
+	if err != nil {
+		return nil, err
+	}
+	a.logf("extracted |I_l| = %d", len(dips))
+	st, err := a.decode(dips)
+	if err != nil {
+		return nil, err
+	}
+	a.logf("decoded: chain_h=%s |A|=%d deltas=%d", st.chainH, st.nBig, len(st.deltas))
+	calib := uint64(0)
+	if len(st.deltas) == 0 {
+		a.logf("no misalignment witness: starting calibration sweep")
+		// Algorithm 2's brute force: sweep the calibration block's key
+		// bits from the last OR gate's input position upward until the
+		// small class shrinks (suppression appears), then re-extract and
+		// decode at that calibration.
+		calib, st, err = a.calibrate(active, st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Key candidates: the active block's polarity is s or its complement
+	// (inherent ambiguity), the inter-block offset is δ⊕c or its
+	// complement (branch ambiguity of the class split).
+	mask := blockMask(n)
+	type cand struct{ aActive, aCalib uint64 }
+	var cands []cand
+	for _, delta := range st.deltas {
+		for _, d := range []uint64{delta ^ calib, (^delta & mask) ^ calib} {
+			for _, aAct := range []uint64{st.s & mask, ^st.s & mask} {
+				cands = append(cands, cand{aAct, aAct ^ d})
+			}
+		}
+	}
+	// Cheap oracle probes weed out grossly wrong candidates; the
+	// survivors then face the sound discriminator: pairwise SAT
+	// distinguishing inputs adjudicated by the oracle (the paper's
+	// "SAT-based key verification" from [6]). A candidate is only ever
+	// eliminated on a concrete disagreement with the oracle, so the true
+	// key always survives.
+	type scored struct {
+		cd  cand
+		key []bool
+	}
+	var survivors []scored
+	for _, cd := range cands {
+		a.candidates++
+		key := a.buildKey(active, cd.aActive, cd.aCalib)
+		ok, err := a.probeKey(key, st)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			survivors = append(survivors, scored{cd, key})
+		}
+	}
+	a.logf("%d candidates, %d survived probing", len(cands), len(survivors))
+	for i := 0; i < len(survivors); i++ {
+		alive := true
+		for j := 0; j < len(survivors) && alive; j++ {
+			if i == j {
+				continue
+			}
+			witness, equivalent, err := a.distinguish(survivors[i].key, survivors[j].key, st)
+			if err != nil {
+				return nil, err
+			}
+			if equivalent {
+				continue
+			}
+			iOK, err := a.agreesWithOracle(witness, survivors[i].key)
+			if err != nil {
+				return nil, err
+			}
+			if !iOK {
+				alive = false
+			}
+		}
+		if !alive {
+			continue
+		}
+		key := survivors[i].key
+		a.logf("candidate %d: replaying all %d DIPs against the oracle", i, st.total)
+		if err := a.verifyKeyOnDIPs(key, st); err != nil {
+			continue
+		}
+		a.logf("candidate %d verified on every DIP", i)
+		return a.report(active, calib, st, survivors[i].cd.aActive, survivors[i].cd.aCalib, key), nil
+	}
+	return nil, fmt.Errorf("core: no key candidate survived oracle verification")
+}
+
+// distinguish finds an input on which the locked circuit behaves
+// differently under the two keys, or reports that none was found. It
+// first sweeps the extracted block space by bit-parallel simulation
+// (wrong candidate pairs differ on block patterns, and this finds the
+// witness in milliseconds); only if the sweep is clean does it fall to
+// the structurally-hashed SAT prover, with a conflict budget — an
+// Unknown outcome is treated as "no difference found", which is safe
+// because candidates are only ever eliminated on a concrete oracle
+// disagreement and the winner is still replayed against every DIP.
+func (a *attack) distinguish(keyA, keyB []bool, st *structured) (witness []bool, equivalent bool, err error) {
+	if w, found, err := a.simDistinguish(keyA, keyB, st); err != nil {
+		return nil, false, err
+	} else if found {
+		return w, false, nil
+	}
+	actA, err := oracle.Activate(a.opts.Locked, keyA)
+	if err != nil {
+		return nil, false, err
+	}
+	actB, err := oracle.Activate(a.opts.Locked, keyB)
+	if err != nil {
+		return nil, false, err
+	}
+	eq, w, err := miter.ProveEquivalentHashedBudget(actA, actB, 200000)
+	if err != nil {
+		return nil, false, err
+	}
+	return w, eq, nil
+}
+
+// simDistinguish searches for a distinguishing input by simulating both
+// keys over the block space: the extracted DIP patterns, the candidate
+// corruption anchors, and a random sweep.
+func (a *attack) simDistinguish(keyA, keyB []bool, st *structured) ([]bool, bool, error) {
+	sim, err := netlist.NewSimulator(a.opts.Locked)
+	if err != nil {
+		return nil, false, err
+	}
+	nIn := a.opts.Locked.NumInputs()
+	wordsA := make([]uint64, len(keyA))
+	wordsB := make([]uint64, len(keyB))
+	for i := range keyA {
+		if keyA[i] {
+			wordsA[i] = ^uint64(0)
+		}
+		if keyB[i] {
+			wordsB[i] = ^uint64(0)
+		}
+	}
+	mask := blockMask(a.layout.N())
+	wnc := NonControllingPattern(st.chainH)
+	patterns := []uint64{wnc, ^wnc & mask, st.dipNC, ^st.dipNC & mask}
+	budget := 4096
+	for p := range st.big {
+		if len(patterns) >= budget/2 {
+			break
+		}
+		patterns = append(patterns, p)
+	}
+	for p := range st.small {
+		if len(patterns) >= 3*budget/4 {
+			break
+		}
+		patterns = append(patterns, p)
+	}
+	for len(patterns) < budget {
+		patterns = append(patterns, a.rng.Uint64()&mask)
+	}
+	in := make([]uint64, nIn)
+	for base := 0; base < len(patterns); base += 64 {
+		end := base + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		chunk := patterns[base:end]
+		for i := range in {
+			in[i] = a.rng.Uint64()
+		}
+		for i, pos := range a.layout.InputPos {
+			var w uint64
+			for l, p := range chunk {
+				if p&(1<<uint(i)) != 0 {
+					w |= 1 << uint(l)
+				}
+			}
+			in[pos] = w
+		}
+		outA, err := sim.Run64(in, wordsA)
+		if err != nil {
+			return nil, false, err
+		}
+		outACopy := append([]uint64(nil), outA...)
+		outB, err := sim.Run64(in, wordsB)
+		if err != nil {
+			return nil, false, err
+		}
+		var diff uint64
+		for i := range outB {
+			diff |= outACopy[i] ^ outB[i]
+		}
+		if len(chunk) < 64 {
+			diff &= (uint64(1) << uint(len(chunk))) - 1
+		}
+		if diff != 0 {
+			lane := trailingZeros(diff)
+			witness := make([]bool, nIn)
+			for i := range witness {
+				witness[i] = in[i]&(1<<uint(lane)) != 0
+			}
+			return witness, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// agreesWithOracle checks the locked circuit under key against the
+// oracle on one input.
+func (a *attack) agreesWithOracle(in []bool, key []bool) (bool, error) {
+	want, err := a.opts.Oracle.Query(in)
+	if err != nil {
+		return false, err
+	}
+	a.queries++
+	got, err := a.opts.Locked.Eval(in, key)
+	if err != nil {
+		return false, err
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// calibrate is the paper's Algorithm-2 loop: brute force the calibration
+// block's key bits at positions OR_last .. n-2 (bit n-1 is redundant up
+// to complement) until the DIP set shows suppression.
+func (a *attack) calibrate(active int, st0 *structured) (uint64, *structured, error) {
+	n := a.layout.N()
+	orLast := st0.chainH.LastOR() + 1 // chain-input position of the last OR, 0 if none
+	width := n - 1 - orLast
+	if width < 0 {
+		width = 0
+	}
+	limit := uint64(1) << uint(width)
+	if limit > a.opts.MaxCalibrations {
+		return 0, nil, fmt.Errorf("core: calibration space 2^%d exceeds MaxCalibrations", width)
+	}
+	bigN := float64(st0.nBig)
+	for cand := uint64(1); cand < limit; cand++ {
+		a.calibrations++
+		c := cand << uint(orLast)
+		sizes, err := a.ext.Classes(a.assign(active, c))
+		if err != nil {
+			return 0, nil, err
+		}
+		shrunk := false
+		if sizes.Exact {
+			shrunk = sizes.Small < bigN && sizes.Big == bigN
+		} else {
+			shrunk = sizes.Small < 0.8*bigN && sizes.Big > 0.8*bigN && sizes.Big < 1.2*bigN
+		}
+		if !shrunk {
+			continue
+		}
+		dips, err := a.ext.DIPs(a.assign(active, c))
+		if err != nil {
+			return 0, nil, err
+		}
+		st, err := a.decode(dips)
+		if err != nil {
+			continue // sampling false positive; keep sweeping
+		}
+		if len(st.deltas) == 0 {
+			continue
+		}
+		return c, st, nil
+	}
+	return 0, nil, fmt.Errorf("core: calibration sweep found no suppressing assignment")
+}
+
+// buildKey maps block polarities to a canonical key vector for the locked
+// circuit: under Case 1 (active = block 1) a1 = aActive, a2 = aCalib;
+// under Case 2 the active block is ḡ and the reduction flips the
+// calibration block's polarity.
+func (a *attack) buildKey(active int, aActive, aCalib uint64) []bool {
+	n := a.layout.N()
+	mask := blockMask(n)
+	var a1, a2 uint64
+	if active == 1 {
+		a1, a2 = aActive, aCalib
+	} else {
+		a2 = aActive
+		a1 = ^aCalib & mask
+	}
+	key := make([]bool, a.opts.Locked.NumKeys())
+	for i := 0; i < n; i++ {
+		key[a.layout.Key1Pos[i]] = a1&(1<<uint(i)) != 0
+		key[a.layout.Key2Pos[i]] = a2&(1<<uint(i)) != 0
+	}
+	return key
+}
+
+// probeKey checks a candidate key against the oracle on a probe set
+// drawn from the extracted DIPs (where wrong keys are most likely to
+// disagree) plus random patterns.
+func (a *attack) probeKey(key []bool, st *structured) (bool, error) {
+	sim, err := netlist.NewSimulator(a.opts.Locked)
+	if err != nil {
+		return false, err
+	}
+	probes := a.probePatterns(st, 96)
+	for _, block := range probes {
+		in := a.embedBlockPattern(block)
+		want, err := a.opts.Oracle.Query(in)
+		if err != nil {
+			return false, err
+		}
+		a.queries++
+		got, err := sim.Run(in, key)
+		if err != nil {
+			return false, err
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// probePatterns samples block patterns, leading with the two patterns
+// every residual-misalignment candidate provably corrupts (DIP_nc and
+// its complement: in the candidate's own coordinates they sit on w_nc,
+// which any surviving δ-error maps outside the one-point set), followed
+// by class samples and random patterns. probeKey stops on the first
+// disagreement, so wrong candidates typically cost O(1) oracle queries.
+func (a *attack) probePatterns(st *structured, budget int) []uint64 {
+	mask := blockMask(a.layout.N())
+	// A candidate whose only error is a residual inter-block offset m
+	// corrupts exactly the patterns X with X ∈ W, X⊕m ∉ W (its canonical
+	// key cancels the key-gate masks), and w_nc is such a pattern for
+	// every low-bit offset; the joint-complement candidate family
+	// corrupts ¬w_nc instead.
+	wnc := NonControllingPattern(st.chainH)
+	out := []uint64{wnc, ^wnc & mask, st.dipNC, ^st.dipNC & mask}
+	take := func(m map[uint64]struct{}, k int) {
+		for p := range m {
+			if k == 0 {
+				return
+			}
+			out = append(out, p)
+			k--
+		}
+	}
+	take(st.big, budget/2)
+	take(st.small, budget/4)
+	for i := 0; i < budget/4+1; i++ {
+		out = append(out, a.rng.Uint64()&mask)
+	}
+	return out
+}
+
+// embedBlockPattern places a block pattern on the chain inputs and fills
+// the remaining primary inputs randomly.
+func (a *attack) embedBlockPattern(block uint64) []bool {
+	in := make([]bool, a.opts.Locked.NumInputs())
+	for i := range in {
+		in[i] = a.rng.Intn(2) == 1
+	}
+	for i, pos := range a.layout.InputPos {
+		in[pos] = block&(1<<uint(i)) != 0
+	}
+	return in
+}
+
+// verifyKeyOnDIPs replays every extracted DIP against the oracle under
+// the candidate key, in 64-pattern batches — the O(m) final check.
+func (a *attack) verifyKeyOnDIPs(key []bool, st *structured) error {
+	sim, err := netlist.NewSimulator(a.opts.Locked)
+	if err != nil {
+		return err
+	}
+	nIn := a.opts.Locked.NumInputs()
+	keyWords := make([]uint64, len(key))
+	for i, b := range key {
+		if b {
+			keyWords[i] = ^uint64(0)
+		}
+	}
+	all := make([]uint64, 0, len(st.big)+len(st.small))
+	for p := range st.big {
+		all = append(all, p)
+	}
+	for p := range st.small {
+		all = append(all, p)
+	}
+	in := make([]uint64, nIn)
+	for base := 0; base < len(all); base += 64 {
+		end := base + 64
+		if end > len(all) {
+			end = len(all)
+		}
+		chunk := all[base:end]
+		for i := range in {
+			in[i] = a.rng.Uint64()
+		}
+		for i, pos := range a.layout.InputPos {
+			var w uint64
+			for l, p := range chunk {
+				if p&(1<<uint(i)) != 0 {
+					w |= 1 << uint(l)
+				}
+			}
+			in[pos] = w
+		}
+		want, err := a.opts.Oracle.Query64(in)
+		if err != nil {
+			return err
+		}
+		a.queries += uint64(len(chunk))
+		got, err := sim.Run64(in, keyWords)
+		if err != nil {
+			return err
+		}
+		laneMask := ^uint64(0)
+		if len(chunk) < 64 {
+			laneMask = (uint64(1) << uint(len(chunk))) - 1
+		}
+		for i := range want {
+			if (want[i]^got[i])&laneMask != 0 {
+				return fmt.Errorf("core: candidate key disagrees with the oracle on an extracted DIP")
+			}
+		}
+	}
+	return nil
+}
+
+func (a *attack) report(active int, calib uint64, st *structured, aActive, aCalib uint64, key []bool) *Result {
+	n := a.layout.N()
+	mask := blockMask(n)
+	var a1, a2 uint64
+	chain := st.chainH
+	cas := 1
+	if active == 1 {
+		a1, a2 = aActive, aCalib
+	} else {
+		cas = 2
+		chain = dualChain(st.chainH)
+		a2 = aActive
+		a1 = ^aCalib & mask
+	}
+	return &Result{
+		Key:             key,
+		Chain:           chain,
+		KeyGates1:       kgFromMask(a1, n),
+		KeyGates2:       kgFromMask(a2, n),
+		Case:            cas,
+		AlignedDIPs:     st.nBig,
+		TotalDIPs:       uint64(st.total),
+		Calibrations:    a.calibrations,
+		CandidatesTried: a.candidates,
+		OracleQueries:   a.queries,
+	}
+}
+
+func kgFromMask(m uint64, n int) []netlist.GateType {
+	out := make([]netlist.GateType, n)
+	for i := 0; i < n; i++ {
+		if m&(1<<uint(i)) != 0 {
+			out[i] = netlist.Xnor
+		} else {
+			out[i] = netlist.Xor
+		}
+	}
+	return out
+}
+
+// dualChain swaps AND and OR at every position (De Morgan dual), which
+// maps the Case-2 reduced-space chain back to the physical one.
+func dualChain(c lock.ChainConfig) lock.ChainConfig {
+	out := make(lock.ChainConfig, len(c))
+	for i, g := range c {
+		if g == lock.ChainAnd {
+			out[i] = lock.ChainOr
+		} else {
+			out[i] = lock.ChainAnd
+		}
+	}
+	return out
+}

@@ -1,0 +1,637 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// PairAssign fixes the full key vectors of the two miter copies (indexed
+// like the locked circuit's key list).
+type PairAssign struct {
+	A, B []bool
+}
+
+// ClassSizes reports the two bit-(n-1) classes of a DIP set: Big ≥ Small.
+// Exact is false when the sizes were estimated by sampling (and then they
+// are scaled to the full block space).
+type ClassSizes struct {
+	Big, Small float64
+	Exact      bool
+}
+
+// Extractor enumerates the DIP set of a fixed-key two-copy miter of the
+// locked circuit, reported as patterns over the n chain inputs (bit i of
+// a pattern = chain input i). Implementations must return each block
+// pattern at most once.
+type Extractor interface {
+	// BlockWidth returns n, the chain width.
+	BlockWidth() int
+	// DIPs exactly enumerates the block-input patterns on which the two
+	// copies disagree.
+	DIPs(assign PairAssign) (map[uint64]struct{}, error)
+	// Classes returns the sizes of the DIP set's two bit-(n-1) classes,
+	// possibly by sampling.
+	Classes(assign PairAssign) (ClassSizes, error)
+	// Extractions returns how many DIP-set extractions (DIPs or Classes
+	// calls) have been performed, for cost accounting.
+	Extractions() int
+}
+
+// ---------------------------------------------------------------------
+// SAT-based extractor: the faithful implementation of the paper's DIP-set
+// extraction (bypass-attack style: miter + blocking clauses), run on the
+// full locked netlist.
+// ---------------------------------------------------------------------
+
+// SATExtractor enumerates DIPs with a SAT solver over the full locked
+// netlist, exactly as the paper does (CryptoMiniSat in the original).
+type SATExtractor struct {
+	locked *netlist.Circuit
+	layout *BlockLayout
+	count  int
+}
+
+// NewSATExtractor builds a SAT-based extractor.
+func NewSATExtractor(locked *netlist.Circuit, layout *BlockLayout) (*SATExtractor, error) {
+	if err := layout.Validate(locked); err != nil {
+		return nil, err
+	}
+	if layout.N() > 30 {
+		return nil, fmt.Errorf("core: SAT extractor limited to 30 chain inputs (full enumeration); use the simulation extractor")
+	}
+	return &SATExtractor{locked: locked, layout: layout}, nil
+}
+
+// BlockWidth implements Extractor.
+func (e *SATExtractor) BlockWidth() int { return e.layout.N() }
+
+// Extractions implements Extractor.
+func (e *SATExtractor) Extractions() int { return e.count }
+
+// DIPs implements Extractor: it builds the fixed-key miter, Tseitin
+// encodes it into a fresh solver, and enumerates models, blocking each
+// found block-input pattern (the projection onto the chain inputs) so
+// every DIP is reported once.
+func (e *SATExtractor) DIPs(assign PairAssign) (map[uint64]struct{}, error) {
+	e.count++
+	m, err := miter.NewFixedKey(e.locked, assign.A, assign.B)
+	if err != nil {
+		return nil, err
+	}
+	solver := sat.New()
+	enc, err := cnf.EncodeInto(m, solver)
+	if err != nil {
+		return nil, err
+	}
+	diff := enc.OutputLits(m)[0]
+	solver.Add(diff) // only interested in disagreement witnesses
+	inLits := enc.InputLits(m)
+	blockLits := make([]cnf.Lit, e.layout.N())
+	for i, pos := range e.layout.InputPos {
+		blockLits[i] = inLits[pos]
+	}
+	out := make(map[uint64]struct{})
+	for solver.Solve() == sat.Sat {
+		var pat uint64
+		blocking := make([]cnf.Lit, len(blockLits))
+		for i, l := range blockLits {
+			if solver.ModelValue(l) {
+				pat |= 1 << uint(i)
+				blocking[i] = l.Neg()
+			} else {
+				blocking[i] = l
+			}
+		}
+		if _, dup := out[pat]; dup {
+			return nil, fmt.Errorf("core: SAT enumeration returned duplicate pattern %b", pat)
+		}
+		out[pat] = struct{}{}
+		solver.Add(blocking...)
+	}
+	return out, nil
+}
+
+// Classes implements Extractor (exact, via DIPs).
+func (e *SATExtractor) Classes(assign PairAssign) (ClassSizes, error) {
+	dips, err := e.DIPs(assign)
+	if err != nil {
+		return ClassSizes{}, err
+	}
+	return classSizesOf(dips, e.layout.N()), nil
+}
+
+func classSizesOf(dips map[uint64]struct{}, n int) ClassSizes {
+	top := uint64(1) << uint(n-1)
+	var c0, c1 float64
+	for p := range dips {
+		if p&top != 0 {
+			c1++
+		} else {
+			c0++
+		}
+	}
+	if c0 < c1 {
+		c0, c1 = c1, c0
+	}
+	return ClassSizes{Big: c0, Small: c1, Exact: true}
+}
+
+// ---------------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Simulation-based extractor: bit-parallel exhaustive enumeration over
+// the key-dependent subcircuit. Functionally identical to the SAT path
+// (verified by a construction-time self-check against full-netlist
+// simulation and by cross-engine tests), but fast enough for the paper's
+// 64-bit-key instances, whose DIP sets reach 8.5M patterns.
+// ---------------------------------------------------------------------
+
+// simOp is one gate of the compiled key-cone program. Source operands
+// are register indices; the first BlockWidth registers hold the chain
+// inputs and the next NumKeys hold the key bits; negative operands are
+// cone side inputs held at constant 0.
+type simOp struct {
+	typ  netlist.GateType
+	args []int
+	dst  int
+}
+
+// SimExtractor enumerates DIPs by exhaustive bit-parallel simulation of
+// the key-dependent cone of the locked netlist, with all other cone side
+// inputs held constant. Constructing one runs a randomized self-check
+// that the cone's disagreement signal matches full-netlist disagreement.
+type SimExtractor struct {
+	layout  *BlockLayout
+	n       int
+	nKeys   int
+	ops     []simOp
+	outRegs []int
+	regs    int // register count of the compiled cone (excluding copies)
+	count   int
+}
+
+// NewSimExtractor compiles the key cone of the locked circuit and
+// self-checks it against full-netlist simulation on random patterns.
+func NewSimExtractor(locked *netlist.Circuit, layout *BlockLayout, seed int64) (*SimExtractor, error) {
+	if err := layout.Validate(locked); err != nil {
+		return nil, err
+	}
+	n := layout.N()
+	if n > 48 {
+		return nil, fmt.Errorf("core: %d chain inputs beyond exhaustive enumeration", n)
+	}
+	mask := locked.TransitiveFanout(locked.Keys()...)
+	order, err := locked.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &SimExtractor{layout: layout, n: n, nKeys: locked.NumKeys()}
+	reg := make([]int, locked.NumGates())
+	for i := range reg {
+		reg[i] = -1
+	}
+	// Registers 0..n-1: chain inputs; n..n+nKeys-1: keys; then temps.
+	for i, pos := range layout.InputPos {
+		reg[locked.Inputs()[pos]] = i
+	}
+	for i, id := range locked.Keys() {
+		reg[id] = n + i
+	}
+	next := n + e.nKeys
+	for _, id := range order {
+		if !mask[id] {
+			continue
+		}
+		g := locked.Gate(id)
+		if g.Type == netlist.Input {
+			continue // key inputs already assigned registers
+		}
+		args := make([]int, len(g.Fanin))
+		for i, f := range g.Fanin {
+			if mask[f] {
+				args[i] = reg[f]
+			} else if r := reg[f]; r >= 0 {
+				args[i] = r // a chain input feeding the cone directly
+			} else {
+				args[i] = -1 // side input held at 0
+			}
+		}
+		reg[id] = next
+		e.ops = append(e.ops, simOp{typ: g.Type, args: args, dst: next})
+		next++
+	}
+	e.regs = next
+	for _, o := range locked.Outputs() {
+		if mask[o] {
+			e.outRegs = append(e.outRegs, reg[o])
+		}
+	}
+	if len(e.outRegs) == 0 {
+		return nil, fmt.Errorf("core: no output depends on the key inputs")
+	}
+	if err := e.selfCheck(locked, seed); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// BlockWidth implements Extractor.
+func (e *SimExtractor) BlockWidth() int { return e.n }
+
+// Extractions implements Extractor.
+func (e *SimExtractor) Extractions() int { return e.count }
+
+// Opcode space of the prepared program's hot loop.
+const (
+	pAnd uint8 = iota
+	pNand
+	pOr
+	pNor
+	pXor
+	pXnor
+	pNot
+	pBuf
+	pWide // fanin > 2: evaluated generically via wide list
+)
+
+type pop struct {
+	code uint8
+	typ  netlist.GateType // for pWide
+	a, b int32
+	dst  int32
+	wide []int32
+}
+
+// prepared is a per-assignment compiled program: registers carry the key
+// constants of copy A (and, for keys whose two copies differ, a second
+// register with copy B's value); gates untouched by differing keys are
+// evaluated once and shared, the rest are duplicated.
+type prepared struct {
+	n    int
+	ops  []pop
+	regs []uint64   // template: key constants baked in, inputs written per batch
+	outs [][2]int32 // (A,B) register pairs whose XOR is the disagreement
+}
+
+// prepare compiles the cone for one key-pair assignment.
+func (e *SimExtractor) prepare(assign PairAssign) (*prepared, error) {
+	if err := e.checkAssign(assign); err != nil {
+		return nil, err
+	}
+	zero := int32(e.regs) // dedicated always-0 register
+	next := e.regs + 1
+	bReg := make([]int32, e.regs)
+	dyn := make([]bool, e.regs)
+	for i := range bReg {
+		bReg[i] = int32(i)
+	}
+	type kv struct {
+		reg int32
+		val bool
+	}
+	var keyVals []kv
+	for i := 0; i < e.nKeys; i++ {
+		r := e.n + i
+		keyVals = append(keyVals, kv{int32(r), assign.A[i]})
+		if assign.A[i] != assign.B[i] {
+			dyn[r] = true
+			bReg[r] = int32(next)
+			next++
+			keyVals = append(keyVals, kv{bReg[r], assign.B[i]})
+		}
+	}
+	p := &prepared{n: e.n}
+	emit := func(typ netlist.GateType, dst int32, args []int32) {
+		op := pop{dst: dst}
+		switch typ {
+		case netlist.And:
+			op.code = pAnd
+		case netlist.Nand:
+			op.code = pNand
+		case netlist.Or:
+			op.code = pOr
+		case netlist.Nor:
+			op.code = pNor
+		case netlist.Xor:
+			op.code = pXor
+		case netlist.Xnor:
+			op.code = pXnor
+		case netlist.Not:
+			op.code = pNot
+		case netlist.Buf:
+			op.code = pBuf
+		}
+		if len(args) > 2 {
+			op.code = pWide
+			op.typ = typ
+			op.wide = args
+		} else {
+			op.a = args[0]
+			if len(args) > 1 {
+				op.b = args[1]
+			} else {
+				op.b = args[0]
+			}
+			switch typ {
+			case netlist.Not, netlist.Buf:
+				op.b = op.a
+			}
+		}
+		p.ops = append(p.ops, op)
+	}
+	for _, op := range e.ops {
+		isDyn := false
+		argsA := make([]int32, len(op.args))
+		for i, a := range op.args {
+			if a < 0 {
+				argsA[i] = zero
+				continue
+			}
+			argsA[i] = int32(a)
+			if dyn[a] {
+				isDyn = true
+			}
+		}
+		emit(op.typ, int32(op.dst), argsA)
+		if isDyn {
+			dyn[op.dst] = true
+			bReg[op.dst] = int32(next)
+			next++
+			argsB := make([]int32, len(op.args))
+			for i, a := range op.args {
+				if a < 0 {
+					argsB[i] = zero
+				} else {
+					argsB[i] = bReg[a]
+				}
+			}
+			emit(op.typ, bReg[op.dst], argsB)
+		}
+	}
+	p.regs = make([]uint64, next)
+	for _, k := range keyVals {
+		if k.val {
+			p.regs[k.reg] = ^uint64(0)
+		}
+	}
+	for _, r := range e.outRegs {
+		if dyn[r] {
+			p.outs = append(p.outs, [2]int32{int32(r), bReg[r]})
+		}
+	}
+	return p, nil
+}
+
+// diff evaluates 64 packed block patterns and returns the per-lane
+// disagreement mask. This is the extraction hot loop.
+func (p *prepared) diff(block []uint64) uint64 {
+	regs := p.regs
+	for i := 0; i < p.n; i++ {
+		regs[i] = block[i]
+	}
+	for i := range p.ops {
+		op := &p.ops[i]
+		switch op.code {
+		case pAnd:
+			regs[op.dst] = regs[op.a] & regs[op.b]
+		case pNand:
+			regs[op.dst] = ^(regs[op.a] & regs[op.b])
+		case pOr:
+			regs[op.dst] = regs[op.a] | regs[op.b]
+		case pNor:
+			regs[op.dst] = ^(regs[op.a] | regs[op.b])
+		case pXor:
+			regs[op.dst] = regs[op.a] ^ regs[op.b]
+		case pXnor:
+			regs[op.dst] = ^(regs[op.a] ^ regs[op.b])
+		case pNot:
+			regs[op.dst] = ^regs[op.a]
+		case pBuf:
+			regs[op.dst] = regs[op.a]
+		default:
+			var fanin [8]uint64
+			in := fanin[:0]
+			for _, a := range op.wide {
+				in = append(in, regs[a])
+			}
+			regs[op.dst] = op.typ.Eval64(in)
+		}
+	}
+	var d uint64
+	for _, o := range p.outs {
+		d |= regs[o[0]] ^ regs[o[1]]
+	}
+	return d
+}
+
+// enumerate walks the whole 2^n block space in 64-pattern batches,
+// invoking visit with the base pattern and the disagreement mask.
+func (p *prepared) enumerate(visit func(base uint64, diff uint64)) {
+	n := p.n
+	block := make([]uint64, n)
+	total := uint64(1) << uint(n)
+	for i := 0; i < n && i < 6; i++ {
+		block[i] = lanePattern(i)
+	}
+	for base := uint64(0); base < total; base += 64 {
+		for i := 6; i < n; i++ {
+			if base&(1<<uint(i)) != 0 {
+				block[i] = ^uint64(0)
+			} else {
+				block[i] = 0
+			}
+		}
+		visit(base, p.diff(block))
+		if total < 64 {
+			break
+		}
+	}
+}
+
+// lanePattern gives input i (i < 6) its within-word enumeration pattern:
+// lane l carries pattern base+l, so bit i of (base+l) is bit i of l.
+func lanePattern(i int) uint64 {
+	switch i {
+	case 0:
+		return 0xAAAAAAAAAAAAAAAA
+	case 1:
+		return 0xCCCCCCCCCCCCCCCC
+	case 2:
+		return 0xF0F0F0F0F0F0F0F0
+	case 3:
+		return 0xFF00FF00FF00FF00
+	case 4:
+		return 0xFFFF0000FFFF0000
+	case 5:
+		return 0xFFFFFFFF00000000
+	}
+	panic("lanePattern: index out of range")
+}
+
+// DIPs implements Extractor.
+func (e *SimExtractor) DIPs(assign PairAssign) (map[uint64]struct{}, error) {
+	p, err := e.prepare(assign)
+	if err != nil {
+		return nil, err
+	}
+	e.count++
+	out := make(map[uint64]struct{})
+	total := uint64(1) << uint(e.n)
+	p.enumerate(func(base, diff uint64) {
+		for diff != 0 {
+			l := trailingZeros(diff)
+			diff &^= 1 << uint(l)
+			if v := base + uint64(l); v < total {
+				out[v] = struct{}{}
+			}
+		}
+	})
+	return out, nil
+}
+
+// exactClassBits is the largest block width for which Classes is exact;
+// wider blocks are sampled.
+const exactClassBits = 26
+
+// sampleBatches is the number of random 64-pattern batches used when
+// sampling class sizes.
+const sampleBatches = 1 << 14
+
+// Classes implements Extractor: exact for small blocks, sampled above
+// exactClassBits.
+func (e *SimExtractor) Classes(assign PairAssign) (ClassSizes, error) {
+	p, err := e.prepare(assign)
+	if err != nil {
+		return ClassSizes{}, err
+	}
+	e.count++
+	top := uint64(1) << uint(e.n-1)
+	if e.n <= exactClassBits {
+		var c0, c1 float64
+		total := uint64(1) << uint(e.n)
+		p.enumerate(func(base, diff uint64) {
+			for diff != 0 {
+				l := trailingZeros(diff)
+				diff &^= 1 << uint(l)
+				if v := base + uint64(l); v < total {
+					if v&top != 0 {
+						c1++
+					} else {
+						c0++
+					}
+				}
+			}
+		})
+		if c0 < c1 {
+			c0, c1 = c1, c0
+		}
+		return ClassSizes{Big: c0, Small: c1, Exact: true}, nil
+	}
+	// Sampled: random batches, scaled to the full space.
+	rng := rand.New(rand.NewSource(int64(e.count) * 977))
+	block := make([]uint64, e.n)
+	var c0, c1 float64
+	for b := 0; b < sampleBatches; b++ {
+		for i := range block {
+			block[i] = rng.Uint64()
+		}
+		diff := p.diff(block)
+		topMask := block[e.n-1]
+		c1 += float64(popcount64(diff & topMask))
+		c0 += float64(popcount64(diff &^ topMask))
+	}
+	scale := float64(uint64(1)<<uint(e.n)) / float64(sampleBatches*64)
+	c0 *= scale
+	c1 *= scale
+	if c0 < c1 {
+		c0, c1 = c1, c0
+	}
+	return ClassSizes{Big: c0, Small: c1, Exact: false}, nil
+}
+
+func (e *SimExtractor) checkAssign(assign PairAssign) error {
+	if len(assign.A) != e.nKeys || len(assign.B) != e.nKeys {
+		return fmt.Errorf("core: key assignment lengths %d/%d, circuit has %d keys",
+			len(assign.A), len(assign.B), e.nKeys)
+	}
+	return nil
+}
+
+// selfCheck verifies cone disagreement equals full-netlist disagreement
+// on random patterns under a few representative key assignments, which
+// certifies that holding cone side inputs at 0 is sound for this netlist
+// (true whenever the flip is injected through XORs).
+func (e *SimExtractor) selfCheck(locked *netlist.Circuit, seed int64) error {
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nk := e.nKeys
+	assigns := make([]PairAssign, 0, 3)
+	mk := func(f func(i int) (bool, bool)) PairAssign {
+		a := PairAssign{A: make([]bool, nk), B: make([]bool, nk)}
+		for i := 0; i < nk; i++ {
+			a.A[i], a.B[i] = f(i)
+		}
+		return a
+	}
+	assigns = append(assigns,
+		mk(func(i int) (bool, bool) { return i%2 == 0, false }),
+		mk(func(i int) (bool, bool) { return rng.Intn(2) == 1, rng.Intn(2) == 1 }),
+		mk(func(i int) (bool, bool) { return true, i%3 == 0 }),
+	)
+	in := make([]uint64, locked.NumInputs())
+	block := make([]uint64, e.n)
+	keyA := make([]uint64, nk)
+	keyB := make([]uint64, nk)
+	for _, assign := range assigns {
+		p, err := e.prepare(assign)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nk; i++ {
+			keyA[i], keyB[i] = 0, 0
+			if assign.A[i] {
+				keyA[i] = ^uint64(0)
+			}
+			if assign.B[i] {
+				keyB[i] = ^uint64(0)
+			}
+		}
+		for round := 0; round < 4; round++ {
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			for i, pos := range e.layout.InputPos {
+				block[i] = in[pos]
+			}
+			outA, err := sim.Run64(in, keyA)
+			if err != nil {
+				return err
+			}
+			outACopy := append([]uint64(nil), outA...)
+			outB, err := sim.Run64(in, keyB)
+			if err != nil {
+				return err
+			}
+			var fullDiff uint64
+			for i := range outB {
+				fullDiff |= outACopy[i] ^ outB[i]
+			}
+			if p.diff(block) != fullDiff {
+				return fmt.Errorf("core: key-cone extraction unsound for this netlist (side inputs are not transparent)")
+			}
+		}
+	}
+	return nil
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+func popcount64(x uint64) int { return bits.OnesCount64(x) }

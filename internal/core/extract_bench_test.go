@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/synth"
+)
+
+// BenchmarkPreparedDiff measures the extraction hot loop on a 64-bit-key
+// CAS cone (the kernel behind the paper's 2^32-pattern enumerations).
+func BenchmarkPreparedDiff(b *testing.B) {
+	host, err := synth.Generate(synth.Config{Name: "h", Inputs: 40, Outputs: 4, Gates: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain := lock.MustParseChain("2A-O-2(4A-O)-2(2A-O)-12A")
+	locked, _, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := DiscoverLayout(locked.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext, err := NewSimExtractor(locked.Circuit, layout, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign := PairAssign{A: make([]bool, 64), B: make([]bool, 64)}
+	for _, pos := range layout.Key1Pos {
+		assign.A[pos] = true
+	}
+	p, err := ext.prepare(assign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	block := make([]uint64, 32)
+	for i := 0; i < 32 && i < 6; i++ {
+		block[i] = lanePattern(i)
+	}
+	b.ReportMetric(float64(len(p.ops)), "ops")
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		block[7] = ^block[7]
+		sink ^= p.diff(block)
+	}
+	_ = sink
+	b.SetBytes(64 * 8)
+}

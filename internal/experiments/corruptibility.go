@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/lock"
+	"repro/internal/netlist"
+)
+
+// Output corruptibility is the defender-side metric CAS-Lock trades
+// against SAT resilience (Shakya et al., CHES'20): for a wrong key, what
+// fraction of the block-input space does the flip signal corrupt? The
+// paper's Table I discussion ("row 6 verifies that a cascaded chain of
+// AND gates terminated by an OR gate produces the maximum output
+// corruption") is reproduced here by direct bit-parallel measurement
+// over sampled wrong keys.
+
+// CorruptibilityResult summarizes the corruption of one chain config.
+type CorruptibilityResult struct {
+	Chain string
+	// Mean and Max are the corrupted fraction of the block-input space
+	// over the sampled wrong keys.
+	Mean, Max float64
+	// DIPFormula is Lemma 2's count for the same chain — the attack-side
+	// cost the corruption trades against.
+	DIPFormula uint64
+}
+
+// MeasureCorruptibility samples wrong keys for a CAS instance of the
+// given chain (random key-gate polarities) and measures the flip rate
+// exactly over the whole block space (chain width ≤ 22).
+func MeasureCorruptibility(chainCfg string, samples int, seed int64) (*CorruptibilityResult, error) {
+	chain, err := lock.ParseChain(chainCfg)
+	if err != nil {
+		return nil, err
+	}
+	n := chain.NumInputs()
+	if n > 22 {
+		return nil, errTooWide(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kg1 := make([]netlist.GateType, n)
+	kg2 := make([]netlist.GateType, n)
+	for i := 0; i < n; i++ {
+		kg1[i], kg2[i] = netlist.Xor, netlist.Xor
+		if rng.Intn(2) == 0 {
+			kg1[i] = netlist.Xnor
+		}
+		if rng.Intn(2) == 0 {
+			kg2[i] = netlist.Xnor
+		}
+	}
+	res := &CorruptibilityResult{Chain: chainCfg, DIPFormula: dipFormula(chain)}
+	total := float64(uint64(1) << uint(n))
+	k1 := make([]bool, n)
+	k2 := make([]bool, n)
+	x := make([]uint64, n)
+	for s := 0; s < samples; s++ {
+		// A uniformly random wrong key (rejection-sample out the 2^n
+		// correct ones, which are a 2^-n fraction).
+		for {
+			for i := 0; i < n; i++ {
+				k1[i] = rng.Intn(2) == 1
+				k2[i] = rng.Intn(2) == 1
+			}
+			if !masksEqual(kg1, kg2, k1, k2) {
+				break
+			}
+		}
+		corrupted := 0
+		for base := uint64(0); base < 1<<uint(n); base += 64 {
+			for i := 0; i < n; i++ {
+				if i < 6 {
+					x[i] = lanePatternWord(i)
+				} else if base&(1<<uint(i)) != 0 {
+					x[i] = ^uint64(0)
+				} else {
+					x[i] = 0
+				}
+			}
+			g, gb := lock.EvalCASPair(chain, kg1, kg2, k1, k2, x)
+			flip := g & gb
+			if lim := (uint64(1) << uint(n)) - base; lim < 64 {
+				flip &= (uint64(1) << lim) - 1
+			}
+			corrupted += popcount(flip)
+			if uint64(1)<<uint(n) <= 64 {
+				break
+			}
+		}
+		frac := float64(corrupted) / total
+		res.Mean += frac
+		if frac > res.Max {
+			res.Max = frac
+		}
+	}
+	res.Mean /= float64(samples)
+	return res, nil
+}
+
+func masksEqual(kg1, kg2 []netlist.GateType, k1, k2 []bool) bool {
+	for i := range k1 {
+		m1 := k1[i] != (kg1[i] == netlist.Xnor)
+		m2 := k2[i] != (kg2[i] == netlist.Xnor)
+		if m1 != m2 {
+			return false
+		}
+	}
+	return true
+}
+
+func dipFormula(chain lock.ChainConfig) uint64 {
+	total := uint64(1)
+	for j, g := range chain {
+		if g == lock.ChainOr {
+			total += 1 << uint(j+1)
+		}
+	}
+	return total
+}
+
+func lanePatternWord(i int) uint64 {
+	switch i {
+	case 0:
+		return 0xAAAAAAAAAAAAAAAA
+	case 1:
+		return 0xCCCCCCCCCCCCCCCC
+	case 2:
+		return 0xF0F0F0F0F0F0F0F0
+	case 3:
+		return 0xFF00FF00FF00FF00
+	case 4:
+		return 0xFFFF0000FFFF0000
+	default:
+		return 0xFFFFFFFF00000000
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+type errTooWide int
+
+func (e errTooWide) Error() string {
+	return "experiments: corruptibility measurement limited to 22 chain inputs"
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/cnf"
+	"repro/internal/lock"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+	"repro/internal/synth"
+)
+
+// The paper's conclusion proposes extending DIP learning to other
+// locking schemes. This file carries that extension out for SFLL-HD^h:
+// the *size* of the DIP set between two chosen keys is a closed-form
+// function of the scheme's secret Hamming-distance parameter h, so h
+// leaks from one miter enumeration — no structural analysis, exactly in
+// the spirit of the CAS-Lock attack.
+//
+// For keys k and k⊕e1 (differing in one protected bit), an input X is a
+// DIP iff exactly one of HD(X,k) = h, HD(X,k⊕e1) = h holds. Writing
+// d = HD(X,k) and splitting on the differing bit, the two conditions are
+// disjoint with sizes C(n,h) and C(n-1,h-1)+C(n-1,h), so by Pascal's
+// rule
+//
+//	#DIPs(h) = 2·C(n,h)
+//
+// over the n protected inputs (the 2^(inputs-n) completions are
+// quotiented away by block-projection enumeration). The count pins h up
+// to the inherent C(n,h) = C(n,n-h) symmetry; published SFLL instances
+// use h < n/2, where the smaller solution is the parameter.
+
+// SFLLLeakResult reports the h-leakage experiment.
+type SFLLLeakResult struct {
+	N, TrueH  int
+	DIPCount  uint64
+	Predicted uint64 // closed form at the true h
+	LearnedH  int
+	Success   bool
+}
+
+// SFLLLeakCount is the closed-form DIP count 2·C(n,h) for parameter h
+// over n protected bits (see the derivation above).
+func SFLLLeakCount(n, h int) uint64 {
+	if h < 0 || h > n {
+		return 0
+	}
+	return 2 * new(big.Int).Binomial(int64(n), int64(h)).Uint64()
+}
+
+// LeakSFLLH locks a host with SFLL-HD^h and recovers h purely from the
+// DIP count of a two-key miter (keys all-0 and e1), enumerated by SAT
+// with blocking clauses over the protected inputs.
+func LeakSFLLH(hostInputs, n, h int, seed int64) (*SFLLLeakResult, error) {
+	host, err := synth.Generate(synth.Config{
+		Name: "sfllleak", Inputs: hostInputs, Outputs: 3, Gates: 50, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	locked, inst, err := lock.ApplySFLLHD(host, n, h, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	// Two-copy miter with keys 0…0 and 10…0 over the protected inputs.
+	k1 := make([]bool, n)
+	k2 := make([]bool, n)
+	k2[0] = true
+	count, err := countSFLLDIPs(locked.Circuit, inst, k1, k2)
+	if err != nil {
+		return nil, err
+	}
+	learned := -1
+	for cand := 0; cand <= n; cand++ {
+		if SFLLLeakCount(n, cand) == count {
+			learned = cand
+			break
+		}
+	}
+	return &SFLLLeakResult{
+		N: n, TrueH: h,
+		DIPCount:  count,
+		Predicted: SFLLLeakCount(n, h),
+		LearnedH:  learned,
+		Success:   learned == h,
+	}, nil
+}
+
+// countSFLLDIPs enumerates the miter DIPs projected onto the protected
+// inputs.
+func countSFLLDIPs(locked *netlist.Circuit, inst *lock.SFLLInstance, k1, k2 []bool) (uint64, error) {
+	full := append(append([]bool(nil), k1...), k2...)
+	_ = full
+	// Build the fixed-key miter manually (keys k1 on copy A, k2 on copy
+	// B) using the miter package via core-compatible plumbing: the lock
+	// package key order is just the n SFLL key bits.
+	m, err := buildSFLLMiter(locked, k1, k2)
+	if err != nil {
+		return 0, err
+	}
+	solver := sat.New()
+	enc, err := cnf.EncodeInto(m, solver)
+	if err != nil {
+		return 0, err
+	}
+	solver.Add(enc.OutputLits(m)[0])
+	inLits := enc.InputLits(m)
+	blockLits := make([]cnf.Lit, len(inst.InputSel))
+	for i, pos := range inst.InputSel {
+		blockLits[i] = inLits[pos]
+	}
+	var count uint64
+	for solver.Solve() == sat.Sat {
+		count++
+		if count > 1<<22 {
+			return 0, fmt.Errorf("experiments: SFLL DIP enumeration exceeded 2^22 patterns")
+		}
+		blocking := make([]cnf.Lit, len(blockLits))
+		for i, l := range blockLits {
+			if solver.ModelValue(l) {
+				blocking[i] = l.Neg()
+			} else {
+				blocking[i] = l
+			}
+		}
+		solver.Add(blocking...)
+	}
+	return count, nil
+}
+
+func buildSFLLMiter(locked *netlist.Circuit, k1, k2 []bool) (*netlist.Circuit, error) {
+	m := netlist.New("sfll_miter")
+	inputMap := make([]netlist.ID, locked.NumInputs())
+	for i, id := range locked.Inputs() {
+		inputMap[i] = m.MustAddInput(locked.Gate(id).Name)
+	}
+	outsA, err := importWithKey(m, locked, "A_", inputMap, k1)
+	if err != nil {
+		return nil, err
+	}
+	outsB, err := importWithKey(m, locked, "B_", inputMap, k2)
+	if err != nil {
+		return nil, err
+	}
+	var diff netlist.ID = netlist.InvalidID
+	for i := range outsA {
+		x := m.MustAddGate(netlist.Xor, fmt.Sprintf("dx%d", i), outsA[i], outsB[i])
+		if diff == netlist.InvalidID {
+			diff = x
+		} else {
+			diff = m.MustAddGate(netlist.Or, fmt.Sprintf("do%d", i), diff, x)
+		}
+	}
+	m.MustMarkOutput(diff)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// importWithKey imports a locked circuit with its key baked to constants.
+func importWithKey(m *netlist.Circuit, locked *netlist.Circuit, prefix string, inputMap []netlist.ID, key []bool) ([]netlist.ID, error) {
+	order, err := locked.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	remap := make([]netlist.ID, locked.NumGates())
+	for i := range remap {
+		remap[i] = netlist.InvalidID
+	}
+	for i, id := range locked.Inputs() {
+		remap[id] = inputMap[i]
+	}
+	for i, id := range locked.Keys() {
+		typ := netlist.Const0
+		if key[i] {
+			typ = netlist.Const1
+		}
+		kid, err := m.AddGate(typ, prefix+locked.Gate(id).Name)
+		if err != nil {
+			return nil, err
+		}
+		remap[id] = kid
+	}
+	for _, id := range order {
+		g := locked.Gate(id)
+		if g.Type == netlist.Input {
+			continue
+		}
+		fanin := make([]netlist.ID, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = remap[f]
+		}
+		nid, err := m.AddGate(g.Type, prefix+g.Name, fanin...)
+		if err != nil {
+			return nil, err
+		}
+		remap[id] = nid
+	}
+	outs := make([]netlist.ID, locked.NumOutputs())
+	for i, o := range locked.Outputs() {
+		outs[i] = remap[o]
+	}
+	return outs, nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestSFLLLeakCount(t *testing.T) {
+	// 2·C(8,2) = 56, 2·C(8,0) = 2, 2·C(6,3) = 40.
+	for _, c := range []struct {
+		n, h int
+		want uint64
+	}{
+		{8, 2, 56}, {8, 0, 2}, {6, 3, 40}, {8, 9, 0}, {8, -1, 0},
+	} {
+		if got := SFLLLeakCount(c.n, c.h); got != c.want {
+			t.Errorf("SFLLLeakCount(%d,%d) = %d, want %d", c.n, c.h, got, c.want)
+		}
+	}
+}
+
+// TestLeakSFLLH carries out the paper's future-work extension: the
+// secret Hamming-distance parameter of SFLL-HD leaks from a single
+// DIP-set count.
+func TestLeakSFLLH(t *testing.T) {
+	for _, h := range []int{0, 1, 2, 3} {
+		res, err := LeakSFLLH(10, 8, h, int64(40+h))
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		if res.DIPCount != res.Predicted {
+			t.Errorf("h=%d: measured %d DIPs, closed form %d", h, res.DIPCount, res.Predicted)
+		}
+		if !res.Success {
+			t.Errorf("h=%d: learned %d", h, res.LearnedH)
+		}
+	}
+}

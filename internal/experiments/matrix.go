@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/attack/appsat"
+	"repro/internal/attack/bypass"
+	"repro/internal/attack/casunlock"
+	"repro/internal/attack/satattack"
+	"repro/internal/attack/sps"
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+// The scheme-versus-attack matrix: every locking scheme in this
+// repository against every attack, one fresh instance per cell. It is
+// the executable version of the survey table the paper's introduction
+// walks through (SAT breaks RLL; Anti-SAT/SARLock stop SAT but fall to
+// bypass/removal; SFLL resists bypass; CAS-Lock stops all of the above
+// and falls to DIP learning).
+
+// MatrixCell is one scheme/attack outcome.
+type MatrixCell struct {
+	Scheme, Attack string
+	// Broken means the attack produced an exact functional break
+	// (SAT-proven equivalent circuit or correct key).
+	Broken bool
+	// Detail is a short human-readable outcome.
+	Detail string
+	Time   time.Duration
+}
+
+// MatrixSchemes lists the scheme labels in row order.
+var MatrixSchemes = []string{"RLL", "Anti-SAT", "SARLock", "SFLL-HD", "CAS-Lock", "M-CAS"}
+
+// MatrixAttacks lists the attack labels in column order.
+var MatrixAttacks = []string{"SAT", "AppSAT", "CAS-Unlock", "SPS-removal", "bypass", "DIP-learning"}
+
+// lockScheme builds one locked instance of the named scheme.
+func lockScheme(scheme string, host *netlist.Circuit, seed int64) (*lock.Locked, func([]bool) bool, error) {
+	switch scheme {
+	case "RLL":
+		l, _, err := lock.ApplyRLL(host, 10, seed)
+		return l, nil, err
+	case "Anti-SAT":
+		l, inst, err := lock.ApplyAntiSAT(host, 10, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, inst.IsCorrectCASKey, nil
+	case "SARLock":
+		l, _, err := lock.ApplySARLock(host, 10, seed)
+		return l, nil, err
+	case "SFLL-HD":
+		l, _, err := lock.ApplySFLLHD(host, 8, 2, seed)
+		return l, nil, err
+	case "CAS-Lock":
+		l, inst, err := lock.ApplyCAS(host, lock.CASOptions{Chain: lock.MustParseChain("2A-O-4A-O-2A"), Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, inst.IsCorrectCASKey, nil
+	case "M-CAS":
+		l, inst, err := lock.ApplyMCAS(host, lock.CASOptions{Chain: lock.MustParseChain("3A-O-A"), Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, inst.IsCorrectMCASKey, nil
+	}
+	return nil, nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
+}
+
+// RunMatrix evaluates every attack against every scheme. satCap bounds
+// the SAT/AppSAT iteration budgets.
+func RunMatrix(hostInputs, satCap int, seed int64) ([]MatrixCell, error) {
+	host, err := synth.Generate(synth.Config{
+		Name: "mx", Inputs: hostInputs, Outputs: 4, Gates: 70, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cells []MatrixCell
+	for si, scheme := range MatrixSchemes {
+		for _, attackName := range MatrixAttacks {
+			locked, keyCheck, err := lockScheme(scheme, host, seed+int64(si))
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			cell := runMatrixCell(scheme, attackName, host, locked, keyCheck, satCap, seed)
+			cell.Time = time.Since(start)
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *lock.Locked,
+	keyCheck func([]bool) bool, satCap int, seed int64) MatrixCell {
+
+	cell := MatrixCell{Scheme: scheme, Attack: attackName}
+	prove := func(key []bool) bool {
+		ok, err := miter.ProveUnlockedHashed(locked.Circuit, key, host)
+		return err == nil && ok
+	}
+	fail := func(detail string) MatrixCell {
+		cell.Broken = false
+		cell.Detail = detail
+		return cell
+	}
+	switch attackName {
+	case "SAT":
+		res, err := satattack.Run(locked.Circuit, oracle.MustNewSim(host), satattack.Options{MaxIterations: satCap})
+		if err != nil {
+			return fail("error: " + err.Error())
+		}
+		if res.Completed && prove(res.Key) {
+			cell.Broken = true
+			cell.Detail = fmt.Sprintf("exact key, %d iters", res.Iterations)
+			return cell
+		}
+		return fail(fmt.Sprintf("capped at %d iters", res.Iterations))
+	case "AppSAT":
+		res, err := appsat.Run(locked.Circuit, oracle.MustNewSim(host), appsat.Options{Seed: seed, MaxIterations: satCap})
+		if err != nil {
+			return fail("error: " + err.Error())
+		}
+		if prove(res.Key) {
+			cell.Broken = true
+			cell.Detail = fmt.Sprintf("exact key, %d iters", res.Iterations)
+			return cell
+		}
+		return fail(fmt.Sprintf("approximate key (err≈%.3f)", res.ErrorEstimate))
+	case "CAS-Unlock":
+		res, err := casunlock.Run(locked.Circuit, oracle.MustNewSim(host), 300, seed)
+		if err != nil {
+			return fail("n/a: " + err.Error())
+		}
+		if res.Succeeded && prove(res.Key) {
+			cell.Broken = true
+			cell.Detail = "uniform key works"
+			return cell
+		}
+		return fail("uniform keys fail")
+	case "SPS-removal":
+		res, err := sps.RemoveOuterFlip(locked.Circuit, 0.05)
+		if err != nil {
+			return fail("no skewed flip target")
+		}
+		if res.Circuit.NumKeys() == 0 {
+			eq, _, err := miter.ProveEquivalentHashed(res.Circuit, host)
+			if err == nil && eq {
+				cell.Broken = true
+				cell.Detail = "flip removed, design recovered"
+				return cell
+			}
+			return fail("removal left a faulty circuit")
+		}
+		return fail(fmt.Sprintf("outer stripped, %d keys remain locked", res.Circuit.NumKeys()))
+	case "bypass":
+		// An area budget of 192 comparator fixes models the published
+		// attack's practicality envelope: plenty for one-point functions,
+		// far below CAS-Lock's DIP count. The CAS-aware extractor is
+		// tried first; other schemes go through the generic SAT-miter
+		// form of the attack.
+		const fixBudget = 192
+		res, err := bypass.Run(locked.Circuit, oracle.MustNewSim(host), bypass.Options{MaxFixes: fixBudget})
+		if err != nil {
+			res, err = bypass.RunGeneric(locked.Circuit, oracle.MustNewSim(host), fixBudget, seed)
+		}
+		if err != nil {
+			return fail("infeasible: " + trimErr(err))
+		}
+		eq, _, perr := miter.ProveEquivalentHashed(res.Circuit, host)
+		if perr == nil && eq {
+			cell.Broken = true
+			cell.Detail = fmt.Sprintf("%d fixes, +%d gates", res.Fixes, res.OverheadGates)
+			return cell
+		}
+		return fail("bypass circuit incorrect")
+	case "DIP-learning":
+		if scheme == "M-CAS" {
+			res, err := core.RunMCAS(locked.Circuit, oracle.MustNewSim(host), core.Options{Seed: seed})
+			if err != nil {
+				return fail("failed: " + trimErr(err))
+			}
+			if (keyCheck == nil || keyCheck(res.Key)) && prove(res.Key) {
+				cell.Broken = true
+				cell.Detail = fmt.Sprintf("exact key, %d DIPs", res.Inner.TotalDIPs)
+				return cell
+			}
+			return fail("wrong key")
+		}
+		res, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: oracle.MustNewSim(host), Seed: seed})
+		if err != nil {
+			return fail("n/a: " + trimErr(err))
+		}
+		if (keyCheck == nil || keyCheck(res.Key)) && prove(res.Key) {
+			cell.Broken = true
+			cell.Detail = fmt.Sprintf("exact key, %d DIPs", res.TotalDIPs)
+			return cell
+		}
+		return fail("wrong key")
+	}
+	return fail("unknown attack")
+}
+
+func trimErr(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+// PrintMatrix renders the matrix with schemes as rows.
+func PrintMatrix(w io.Writer, cells []MatrixCell) {
+	byKey := map[string]MatrixCell{}
+	for _, c := range cells {
+		byKey[c.Scheme+"/"+c.Attack] = c
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "scheme")
+	for _, a := range MatrixAttacks {
+		fmt.Fprintf(tw, "\t%s", a)
+	}
+	fmt.Fprintln(tw)
+	for _, s := range MatrixSchemes {
+		fmt.Fprint(tw, s)
+		for _, a := range MatrixAttacks {
+			c := byKey[s+"/"+a]
+			mark := "✗"
+			if c.Broken {
+				mark = "BROKEN"
+			}
+			fmt.Fprintf(tw, "\t%s", mark)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	for _, s := range MatrixSchemes {
+		for _, a := range MatrixAttacks {
+			c := byKey[s+"/"+a]
+			fmt.Fprintf(w, "%-9s × %-13s %s\n", s, a, c.Detail)
+		}
+	}
+}

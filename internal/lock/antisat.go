@@ -1,0 +1,16 @@
+package lock
+
+import "repro/internal/netlist"
+
+// ApplyAntiSAT locks a host with Anti-SAT (Xie & Srivastava), which in
+// this framework is exactly the CAS-Lock degenerate case with an all-AND
+// cascade: g = AND(X⊕K1), ḡ = NAND(X⊕K2). Every wrong key corrupts at
+// most one input pattern, which is why Anti-SAT yields exactly one DIP
+// and why Lemma 2 reduces to #DIPs = 1 for |C| = 0.
+func ApplyAntiSAT(host *netlist.Circuit, n int, seed int64) (*Locked, *CASInstance, error) {
+	chain := make(ChainConfig, n-1)
+	for i := range chain {
+		chain[i] = ChainAnd
+	}
+	return ApplyCAS(host, CASOptions{Chain: chain, Seed: seed})
+}

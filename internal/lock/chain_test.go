@@ -1,0 +1,116 @@
+package lock
+
+import "testing"
+
+func TestParseChainSimple(t *testing.T) {
+	cfg, err := ParseChain("A-O-2A-O-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChainConfig{ChainAnd, ChainOr, ChainAnd, ChainAnd, ChainOr, ChainAnd}
+	if !cfg.Equal(want) {
+		t.Errorf("got %v", cfg)
+	}
+	if cfg.NumInputs() != 7 {
+		t.Errorf("NumInputs = %d", cfg.NumInputs())
+	}
+}
+
+func TestParseChainGroups(t *testing.T) {
+	cfg, err := ParseChain("2A-O-2(4A-O)-2(2A-O)-12A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2A O (4A O)(4A O) (2A O)(2A O) 12A = 2+1+5+5+3+3+12 = 31 gates.
+	if len(cfg) != 31 {
+		t.Fatalf("len = %d, want 31", len(cfg))
+	}
+	if cfg.NumInputs() != 32 {
+		t.Errorf("NumInputs = %d, want 32", cfg.NumInputs())
+	}
+	wantORs := []int{2, 7, 12, 15, 18}
+	got := cfg.ORPositions()
+	if len(got) != len(wantORs) {
+		t.Fatalf("OR positions %v, want %v", got, wantORs)
+	}
+	for i := range got {
+		if got[i] != wantORs[i] {
+			t.Fatalf("OR positions %v, want %v", got, wantORs)
+		}
+	}
+}
+
+func TestParseChainTableIConfigs(t *testing.T) {
+	for _, s := range []string{
+		"A-O-2A-O-2A-O-2A-O-2A-O-A",
+		"2A-O-5A-O-2A-2O-2A",
+		"O-6A-O-5A-O-A",
+		"14A-O",
+		"3A-2O-3A-2O-3A-O-A",
+		"2A-O-2(4A-O)-2(2A-O)-12A",
+		"4A-O-3(5A-O)-8A",
+		"2A-O-9A-O-4A-O-3A-O-9A",
+	} {
+		cfg, err := ParseChain(s)
+		if err != nil {
+			t.Errorf("%q: %v", s, err)
+			continue
+		}
+		if len(cfg) != 15 && len(cfg) != 31 {
+			t.Errorf("%q: %d gates, want 15 or 31", s, len(cfg))
+		}
+	}
+}
+
+func TestParseChainErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "B", "2", "A-", "-A", "2(A", "(A)", "0A", "A--O", "2(A)x",
+	} {
+		if _, err := ParseChain(s); err == nil {
+			t.Errorf("%q accepted", s)
+		}
+	}
+}
+
+func TestChainStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"A", "O", "14A-O", "A-O-2A-O-A", "3A-2O-3A-2O-3A-O-A"} {
+		cfg := MustParseChain(s)
+		back, err := ParseChain(cfg.String())
+		if err != nil {
+			t.Fatalf("%q → %q: %v", s, cfg.String(), err)
+		}
+		if !back.Equal(cfg) {
+			t.Errorf("%q round-trips to %q", s, cfg.String())
+		}
+	}
+}
+
+func TestChainAccessors(t *testing.T) {
+	cfg := MustParseChain("A-O-A-O-2A")
+	if cfg.LastOR() != 3 {
+		t.Errorf("LastOR = %d, want 3", cfg.LastOR())
+	}
+	if cfg.Terminator() != ChainAnd {
+		t.Error("terminator should be AND")
+	}
+	allAnd := MustParseChain("5A")
+	if allAnd.LastOR() != -1 {
+		t.Error("all-AND chain should report LastOR = -1")
+	}
+	orTerm := MustParseChain("4A-O")
+	if orTerm.Terminator() != ChainOr {
+		t.Error("terminator should be OR")
+	}
+	if ChainAnd.String() != "A" || ChainOr.String() != "O" {
+		t.Error("ChainGate.String broken")
+	}
+}
+
+func TestMustParseChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseChain should panic on bad input")
+		}
+	}()
+	MustParseChain("Z")
+}

@@ -1,0 +1,108 @@
+// Package lock implements the logic-locking schemes this repository
+// studies: random XOR/XNOR insertion (RLL/EPIC), Anti-SAT, SARLock,
+// SFLL-HD, CAS-Lock (the paper's target, with arbitrary AND/OR chain
+// configurations), and Mirrored CAS-Lock. Every scheme returns the locked
+// netlist together with a correct key and ground-truth metadata used by
+// the test and benchmark harnesses to verify attack results — attacks
+// themselves never see the metadata.
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// KeyInputPrefix is the naming convention for key inputs, matching the
+// bench package's default key detection.
+const KeyInputPrefix = "keyinput"
+
+// Locked bundles a locked circuit with a correct key.
+type Locked struct {
+	// Circuit is the locked netlist: the host plus locking logic, with
+	// the key exposed as key inputs.
+	Circuit *netlist.Circuit
+	// Key is a correct key (locking schemes with multiple correct keys
+	// return a canonical one).
+	Key []bool
+}
+
+// keyName returns the conventional name of the i-th key input.
+func keyName(i int) string { return fmt.Sprintf("%s%d", KeyInputPrefix, i) }
+
+// rewireFanouts redirects every fanin reference to old (and every output
+// marking of old) to point at repl instead, except in the gate named
+// exception (the newly inserted gate itself, which must keep old as its
+// fanin). Pass exception = netlist.InvalidID for unconditional rewiring.
+func rewireFanouts(c *netlist.Circuit, old, repl, exception netlist.ID) {
+	for id := 0; id < c.NumGates(); id++ {
+		if netlist.ID(id) == exception || netlist.ID(id) == repl {
+			continue
+		}
+		g := c.Gate(netlist.ID(id))
+		for i, f := range g.Fanin {
+			if f == old {
+				g.Fanin[i] = repl
+			}
+		}
+	}
+	for i, o := range c.Outputs() {
+		if o == old {
+			// Ignore error: indices and gate are valid by construction.
+			_ = c.ReplaceOutput(i, repl)
+		}
+	}
+}
+
+// integrateFlip XORs a flip signal into the host output at position
+// outputIdx, the functional form of the paper's "secure integration":
+// whenever the flip signal is 1 the output is corrupted, so corruption is
+// externally observable for every input.
+func integrateFlip(c *netlist.Circuit, flip netlist.ID, outputIdx int, name string) error {
+	if outputIdx < 0 || outputIdx >= c.NumOutputs() {
+		return fmt.Errorf("lock: output index %d out of range (%d outputs)", outputIdx, c.NumOutputs())
+	}
+	orig := c.Outputs()[outputIdx]
+	g, err := c.AddGate(netlist.Xor, name, orig, flip)
+	if err != nil {
+		return err
+	}
+	return c.ReplaceOutput(outputIdx, g)
+}
+
+// randomKeyGateTypes draws a random XOR/XNOR choice per position.
+func randomKeyGateTypes(rng *rand.Rand, n int) []netlist.GateType {
+	out := make([]netlist.GateType, n)
+	for i := range out {
+		if rng.Intn(2) == 0 {
+			out[i] = netlist.Xor
+		} else {
+			out[i] = netlist.Xnor
+		}
+	}
+	return out
+}
+
+// canonicalKeyFor returns the key bits reducing the given XOR/XNOR key
+// gates to buffers: 0 for XOR, 1 for XNOR.
+func canonicalKeyFor(keyGates []netlist.GateType) []bool {
+	key := make([]bool, len(keyGates))
+	for i, t := range keyGates {
+		key[i] = t == netlist.Xnor
+	}
+	return key
+}
+
+// validateKeyGates checks a caller-provided key-gate type vector.
+func validateKeyGates(kg []netlist.GateType, n int, label string) error {
+	if len(kg) != n {
+		return fmt.Errorf("lock: %s: %d key gates for %d inputs", label, len(kg), n)
+	}
+	for i, t := range kg {
+		if t != netlist.Xor && t != netlist.Xnor {
+			return fmt.Errorf("lock: %s: key gate %d is %s, want XOR or XNOR", label, i, t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package lock
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// MCASInstance is the ground-truth metadata of a Mirrored CAS-Lock
+// instance: two structurally identical CAS-Lock instances whose flip
+// signals cancel exactly when K_inner = K_outer.
+type MCASInstance struct {
+	Inner, Outer *CASInstance
+	// CorrectKey is K_inner || K_outer with both halves equal to the
+	// canonical block key.
+	CorrectKey []bool
+}
+
+// IsCorrectMCASKey reports whether key (K_inner || K_outer) unlocks the
+// instance. M-CAS functions correctly iff the two instances flip on
+// exactly the same patterns, which for identical structures holds iff
+// K_inner = K_outer (elementwise), or both halves are independently
+// correct CAS keys (each flip identically zero).
+func (m *MCASInstance) IsCorrectMCASKey(key []bool) bool {
+	n2 := 2 * m.Inner.N
+	if len(key) != 2*n2 {
+		return false
+	}
+	inner, outer := key[:n2], key[n2:]
+	same := true
+	for i := range inner {
+		if inner[i] != outer[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return true
+	}
+	return m.Inner.IsCorrectCASKey(inner) && m.Outer.IsCorrectCASKey(outer)
+}
+
+// ApplyMCAS locks a copy of the host with Mirrored CAS-Lock: the CAS
+// locked circuit is locked again with an identical CAS instance (same
+// chain, same input selection, same key-gate polarity), both flips
+// XOR-ed into the same output so they cancel under K_inner = K_outer.
+func ApplyMCAS(host *netlist.Circuit, opts CASOptions) (*Locked, *MCASInstance, error) {
+	innerLocked, inner, err := ApplyCAS(host, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := innerLocked.Circuit
+	c.Name = host.Name + "_mcas"
+	n := inner.N
+
+	// Outer instance: identical structure, fresh key inputs.
+	blockIn := make([]netlist.ID, n)
+	for i, s := range inner.InputSel {
+		blockIn[i] = c.Inputs()[s]
+	}
+	keys1 := make([]netlist.ID, n)
+	keys2 := make([]netlist.ID, n)
+	for i := 0; i < n; i++ {
+		k, err := c.AddKey(keyName(2*n + i))
+		if err != nil {
+			return nil, nil, err
+		}
+		keys1[i] = k
+	}
+	for i := 0; i < n; i++ {
+		k, err := c.AddKey(keyName(3*n + i))
+		if err != nil {
+			return nil, nil, err
+		}
+		keys2[i] = k
+	}
+	gOut, err := buildCASBlock(c, "mcas_g_", blockIn, keys1, inner.KeyGates1, inner.Chain, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	gBarOut, err := buildCASBlock(c, "mcas_gb_", blockIn, keys2, inner.KeyGates2, inner.Chain, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	flip, err := c.AddGate(netlist.And, "mcas_flip", gOut, gBarOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := integrateFlip(c, flip, opts.TargetOutput, "mcas_out"); err != nil {
+		return nil, nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	outer := &CASInstance{
+		N:          n,
+		Chain:      append(ChainConfig(nil), inner.Chain...),
+		InputSel:   append([]int(nil), inner.InputSel...),
+		KeyGates1:  append([]netlist.GateType(nil), inner.KeyGates1...),
+		KeyGates2:  append([]netlist.GateType(nil), inner.KeyGates2...),
+		CorrectKey: append([]bool(nil), inner.CorrectKey...),
+		GOut:       gOut,
+		GBarOut:    gBarOut,
+		FlipGate:   flip,
+	}
+	key := append(append([]bool(nil), inner.CorrectKey...), outer.CorrectKey...)
+	if len(key) != c.NumKeys() {
+		return nil, nil, fmt.Errorf("lock: M-CAS key bookkeeping error: %d vs %d", len(key), c.NumKeys())
+	}
+	return &Locked{Circuit: c, Key: key},
+		&MCASInstance{Inner: inner, Outer: outer, CorrectKey: key}, nil
+}

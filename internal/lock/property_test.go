@@ -1,0 +1,150 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+)
+
+// Property: ChainConfig String/Parse round-trips for arbitrary chains.
+func TestChainStringParseProperty(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		if len(bits) > 64 {
+			bits = bits[:64]
+		}
+		chain := make(ChainConfig, len(bits))
+		for i, b := range bits {
+			if b {
+				chain[i] = ChainOr
+			}
+		}
+		back, err := ParseChain(chain.String())
+		return err == nil && back.Equal(chain)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the effective mask composed with the key recovers the
+// identity — EffectiveMask(kg, k) ⊕ k depends only on kg.
+func TestEffectiveMaskProperty(t *testing.T) {
+	f := func(kgBits, k1, k2 []bool) bool {
+		n := len(kgBits)
+		if n == 0 {
+			return true
+		}
+		if len(k1) < n || len(k2) < n {
+			return true
+		}
+		kg := make([]netlist.GateType, n)
+		for i, b := range kgBits {
+			kg[i] = netlist.Xor
+			if b {
+				kg[i] = netlist.Xnor
+			}
+		}
+		m1 := EffectiveMask(kg, k1[:n])
+		m2 := EffectiveMask(kg, k2[:n])
+		for i := 0; i < n; i++ {
+			// m ⊕ k = polarity of the key gate, independent of k.
+			if (m1[i] != k1[i]) != (m2[i] != k2[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalCASPair with the canonical key produces complementary
+// blocks on every input — the defining invariant of the scheme.
+func TestCASPairComplementarityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(10)
+		chain := make(ChainConfig, n-1)
+		for i := range chain {
+			if rng.Intn(2) == 0 {
+				chain[i] = ChainOr
+			}
+		}
+		kg1 := randomKeyGateTypes(rng, n)
+		kg2 := randomKeyGateTypes(rng, n)
+		k1 := canonicalKeyFor(kg1)
+		k2 := canonicalKeyFor(kg2)
+		x := make([]uint64, n)
+		for i := range x {
+			x[i] = rng.Uint64()
+		}
+		g, gb := EvalCASPair(chain, kg1, kg2, k1, k2, x)
+		if g&gb != 0 {
+			t.Fatalf("trial %d: flip fires under canonical key (chain %s)", trial, chain)
+		}
+		if g|gb != ^uint64(0) {
+			t.Fatalf("trial %d: blocks not complementary (chain %s)", trial, chain)
+		}
+	}
+}
+
+// Property: for ANY keys, the flip fires exactly where the two blocks'
+// effective masks disagree as functions — i.e. Y(x) = f(x⊕m1) ∧ ¬f(x⊕m2).
+func TestCASPairMaskSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		chain := make(ChainConfig, n-1)
+		for i := range chain {
+			if rng.Intn(2) == 0 {
+				chain[i] = ChainOr
+			}
+		}
+		kg1 := randomKeyGateTypes(rng, n)
+		kg2 := randomKeyGateTypes(rng, n)
+		k1 := make([]bool, n)
+		k2 := make([]bool, n)
+		for i := range k1 {
+			k1[i] = rng.Intn(2) == 1
+			k2[i] = rng.Intn(2) == 1
+		}
+		m1 := EffectiveMask(kg1, k1)
+		m2 := EffectiveMask(kg2, k2)
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			xs := make([]uint64, n)
+			for i := range xs {
+				if x&(1<<uint(i)) != 0 {
+					xs[i] = 1
+				}
+			}
+			g, gb := EvalCASPair(chain, kg1, kg2, k1, k2, xs)
+			want := evalPlainChain(chain, x, m1) && !evalPlainChain(chain, x, m2)
+			if (g&gb&1 != 0) != want {
+				t.Fatalf("trial %d x=%d: flip semantics violated", trial, x)
+			}
+		}
+	}
+}
+
+func evalPlainChain(chain ChainConfig, x uint64, mask []bool) bool {
+	bit := func(i int) bool {
+		v := x&(1<<uint(i)) != 0
+		return v != mask[i]
+	}
+	acc := bit(0)
+	for j, g := range chain {
+		in := bit(j + 1)
+		if g == ChainAnd {
+			acc = acc && in
+		} else {
+			acc = acc || in
+		}
+	}
+	return acc
+}

@@ -1,0 +1,74 @@
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// RLLInstance records where random key gates were inserted.
+type RLLInstance struct {
+	// WireNames are the nets each key gate was inserted on, in key order.
+	WireNames []string
+	// KeyGates are the inserted gate types (XOR or XNOR), in key order.
+	KeyGates []netlist.GateType
+	// CorrectKey reduces every inserted gate to a buffer.
+	CorrectKey []bool
+}
+
+// ApplyRLL locks a copy of the host with random logic locking (EPIC
+// style): nKeys XOR/XNOR key gates inserted on distinct randomly chosen
+// internal nets. It is the classic pre-SAT-attack baseline scheme.
+func ApplyRLL(host *netlist.Circuit, nKeys int, seed int64) (*Locked, *RLLInstance, error) {
+	if host.NumKeys() != 0 {
+		return nil, nil, fmt.Errorf("lock: host %q already has key inputs", host.Name)
+	}
+	if nKeys < 1 {
+		return nil, nil, fmt.Errorf("lock: need at least 1 key bit, got %d", nKeys)
+	}
+	c := host.Clone()
+	c.Name = host.Name + "_rll"
+	rng := rand.New(rand.NewSource(seed))
+
+	// Candidate wires: every gate (including inputs). Inserting on a
+	// wire w means all of w's fanouts (and output markings) read the key
+	// gate instead.
+	candidates := make([]netlist.ID, 0, c.NumGates())
+	for id := 0; id < c.NumGates(); id++ {
+		candidates = append(candidates, netlist.ID(id))
+	}
+	if len(candidates) < nKeys {
+		return nil, nil, fmt.Errorf("lock: host has %d nets, cannot insert %d key gates", len(candidates), nKeys)
+	}
+	rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	targets := candidates[:nKeys]
+
+	inst := &RLLInstance{
+		WireNames:  make([]string, nKeys),
+		KeyGates:   make([]netlist.GateType, nKeys),
+		CorrectKey: make([]bool, nKeys),
+	}
+	for i, w := range targets {
+		typ := netlist.Xor
+		if rng.Intn(2) == 1 {
+			typ = netlist.Xnor
+		}
+		k, err := c.AddKey(keyName(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		kg, err := c.AddGate(typ, fmt.Sprintf("rll_kg%d", i), w, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		rewireFanouts(c, w, kg, kg)
+		inst.WireNames[i] = c.Gate(w).Name
+		inst.KeyGates[i] = typ
+		inst.CorrectKey[i] = typ == netlist.Xnor
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return &Locked{Circuit: c, Key: append([]bool(nil), inst.CorrectKey...)}, inst, nil
+}

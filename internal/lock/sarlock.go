@@ -1,0 +1,111 @@
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// SARLockInstance records the hardcoded pattern of a SARLock instance.
+type SARLockInstance struct {
+	N          int
+	InputSel   []int
+	CorrectKey []bool
+	FlipGate   netlist.ID
+}
+
+// ApplySARLock locks a copy of the host with SARLock (Yasin et al.): the
+// flip signal is asserted when the applied key equals the selected input
+// word but differs from the hardcoded correct key, so every wrong key
+// corrupts exactly one input pattern:
+//
+//	flip = (X == K) ∧ ¬(X == K*)
+//
+// The correct key K* is drawn from the seed and hardcoded as constants
+// (the scheme's well-known removal weakness is irrelevant to its role
+// here as a one-point-function baseline).
+func ApplySARLock(host *netlist.Circuit, n int, seed int64) (*Locked, *SARLockInstance, error) {
+	if host.NumKeys() != 0 {
+		return nil, nil, fmt.Errorf("lock: host %q already has key inputs", host.Name)
+	}
+	if n < 1 || host.NumInputs() < n {
+		return nil, nil, fmt.Errorf("lock: host has %d inputs, SARLock needs %d", host.NumInputs(), n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := host.Clone()
+	c.Name = host.Name + "_sar"
+
+	sel := rng.Perm(host.NumInputs())[:n]
+	key := make([]bool, n)
+	for i := range key {
+		key[i] = rng.Intn(2) == 1
+	}
+
+	xs := make([]netlist.ID, n)
+	ks := make([]netlist.ID, n)
+	for i := 0; i < n; i++ {
+		xs[i] = c.Inputs()[sel[i]]
+		k, err := c.AddKey(keyName(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		ks[i] = k
+	}
+
+	// eqK = AND_i XNOR(x_i, k_i)
+	eqBits := make([]netlist.ID, n)
+	for i := 0; i < n; i++ {
+		eqBits[i] = c.MustAddGate(netlist.Xnor, fmt.Sprintf("sar_eq%d", i), xs[i], ks[i])
+	}
+	eqK := andTree(c, "sar_eqk", eqBits)
+
+	// eqStar = AND_i XNOR(x_i, K*_i) with K* as constants.
+	starBits := make([]netlist.ID, n)
+	for i := 0; i < n; i++ {
+		typ := netlist.Const0
+		if key[i] {
+			typ = netlist.Const1
+		}
+		kc := c.MustAddGate(typ, fmt.Sprintf("sar_kc%d", i))
+		starBits[i] = c.MustAddGate(netlist.Xnor, fmt.Sprintf("sar_seq%d", i), xs[i], kc)
+	}
+	eqStar := andTree(c, "sar_eqstar", starBits)
+	notStar := c.MustAddGate(netlist.Not, "sar_nstar", eqStar)
+	flip := c.MustAddGate(netlist.And, "sar_flip", eqK, notStar)
+
+	if err := integrateFlip(c, flip, 0, "sar_out"); err != nil {
+		return nil, nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	inst := &SARLockInstance{
+		N:          n,
+		InputSel:   sel,
+		CorrectKey: append([]bool(nil), key...),
+		FlipGate:   flip,
+	}
+	return &Locked{Circuit: c, Key: key}, inst, nil
+}
+
+// andTree reduces a list of signals with a balanced tree of 2-input ANDs.
+func andTree(c *netlist.Circuit, prefix string, in []netlist.ID) netlist.ID {
+	if len(in) == 1 {
+		return in[0]
+	}
+	level := append([]netlist.ID(nil), in...)
+	cnt := 0
+	for len(level) > 1 {
+		var next []netlist.ID
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, c.MustAddGate(netlist.And, fmt.Sprintf("%s_t%d", prefix, cnt), level[i], level[i+1]))
+			cnt++
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}

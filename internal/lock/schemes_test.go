@@ -1,0 +1,224 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+)
+
+func TestRLLCorrectKey(t *testing.T) {
+	host := testHost(t, 10)
+	locked, inst, err := ApplyRLL(host, 8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locked.Circuit.NumKeys() != 8 || len(inst.WireNames) != 8 {
+		t.Fatal("key bookkeeping wrong")
+	}
+	act, err := oracle.Activate(locked.Circuit, locked.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalentExhaustive(t, act, host) {
+		t.Error("correct RLL key does not restore function")
+	}
+}
+
+func TestRLLWrongKeyCorrupts(t *testing.T) {
+	host := testHost(t, 10)
+	locked, _, err := ApplyRLL(host, 8, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipping any single key bit inverts a net; at least one flip must
+	// corrupt observable behaviour (all of them usually do).
+	anyCorrupt := false
+	for i := range locked.Key {
+		wrong := append([]bool(nil), locked.Key...)
+		wrong[i] = !wrong[i]
+		if countCorruptedPatterns(t, locked.Circuit, wrong, host) > 0 {
+			anyCorrupt = true
+			break
+		}
+	}
+	if !anyCorrupt {
+		t.Error("no single-bit wrong key corrupts anything")
+	}
+}
+
+func TestRLLValidation(t *testing.T) {
+	host := testHost(t, 6)
+	if _, _, err := ApplyRLL(host, 0, 1); err == nil {
+		t.Error("zero keys accepted")
+	}
+	if _, _, err := ApplyRLL(host, 100000, 1); err == nil {
+		t.Error("more keys than nets accepted")
+	}
+	locked, _, _ := ApplyRLL(host, 2, 1)
+	if _, _, err := ApplyRLL(locked.Circuit, 2, 1); err == nil {
+		t.Error("already-locked host accepted")
+	}
+}
+
+func TestSARLockExactlyOneCorruptionPerWrongKey(t *testing.T) {
+	host := testHost(t, 8)
+	locked, inst, err := ApplySARLock(host, 6, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := oracle.Activate(locked.Circuit, locked.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalentExhaustive(t, act, host) {
+		t.Fatal("correct SARLock key broken")
+	}
+	// Wrong key: the flip fires exactly when X_sel == K, i.e. on
+	// 2^(inputs-n) full patterns sharing one block value.
+	wrong := append([]bool(nil), locked.Key...)
+	wrong[1] = !wrong[1]
+	corrupted := countCorruptedPatterns(t, locked.Circuit, wrong, host)
+	wantAtMost := 1 << uint(host.NumInputs()-inst.N)
+	if corrupted == 0 || corrupted > wantAtMost {
+		t.Errorf("wrong key corrupts %d patterns, want in (0,%d]", corrupted, wantAtMost)
+	}
+}
+
+func TestSARLockValidation(t *testing.T) {
+	host := testHost(t, 6)
+	if _, _, err := ApplySARLock(host, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := ApplySARLock(host, 7, 1); err == nil {
+		t.Error("n>inputs accepted")
+	}
+}
+
+func TestSFLLCorrectKey(t *testing.T) {
+	host := testHost(t, 9)
+	locked, inst, err := ApplySFLLHD(host, 6, 2, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.H != 2 || inst.N != 6 {
+		t.Fatal("instance metadata wrong")
+	}
+	act, err := oracle.Activate(locked.Circuit, locked.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalentExhaustive(t, act, host) {
+		t.Error("correct SFLL key does not restore function")
+	}
+}
+
+func TestSFLLWrongKeyCorruption(t *testing.T) {
+	host := testHost(t, 9)
+	locked, inst, err := ApplySFLLHD(host, 6, 1, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := append([]bool(nil), locked.Key...)
+	wrong[0] = !wrong[0]
+	corrupted := countCorruptedPatterns(t, locked.Circuit, wrong, host)
+	if corrupted == 0 {
+		t.Error("wrong SFLL key corrupts nothing")
+	}
+	// SFLL-HD's signature property vs SARLock: corruption spans MANY
+	// block patterns (h-distance spheres), not a single one.
+	single := 1 << uint(host.NumInputs()-inst.N)
+	if corrupted <= single {
+		t.Errorf("SFLL corruption (%d patterns) not higher than a one-point function (%d)", corrupted, single)
+	}
+}
+
+func TestSFLLHDZero(t *testing.T) {
+	// h = 0 degenerates to a TTLock-style point function; still must be
+	// correct under the right key.
+	host := testHost(t, 8)
+	locked, _, err := ApplySFLLHD(host, 5, 0, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := oracle.Activate(locked.Circuit, locked.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalentExhaustive(t, act, host) {
+		t.Error("h=0 correct key broken")
+	}
+}
+
+func TestSFLLValidation(t *testing.T) {
+	host := testHost(t, 6)
+	if _, _, err := ApplySFLLHD(host, 4, 5, 1); err == nil {
+		t.Error("h>n accepted")
+	}
+	if _, _, err := ApplySFLLHD(host, 9, 1, 1); err == nil {
+		t.Error("n>inputs accepted")
+	}
+}
+
+func TestMCASCorrectKey(t *testing.T) {
+	host := testHost(t, 8)
+	locked, _, err := ApplyMCAS(host, CASOptions{Chain: MustParseChain("A-O-A"), Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locked.Circuit.NumKeys() != 16 {
+		t.Fatalf("keys = %d, want 16", locked.Circuit.NumKeys())
+	}
+	act, err := oracle.Activate(locked.Circuit, locked.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalentExhaustive(t, act, host) {
+		t.Error("canonical M-CAS key broken")
+	}
+}
+
+func TestMCASMirroredWrongKeysCancel(t *testing.T) {
+	// The M-CAS property: ANY K_inner = K_outer functions correctly,
+	// because the identical flips cancel.
+	host := testHost(t, 8)
+	locked, inst, err := ApplyMCAS(host, CASOptions{Chain: MustParseChain("A-O-A"), Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := 2 * inst.Inner.N
+	// A deliberately wrong block key, mirrored.
+	blockKey := append([]bool(nil), inst.Inner.CorrectKey...)
+	blockKey[0] = !blockKey[0] // wrong as a CAS key (mask mismatch)
+	if inst.Inner.IsCorrectCASKey(blockKey) {
+		t.Fatal("test setup: expected a wrong block key")
+	}
+	key := append(append([]bool(nil), blockKey...), blockKey...)
+	if !inst.IsCorrectMCASKey(key) {
+		t.Error("mirrored key not recognized as correct")
+	}
+	act, err := oracle.Activate(locked.Circuit, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalentExhaustive(t, act, host) {
+		t.Error("mirrored wrong keys do not cancel")
+	}
+	// Non-mirrored wrong key corrupts.
+	bad := append([]bool(nil), key...)
+	bad[n2] = !bad[n2] // outer differs from inner in one bit
+	if inst.IsCorrectMCASKey(bad) {
+		t.Error("non-mirrored key accepted by IsCorrectMCASKey")
+	}
+	if countCorruptedPatterns(t, locked.Circuit, bad, host) == 0 {
+		t.Error("non-mirrored wrong key corrupts nothing")
+	}
+}
+
+func TestEffectiveMask(t *testing.T) {
+	kg := []netlist.GateType{netlist.Xor, netlist.Xnor, netlist.Xor}
+	m := EffectiveMask(kg, []bool{true, true, false})
+	if !m[0] || m[1] || m[2] {
+		t.Errorf("mask = %v", m)
+	}
+}

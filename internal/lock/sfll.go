@@ -1,0 +1,135 @@
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// SFLLInstance records the parameters of an SFLL-HD^h instance.
+type SFLLInstance struct {
+	N          int
+	H          int
+	InputSel   []int
+	CorrectKey []bool
+	// StripGate and RestoreGate identify the two flip signals.
+	StripGate, RestoreGate netlist.ID
+}
+
+// ApplySFLLHD locks a copy of the host with SFLL-HD^h (Yasin et al.):
+// the functionality-stripped circuit inverts the protected output
+// whenever HD(X_sel, K*) == h (K* hardcoded), and the restore unit
+// re-inverts it whenever HD(X_sel, K) == h. With K = K* the two flips
+// coincide and cancel; a wrong key leaves C(n,h)-sized input sets
+// corrupted — the higher output corruptibility the paper contrasts with
+// SARLock/Anti-SAT.
+func ApplySFLLHD(host *netlist.Circuit, n, h int, seed int64) (*Locked, *SFLLInstance, error) {
+	if host.NumKeys() != 0 {
+		return nil, nil, fmt.Errorf("lock: host %q already has key inputs", host.Name)
+	}
+	if n < 1 || host.NumInputs() < n {
+		return nil, nil, fmt.Errorf("lock: host has %d inputs, SFLL needs %d", host.NumInputs(), n)
+	}
+	if h < 0 || h > n {
+		return nil, nil, fmt.Errorf("lock: Hamming distance %d out of range [0,%d]", h, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := host.Clone()
+	c.Name = host.Name + "_sfll"
+
+	sel := rng.Perm(host.NumInputs())[:n]
+	key := make([]bool, n)
+	for i := range key {
+		key[i] = rng.Intn(2) == 1
+	}
+
+	xs := make([]netlist.ID, n)
+	for i := 0; i < n; i++ {
+		xs[i] = c.Inputs()[sel[i]]
+	}
+
+	// Strip: HD(X, K*) == h with K* hardcoded.
+	starDiff := make([]netlist.ID, n)
+	for i := 0; i < n; i++ {
+		typ := netlist.Const0
+		if key[i] {
+			typ = netlist.Const1
+		}
+		kc := c.MustAddGate(typ, fmt.Sprintf("sfll_kc%d", i))
+		starDiff[i] = c.MustAddGate(netlist.Xor, fmt.Sprintf("sfll_sd%d", i), xs[i], kc)
+	}
+	strip, err := hammingEquals(c, "sfll_strip", starDiff, h)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Restore: HD(X, K) == h with K as key inputs.
+	keyDiff := make([]netlist.ID, n)
+	for i := 0; i < n; i++ {
+		k, err := c.AddKey(keyName(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		keyDiff[i] = c.MustAddGate(netlist.Xor, fmt.Sprintf("sfll_rd%d", i), xs[i], k)
+	}
+	restore, err := hammingEquals(c, "sfll_restore", keyDiff, h)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if err := integrateFlip(c, strip, 0, "sfll_out_s"); err != nil {
+		return nil, nil, err
+	}
+	if err := integrateFlip(c, restore, 0, "sfll_out_r"); err != nil {
+		return nil, nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	inst := &SFLLInstance{
+		N:           n,
+		H:           h,
+		InputSel:    sel,
+		CorrectKey:  append([]bool(nil), key...),
+		StripGate:   strip,
+		RestoreGate: restore,
+	}
+	return &Locked{Circuit: c, Key: key}, inst, nil
+}
+
+// hammingEquals builds a circuit asserting popcount(bits) == target,
+// using an incrementer-chain popcount followed by an equality comparator.
+func hammingEquals(c *netlist.Circuit, prefix string, bits []netlist.ID, target int) (netlist.ID, error) {
+	width := 1
+	for (1 << width) <= len(bits) {
+		width++
+	}
+	// sum register, initialized to constant 0 bits.
+	sum := make([]netlist.ID, width)
+	zero := c.MustAddGate(netlist.Const0, prefix+"_zero")
+	for i := range sum {
+		sum[i] = zero
+	}
+	// Add each input bit with a ripple increment: sum += b.
+	for i, b := range bits {
+		carry := b
+		for j := 0; j < width; j++ {
+			ns := c.MustAddGate(netlist.Xor, fmt.Sprintf("%s_s%d_%d", prefix, i, j), sum[j], carry)
+			if j < width-1 {
+				carry = c.MustAddGate(netlist.And, fmt.Sprintf("%s_c%d_%d", prefix, i, j), sum[j], carry)
+			}
+			sum[j] = ns
+		}
+	}
+	// Compare against the constant target.
+	eqBits := make([]netlist.ID, width)
+	for j := 0; j < width; j++ {
+		if target&(1<<j) != 0 {
+			eqBits[j] = c.MustAddGate(netlist.Buf, fmt.Sprintf("%s_e%d", prefix, j), sum[j])
+		} else {
+			eqBits[j] = c.MustAddGate(netlist.Not, fmt.Sprintf("%s_e%d", prefix, j), sum[j])
+		}
+	}
+	return andTree(c, prefix+"_eq", eqBits), nil
+}

@@ -1,0 +1,245 @@
+package miter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cnf"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/sat"
+)
+
+// hashedEncoder Tseitin-encodes circuits into a shared solver with
+// structural hashing: gates with the same function over the same literal
+// operands receive the same variable, so identical subcircuits collapse.
+// This is the lightweight SAT-sweeping that makes equivalence checking of
+// "host + small difference" circuit pairs (the common case when checking
+// recovered keys) essentially free.
+type hashedEncoder struct {
+	solver *sat.Solver
+	sigs   map[string]cnf.Lit
+	zero   cnf.Lit // a literal fixed to false, for constants
+}
+
+func newHashedEncoder(solver *sat.Solver) *hashedEncoder {
+	z := solver.NewVar()
+	solver.Add(z.Neg())
+	return &hashedEncoder{solver: solver, sigs: make(map[string]cnf.Lit), zero: z}
+}
+
+func commutative(t netlist.GateType) bool {
+	switch t {
+	case netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor:
+		return true
+	}
+	return false
+}
+
+func (h *hashedEncoder) signature(t netlist.GateType, fanin []cnf.Lit) string {
+	lits := append([]cnf.Lit(nil), fanin...)
+	if commutative(t) {
+		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	}
+	sig := make([]byte, 0, 4+8*len(lits))
+	sig = append(sig, byte(t))
+	for _, l := range lits {
+		v := uint32(int32(l))
+		sig = append(sig, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(sig)
+}
+
+// encode returns the output literals of the circuit, mapping its primary
+// inputs to the given literals. The circuit must be key-free.
+func (h *hashedEncoder) encode(c *netlist.Circuit, inputLits []cnf.Lit) ([]cnf.Lit, error) {
+	if c.NumKeys() != 0 {
+		return nil, fmt.Errorf("miter: hashed encoding requires a key-free circuit")
+	}
+	if len(inputLits) != c.NumInputs() {
+		return nil, fmt.Errorf("miter: %d input literals for %d inputs", len(inputLits), c.NumInputs())
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lit := make([]cnf.Lit, c.NumGates())
+	for i, id := range c.Inputs() {
+		lit[id] = inputLits[i]
+	}
+	for _, id := range order {
+		g := c.Gate(id)
+		switch g.Type {
+		case netlist.Input:
+			continue
+		case netlist.Const0:
+			lit[id] = h.zero
+			continue
+		case netlist.Const1:
+			lit[id] = h.zero.Neg()
+			continue
+		case netlist.Buf:
+			lit[id] = lit[g.Fanin[0]]
+			continue
+		case netlist.Not:
+			lit[id] = lit[g.Fanin[0]].Neg()
+			continue
+		}
+		fanin := make([]cnf.Lit, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = lit[f]
+		}
+		// Complemented gates hash as their base function, negated, so
+		// AND/NAND over the same operands share one variable.
+		base, inverted := g.Type, false
+		switch g.Type {
+		case netlist.Nand:
+			base, inverted = netlist.And, true
+		case netlist.Nor:
+			base, inverted = netlist.Or, true
+		case netlist.Xnor:
+			base, inverted = netlist.Xor, true
+		}
+		sig := h.signature(base, fanin)
+		v, ok := h.sigs[sig]
+		if !ok {
+			v = h.solver.NewVar()
+			h.emit(base, v, fanin)
+			h.sigs[sig] = v
+		}
+		if inverted {
+			v = v.Neg()
+		}
+		lit[id] = v
+	}
+	outs := make([]cnf.Lit, c.NumOutputs())
+	for i, o := range c.Outputs() {
+		outs[i] = lit[o]
+	}
+	return outs, nil
+}
+
+func (h *hashedEncoder) emit(t netlist.GateType, v cnf.Lit, in []cnf.Lit) {
+	s := h.solver
+	switch t {
+	case netlist.And:
+		long := make([]cnf.Lit, 0, len(in)+1)
+		for _, a := range in {
+			s.Add(v.Neg(), a)
+			long = append(long, a.Neg())
+		}
+		s.Add(append(long, v)...)
+	case netlist.Or:
+		long := make([]cnf.Lit, 0, len(in)+1)
+		for _, a := range in {
+			s.Add(v, a.Neg())
+			long = append(long, a)
+		}
+		s.Add(append(long, v.Neg())...)
+	case netlist.Xor:
+		acc := in[0]
+		for i := 1; i < len(in); i++ {
+			var next cnf.Lit
+			if i == len(in)-1 {
+				next = v
+			} else {
+				next = s.NewVar()
+			}
+			s.Add(next.Neg(), acc, in[i])
+			s.Add(next.Neg(), acc.Neg(), in[i].Neg())
+			s.Add(next, acc.Neg(), in[i])
+			s.Add(next, acc, in[i].Neg())
+			acc = next
+		}
+		if len(in) == 1 {
+			s.Add(v.Neg(), acc)
+			s.Add(v, acc.Neg())
+		}
+	default:
+		panic("miter: emit: unexpected base gate " + t.String())
+	}
+}
+
+// ProveEquivalentHashed decides functional equivalence of two key-free
+// circuits using structural hashing before SAT. Semantically identical to
+// ProveEquivalent, but fast when the circuits share most of their logic.
+func ProveEquivalentHashed(a, b *netlist.Circuit) (bool, []bool, error) {
+	return ProveEquivalentHashedBudget(a, b, 0)
+}
+
+// ProveEquivalentHashedBudget is ProveEquivalentHashed with a SAT
+// conflict budget: when the budget (0 = unlimited) is exhausted the pair
+// is reported equivalent=true with a nil witness and no error — callers
+// that need certainty must pass 0.
+func ProveEquivalentHashedBudget(a, b *netlist.Circuit, conflictBudget uint64) (bool, []bool, error) {
+	if a.NumKeys() != 0 || b.NumKeys() != 0 {
+		return false, nil, fmt.Errorf("miter: equivalence check needs key-free circuits")
+	}
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return false, nil, fmt.Errorf("miter: shape mismatch: %s vs %s", a, b)
+	}
+	solver := sat.New()
+	solver.ConflictBudget = conflictBudget
+	h := newHashedEncoder(solver)
+	inputLits := make([]cnf.Lit, a.NumInputs())
+	for i := range inputLits {
+		inputLits[i] = solver.NewVar()
+	}
+	outsA, err := h.encode(a, inputLits)
+	if err != nil {
+		return false, nil, err
+	}
+	outsB, err := h.encode(b, inputLits)
+	if err != nil {
+		return false, nil, err
+	}
+	// diff = OR of output XORs; assume it true.
+	diffs := make([]cnf.Lit, 0, len(outsA))
+	allSame := true
+	for i := range outsA {
+		if outsA[i] == outsB[i] {
+			continue // hashed to the same literal: provably equal
+		}
+		allSame = false
+		x := solver.NewVar()
+		solver.Add(x.Neg(), outsA[i], outsB[i])
+		solver.Add(x.Neg(), outsA[i].Neg(), outsB[i].Neg())
+		solver.Add(x, outsA[i].Neg(), outsB[i])
+		solver.Add(x, outsA[i], outsB[i].Neg())
+		diffs = append(diffs, x)
+	}
+	if allSame {
+		return true, nil, nil
+	}
+	diff := solver.NewVar()
+	cl := make([]cnf.Lit, 0, len(diffs)+1)
+	for _, d := range diffs {
+		solver.Add(diff, d.Neg())
+		cl = append(cl, d)
+	}
+	solver.Add(append(cl, diff.Neg())...)
+	switch solver.Solve(diff) {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Sat:
+		witness := make([]bool, len(inputLits))
+		for i, l := range inputLits {
+			witness[i] = solver.ModelValue(l)
+		}
+		return false, witness, nil
+	}
+	if conflictBudget > 0 {
+		return true, nil, nil // budget exhausted: treated as "no difference found"
+	}
+	return false, nil, fmt.Errorf("miter: solver returned UNKNOWN")
+}
+
+// ProveUnlockedHashed is ProveUnlocked using the hashed encoder.
+func ProveUnlockedHashed(locked *netlist.Circuit, key []bool, reference *netlist.Circuit) (bool, error) {
+	act, err := oracle.Activate(locked, key)
+	if err != nil {
+		return false, err
+	}
+	eq, _, err := ProveEquivalentHashed(act, reference)
+	return eq, err
+}

@@ -1,0 +1,110 @@
+package miter
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/netlist"
+	"repro/internal/synth"
+)
+
+func TestHashedEquivalentClones(t *testing.T) {
+	h := host(t)
+	eq, _, err := ProveEquivalentHashed(h, h.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("clone not equivalent")
+	}
+}
+
+func TestHashedDetectsDifference(t *testing.T) {
+	h := host(t)
+	mod := h.Clone()
+	inv := mod.MustAddGate(netlist.Not, "inv", mod.Outputs()[1])
+	if err := mod.ReplaceOutput(1, inv); err != nil {
+		t.Fatal(err)
+	}
+	eq, witness, err := ProveEquivalentHashed(h, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("inverted output reported equivalent")
+	}
+	oa, _ := h.Eval(witness, nil)
+	ob, _ := mod.Eval(witness, nil)
+	same := true
+	for i := range oa {
+		if oa[i] != ob[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("witness does not distinguish")
+	}
+}
+
+func TestHashedAgreesWithPlainProver(t *testing.T) {
+	h := host(t)
+	locked, _, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("2A-O-A"), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := [][]bool{locked.Key}
+	wrong := append([]bool(nil), locked.Key...)
+	wrong[3] = !wrong[3]
+	keys = append(keys, wrong)
+	for _, key := range keys {
+		plain, err := ProveUnlocked(locked.Circuit, key, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashed, err := ProveUnlockedHashed(locked.Circuit, key, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain != hashed {
+			t.Errorf("provers disagree: plain=%v hashed=%v", plain, hashed)
+		}
+	}
+}
+
+// TestHashedScalesToLargeHosts is the reason the hashed prover exists:
+// key verification against a multi-thousand-gate host must be fast.
+func TestHashedScalesToLargeHosts(t *testing.T) {
+	big, err := synth.Generate(synth.FromProfile(synth.Profile{
+		Name: "bighost", Inputs: 128, Outputs: 32, Gates: 3000,
+	}, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, inst, err := lock.ApplyCAS(big, lock.CASOptions{
+		Chain: lock.MustParseChain("A-O-2A-O-2A-O-2A-O-2A-O-A"), Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ok, err := ProveUnlockedHashed(locked.Circuit, locked.Key, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("correct key not proven on large host")
+	}
+	if d := time.Since(start); d > 20*time.Second {
+		t.Errorf("hashed proof took %v", d)
+	}
+	wrong := append([]bool(nil), inst.CorrectKey...)
+	wrong[0] = !wrong[0]
+	ok, err = ProveUnlockedHashed(locked.Circuit, wrong, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("wrong key proven on large host")
+	}
+}

@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildHalfAdder returns a circuit with outputs sum = a XOR b,
+// carry = a AND b.
+func buildHalfAdder(t *testing.T) *Circuit {
+	t.Helper()
+	c := New("halfadder")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	sum := c.MustAddGate(Xor, "sum", a, b)
+	carry := c.MustAddGate(And, "carry", a, b)
+	c.MustMarkOutput(sum)
+	c.MustMarkOutput(carry)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("half adder invalid: %v", err)
+	}
+	return c
+}
+
+func TestHalfAdderEval(t *testing.T) {
+	c := buildHalfAdder(t)
+	for x := 0; x < 4; x++ {
+		in := PatternFromUint(uint64(x), 2)
+		out, err := c.Eval(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum := in[0] != in[1]
+		wantCarry := in[0] && in[1]
+		if out[0] != wantSum || out[1] != wantCarry {
+			t.Errorf("x=%d: got (%v,%v), want (%v,%v)", x, out[0], out[1], wantSum, wantCarry)
+		}
+	}
+}
+
+func TestAddGateErrors(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+
+	if _, err := c.AddGate(And, ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := c.AddGate(And, "a", a, a); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := c.AddGate(And, "g", a); err == nil {
+		t.Error("AND with one fanin accepted")
+	}
+	if _, err := c.AddGate(Not, "g", a, a); err == nil {
+		t.Error("NOT with two fanins accepted")
+	}
+	if _, err := c.AddGate(And, "g", a, ID(99)); err == nil {
+		t.Error("dangling fanin accepted")
+	}
+	if _, err := c.AddGate(GateType(99), "g", a, a); err == nil {
+		t.Error("invalid type accepted")
+	}
+	// Forward references are impossible by construction: fanin must exist.
+	if _, err := c.AddGate(Buf, "g", ID(5)); err == nil {
+		t.Error("forward fanin accepted")
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	c := buildHalfAdder(t)
+	if c.Lookup("sum") == InvalidID || c.Lookup("nope") != InvalidID {
+		t.Error("Lookup misbehaves")
+	}
+	if !c.HasName("carry") || c.HasName("zzz") {
+		t.Error("HasName misbehaves")
+	}
+	names := strings.Join(c.GateNames(), ",")
+	if names != "a,b,carry,sum" {
+		t.Errorf("GateNames = %s", names)
+	}
+}
+
+func TestKeysAreSeparateFromInputs(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("k0")
+	g := c.MustAddGate(Xor, "g", a, k)
+	c.MustMarkOutput(g)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 1 || c.NumKeys() != 1 {
+		t.Fatalf("inputs=%d keys=%d", c.NumInputs(), c.NumKeys())
+	}
+	out, err := c.Eval([]bool{true}, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] {
+		t.Error("1 XOR 1 should be 0")
+	}
+}
+
+func TestValidateCatchesUnregisteredInput(t *testing.T) {
+	c := New("t")
+	// Bypass AddInput by adding a raw Input-type gate.
+	id, err := c.AddGate(Input, "orphan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MustMarkOutput(id)
+	if err := c.Validate(); err == nil {
+		t.Error("orphan input not caught")
+	}
+}
+
+func TestMarkOutputTwice(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	if err := c.MarkOutput(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkOutput(a); err == nil {
+		t.Error("double output marking accepted")
+	}
+	if err := c.MarkOutput(ID(50)); err == nil {
+		t.Error("missing gate marked as output")
+	}
+}
+
+func TestReplaceOutput(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	c.MustMarkOutput(a)
+	if err := c.ReplaceOutput(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if c.Outputs()[0] != b {
+		t.Error("output not replaced")
+	}
+	if err := c.ReplaceOutput(3, a); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := c.ReplaceOutput(0, ID(99)); err == nil {
+		t.Error("missing gate accepted")
+	}
+}
+
+func TestFanoutCounts(t *testing.T) {
+	c := buildHalfAdder(t)
+	counts := c.FanoutCounts()
+	a := c.Lookup("a")
+	if counts[a] != 2 {
+		t.Errorf("fanout of a = %d, want 2", counts[a])
+	}
+	if counts[c.Lookup("sum")] != 0 {
+		t.Error("sum should have no fanout")
+	}
+}
+
+func TestCircuitString(t *testing.T) {
+	c := buildHalfAdder(t)
+	s := c.String()
+	if !strings.Contains(s, "halfadder") || !strings.Contains(s, "2 inputs") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestConstantGates(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	one := c.MustAddGate(Const1, "one")
+	g := c.MustAddGate(And, "g", a, one)
+	c.MustMarkOutput(g)
+	out, err := c.Eval([]bool{true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Error("a AND 1 with a=1 should be 1")
+	}
+}

@@ -1,0 +1,50 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the circuit as a Graphviz digraph for visual
+// inspection of locked netlists and attack surgery. Inputs are boxes,
+// key inputs red boxes, outputs double circles, logic gates ellipses
+// labelled with their function.
+func WriteDOT(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", c.Name)
+	isOut := make(map[ID]bool, c.NumOutputs())
+	for _, o := range c.Outputs() {
+		isOut[o] = true
+	}
+	isKey := make(map[ID]bool, c.NumKeys())
+	for _, k := range c.Keys() {
+		isKey[k] = true
+	}
+	for id := 0; id < c.NumGates(); id++ {
+		g := c.Gate(ID(id))
+		attrs := ""
+		switch {
+		case g.Type == Input && isKey[ID(id)]:
+			attrs = `shape=box,color=red,fontcolor=red`
+		case g.Type == Input:
+			attrs = `shape=box`
+		case isOut[ID(id)]:
+			attrs = `shape=doublecircle`
+		default:
+			attrs = `shape=ellipse`
+		}
+		label := g.Name
+		if g.Type != Input {
+			label = fmt.Sprintf("%s\\n%s", g.Name, g.Type)
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"%s\",%s];\n", id, label, attrs)
+	}
+	for id := 0; id < c.NumGates(); id++ {
+		for _, f := range c.Gate(ID(id)).Fanin {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", f, id)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

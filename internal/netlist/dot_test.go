@@ -1,0 +1,26 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	c := New("dotted")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("keyinput0")
+	g := c.MustAddGate(Xor, "g", a, k)
+	c.MustMarkOutput(g)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "dotted"`, "shape=box", "color=red", "doublecircle", "XOR", "->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package netlist
+
+import "fmt"
+
+// Simulator evaluates a circuit repeatedly while reusing internal buffers.
+// It is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	c     *Circuit
+	order []ID
+	vals  []uint64 // bit-parallel node values
+	inBuf []uint64
+}
+
+// NewSimulator prepares a simulator for the circuit. The circuit must be
+// acyclic; structural changes to the circuit after construction
+// invalidate the simulator.
+func NewSimulator(c *Circuit) (*Simulator, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		c:     c,
+		order: order,
+		vals:  make([]uint64, c.NumGates()),
+	}, nil
+}
+
+// MustNewSimulator is NewSimulator that panics on error.
+func MustNewSimulator(c *Circuit) *Simulator {
+	s, err := NewSimulator(c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run64 evaluates 64 packed patterns at once. in and key hold one word per
+// primary input / key input (bit i of each word is pattern i); the
+// returned slice holds one word per primary output and is owned by the
+// simulator (valid until the next Run call).
+func (s *Simulator) Run64(in, key []uint64) ([]uint64, error) {
+	c := s.c
+	if len(in) != c.NumInputs() {
+		return nil, fmt.Errorf("netlist: Run64: got %d input words, want %d", len(in), c.NumInputs())
+	}
+	if len(key) != c.NumKeys() {
+		return nil, fmt.Errorf("netlist: Run64: got %d key words, want %d", len(key), c.NumKeys())
+	}
+	for i, id := range c.inputs {
+		s.vals[id] = in[i]
+	}
+	for i, id := range c.keys {
+		s.vals[id] = key[i]
+	}
+	var faninBuf [8]uint64
+	for _, id := range s.order {
+		g := &c.gates[id]
+		if g.Type == Input {
+			continue
+		}
+		fin := faninBuf[:0]
+		for _, f := range g.Fanin {
+			fin = append(fin, s.vals[f])
+		}
+		s.vals[id] = g.Type.Eval64(fin)
+	}
+	if cap(s.inBuf) < c.NumOutputs() {
+		s.inBuf = make([]uint64, c.NumOutputs())
+	}
+	out := s.inBuf[:c.NumOutputs()]
+	for i, id := range c.outputs {
+		out[i] = s.vals[id]
+	}
+	return out, nil
+}
+
+// Run evaluates a single pattern. The returned slice holds one bool per
+// primary output and is freshly allocated.
+func (s *Simulator) Run(in, key []bool) ([]bool, error) {
+	inW := make([]uint64, len(in))
+	keyW := make([]uint64, len(key))
+	for i, b := range in {
+		if b {
+			inW[i] = 1
+		}
+	}
+	for i, b := range key {
+		if b {
+			keyW[i] = 1
+		}
+	}
+	w, err := s.Run64(inW, keyW)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(w))
+	for i := range w {
+		out[i] = w[i]&1 != 0
+	}
+	return out, nil
+}
+
+// NodeValue64 returns the bit-parallel value of an arbitrary gate after
+// the most recent Run64/Run call.
+func (s *Simulator) NodeValue64(id ID) uint64 { return s.vals[id] }
+
+// NodeValue returns the scalar (pattern-0) value of an arbitrary gate
+// after the most recent Run64/Run call.
+func (s *Simulator) NodeValue(id ID) bool { return s.vals[id]&1 != 0 }
+
+// Eval is a convenience one-shot scalar evaluation of the circuit.
+func (c *Circuit) Eval(in, key []bool) ([]bool, error) {
+	s, err := NewSimulator(c)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(in, key)
+}
+
+// BoolsToWord packs up to 64 bools into a word, bit i = v[i].
+func BoolsToWord(v []bool) uint64 {
+	var w uint64
+	for i, b := range v {
+		if b {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// WordToBools unpacks the low n bits of w into a bool slice.
+func WordToBools(w uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = w&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+// PatternFromUint sets bools from the binary representation of x: element
+// i receives bit i of x. It is the canonical mapping between integers and
+// input patterns used throughout this repository.
+func PatternFromUint(x uint64, n int) []bool { return WordToBools(x, n) }
+
+// UintFromPattern is the inverse of PatternFromUint for n ≤ 64.
+func UintFromPattern(p []bool) uint64 { return BoolsToWord(p) }

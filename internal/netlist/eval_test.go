@@ -1,0 +1,187 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCircuit builds a random layered DAG over nIn inputs with nGates
+// logic gates, deterministic in the seed. Used by several test files.
+func randomCircuit(seed int64, nIn, nGates int) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := New("rand")
+	ids := make([]ID, 0, nIn+nGates)
+	for i := 0; i < nIn; i++ {
+		ids = append(ids, c.MustAddInput(inputName(i)))
+	}
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Not, Buf}
+	for i := 0; i < nGates; i++ {
+		typ := types[rng.Intn(len(types))]
+		var fanin []ID
+		if typ == Not || typ == Buf {
+			fanin = []ID{ids[rng.Intn(len(ids))]}
+		} else {
+			k := 2 + rng.Intn(2)
+			for j := 0; j < k; j++ {
+				fanin = append(fanin, ids[rng.Intn(len(ids))])
+			}
+		}
+		ids = append(ids, c.MustAddGate(typ, gateName(i), fanin...))
+	}
+	// Expose the last few gates as outputs.
+	nOut := 3
+	if nOut > len(ids) {
+		nOut = len(ids)
+	}
+	for i := 0; i < nOut; i++ {
+		c.MustMarkOutput(ids[len(ids)-1-i])
+	}
+	return c
+}
+
+func inputName(i int) string { return "in" + itoa(i) }
+func gateName(i int) string  { return "g" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+func TestRun64MatchesScalar(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := randomCircuit(seed, 8, 40)
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sim := MustNewSimulator(c)
+		rng := rand.New(rand.NewSource(seed + 100))
+
+		in64 := make([]uint64, c.NumInputs())
+		for i := range in64 {
+			in64[i] = rng.Uint64()
+		}
+		out64, err := sim.Run64(in64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check several lanes against scalar evaluation.
+		scalarSim := MustNewSimulator(c)
+		for lane := 0; lane < 64; lane += 7 {
+			in := make([]bool, c.NumInputs())
+			for i := range in {
+				in[i] = in64[i]&(1<<uint(lane)) != 0
+			}
+			out, err := scalarSim.Run(in, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for o := range out {
+				if out[o] != (out64[o]&(1<<uint(lane)) != 0) {
+					t.Fatalf("seed %d lane %d output %d disagrees", seed, lane, o)
+				}
+			}
+		}
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("k")
+	g := c.MustAddGate(And, "g", a, k)
+	c.MustMarkOutput(g)
+	sim := MustNewSimulator(c)
+
+	if _, err := sim.Run64([]uint64{0, 0}, []uint64{0}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if _, err := sim.Run64([]uint64{0}, nil); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := sim.Run64([]uint64{0}, []uint64{0}); err != nil {
+		t.Errorf("valid call rejected: %v", err)
+	}
+}
+
+func TestNodeValue(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	n := c.MustAddGate(Not, "n", a)
+	c.MustMarkOutput(n)
+	sim := MustNewSimulator(c)
+	if _, err := sim.Run([]bool{false}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.NodeValue(n) || sim.NodeValue(a) {
+		t.Error("NodeValue wrong after run")
+	}
+	if sim.NodeValue64(n)&1 != 1 {
+		t.Error("NodeValue64 wrong after run")
+	}
+}
+
+func TestSimulatorRejectsCyclicCircuit(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	g1 := c.MustAddGate(Buf, "g1", a)
+	c.Gate(g1).Fanin[0] = g1
+	c.topoValid = false
+	if _, err := NewSimulator(c); err == nil {
+		t.Error("cyclic circuit accepted by NewSimulator")
+	}
+}
+
+func TestWideFaninGate(t *testing.T) {
+	// Gates wider than the stack-allocated fanin buffer (8) must still
+	// evaluate correctly.
+	c := New("t")
+	var ins []ID
+	for i := 0; i < 12; i++ {
+		ins = append(ins, c.MustAddInput(inputName(i)))
+	}
+	g := c.MustAddGate(And, "wide", ins...)
+	c.MustMarkOutput(g)
+	in := make([]bool, 12)
+	for i := range in {
+		in[i] = true
+	}
+	out, err := c.Eval(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Error("12-wide AND of all ones should be 1")
+	}
+	in[11] = false
+	out, _ = c.Eval(in, nil)
+	if out[0] {
+		t.Error("12-wide AND with a zero should be 0")
+	}
+}
+
+func BenchmarkRun64(b *testing.B) {
+	c := randomCircuit(1, 64, 2000)
+	sim := MustNewSimulator(c)
+	in := make([]uint64, c.NumInputs())
+	rng := rand.New(rand.NewSource(2))
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run64(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(c.NumGates()) * 8)
+}

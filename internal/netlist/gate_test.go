@@ -1,0 +1,176 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateTypeString(t *testing.T) {
+	cases := map[GateType]string{
+		Input: "INPUT", Const0: "CONST0", Const1: "CONST1",
+		Buf: "BUF", Not: "NOT", And: "AND", Nand: "NAND",
+		Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+	if got := GateType(200).String(); got != "GateType(200)" {
+		t.Errorf("invalid type String() = %q", got)
+	}
+}
+
+func TestGateTypeValid(t *testing.T) {
+	for typ := GateType(0); typ < numGateTypes; typ++ {
+		if !typ.Valid() {
+			t.Errorf("%s should be valid", typ)
+		}
+	}
+	if GateType(numGateTypes).Valid() {
+		t.Error("out-of-range type reported valid")
+	}
+}
+
+func TestFaninBounds(t *testing.T) {
+	cases := []struct {
+		t        GateType
+		min, max int
+	}{
+		{Input, 0, 0}, {Const0, 0, 0}, {Const1, 0, 0},
+		{Buf, 1, 1}, {Not, 1, 1},
+		{And, 2, -1}, {Nand, 2, -1}, {Or, 2, -1}, {Nor, 2, -1},
+		{Xor, 2, -1}, {Xnor, 2, -1},
+	}
+	for _, c := range cases {
+		if got := c.t.MinFanin(); got != c.min {
+			t.Errorf("%s.MinFanin() = %d, want %d", c.t, got, c.min)
+		}
+		if got := c.t.MaxFanin(); got != c.max {
+			t.Errorf("%s.MaxFanin() = %d, want %d", c.t, got, c.max)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := [][2]GateType{
+		{And, Nand}, {Or, Nor}, {Xor, Xnor}, {Buf, Not}, {Const0, Const1},
+	}
+	for _, p := range pairs {
+		if p[0].Complement() != p[1] || p[1].Complement() != p[0] {
+			t.Errorf("complement pair %s/%s broken", p[0], p[1])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Input.Complement() should panic")
+		}
+	}()
+	Input.Complement()
+}
+
+func TestControllingValue(t *testing.T) {
+	for _, c := range []struct {
+		t  GateType
+		v  bool
+		ok bool
+	}{
+		{And, false, true}, {Nand, false, true},
+		{Or, true, true}, {Nor, true, true},
+		{Xor, false, false}, {Xnor, false, false},
+		{Buf, false, false}, {Not, false, false},
+	} {
+		v, ok := c.t.ControllingValue()
+		if ok != c.ok || (ok && v != c.v) {
+			t.Errorf("%s.ControllingValue() = (%v,%v), want (%v,%v)", c.t, v, ok, c.v, c.ok)
+		}
+	}
+}
+
+func TestControllingValueForcesOutput(t *testing.T) {
+	// Applying the controlling value on any single input must fix the
+	// output regardless of the remaining inputs.
+	for _, typ := range []GateType{And, Nand, Or, Nor} {
+		cv, _ := typ.ControllingValue()
+		forced := typ.EvalBool([]bool{cv, false})
+		for other := 0; other < 4; other++ {
+			in := []bool{cv, other&1 != 0, other&2 != 0}
+			if got := typ.EvalBool(in); got != forced {
+				t.Errorf("%s with controlling input: output %v then %v", typ, forced, got)
+			}
+		}
+	}
+}
+
+func TestEvalBoolTruthTables(t *testing.T) {
+	type row struct {
+		in   []bool
+		want bool
+	}
+	cases := map[GateType][]row{
+		And:  {{[]bool{false, false}, false}, {[]bool{true, false}, false}, {[]bool{true, true}, true}},
+		Nand: {{[]bool{false, false}, true}, {[]bool{true, true}, false}},
+		Or:   {{[]bool{false, false}, false}, {[]bool{true, false}, true}},
+		Nor:  {{[]bool{false, false}, true}, {[]bool{false, true}, false}},
+		Xor:  {{[]bool{true, false}, true}, {[]bool{true, true}, false}, {[]bool{true, true, true}, true}},
+		Xnor: {{[]bool{true, false}, false}, {[]bool{true, true}, true}},
+		Not:  {{[]bool{true}, false}, {[]bool{false}, true}},
+		Buf:  {{[]bool{true}, true}, {[]bool{false}, false}},
+	}
+	for typ, rows := range cases {
+		for _, r := range rows {
+			if got := typ.EvalBool(r.in); got != r.want {
+				t.Errorf("%s.EvalBool(%v) = %v, want %v", typ, r.in, got, r.want)
+			}
+		}
+	}
+	if Const0.EvalBool(nil) != false || Const1.EvalBool(nil) != true {
+		t.Error("constant gates broken")
+	}
+}
+
+// TestEval64MatchesEvalBool is the core bit-parallel/scalar agreement
+// property: every bit lane of Eval64 must equal EvalBool on the
+// corresponding pattern.
+func TestEval64MatchesEvalBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	types := []GateType{Buf, Not, And, Nand, Or, Nor, Xor, Xnor, Const0, Const1}
+	for trial := 0; trial < 200; trial++ {
+		typ := types[rng.Intn(len(types))]
+		n := typ.MinFanin()
+		if typ.MaxFanin() < 0 {
+			n = 2 + rng.Intn(4)
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		got := typ.Eval64(words)
+		for bit := 0; bit < 64; bit++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = words[i]&(1<<uint(bit)) != 0
+			}
+			want := typ.EvalBool(in)
+			if (got&(1<<uint(bit)) != 0) != want {
+				t.Fatalf("%s: lane %d disagrees (scalar %v)", typ, bit, want)
+			}
+		}
+	}
+}
+
+func TestWordPatternRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		p := PatternFromUint(x, 64)
+		return UintFromPattern(p) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Truncation keeps only the low bits.
+	p := PatternFromUint(0b1011, 3)
+	if len(p) != 3 || !p[0] || !p[1] || p[2] {
+		t.Errorf("PatternFromUint truncation wrong: %v", p)
+	}
+}

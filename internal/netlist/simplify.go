@@ -1,0 +1,342 @@
+package netlist
+
+import "fmt"
+
+// Simplify returns a functionally equivalent circuit with constants
+// propagated, unary reductions applied, structurally duplicate gates
+// merged, and logic outside the output cones dropped. Inputs and keys
+// are preserved (even if unused) so port shapes stay stable; outputs
+// keep their order.
+//
+// The pass is the standard netlist cleanup used after key activation or
+// removal-attack surgery, and a precondition-free peephole optimizer:
+//
+//   - AND(x,0)=0, AND(x,1..1,x)=AND(x,…), OR(x,1)=1, XOR(x,0)=x, …
+//   - single-fanin reductions: AND(x)=x, NAND(x)=¬x, XOR(x)=x, …
+//   - NOT(NOT(x))=x, BUF chains collapsed
+//   - identical (type, fanin) gates share one instance
+func Simplify(c *Circuit) (*Circuit, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	out := New(c.Name)
+
+	// Node representation during rewriting: either a literal over an
+	// output-circuit gate (id, negated) or a constant.
+	type node struct {
+		id      ID
+		neg     bool
+		isConst bool
+		cval    bool
+	}
+	constNode := func(v bool) node { return node{isConst: true, cval: v} }
+
+	var zero, one ID = InvalidID, InvalidID
+	negCache := map[ID]ID{}
+	materialize := func(nd node) (ID, error) {
+		if !nd.isConst {
+			if !nd.neg {
+				return nd.id, nil
+			}
+			if cached, ok := negCache[nd.id]; ok {
+				return cached, nil
+			}
+			nid, err := out.AddGate(Not, fmt.Sprintf("_n%d", nd.id), nd.id)
+			if err != nil {
+				return InvalidID, err
+			}
+			negCache[nd.id] = nid
+			return nid, nil
+		}
+		if nd.cval {
+			if one == InvalidID {
+				var err error
+				one, err = out.AddGate(Const1, "_const1")
+				if err != nil {
+					return InvalidID, err
+				}
+			}
+			return one, nil
+		}
+		if zero == InvalidID {
+			var err error
+			zero, err = out.AddGate(Const0, "_const0")
+			if err != nil {
+				return InvalidID, err
+			}
+		}
+		return zero, nil
+	}
+
+	// Structural hash for gate sharing: key on type + materialized fanin.
+	type sig struct {
+		t GateType
+		a ID
+		b ID
+	}
+	shared := map[sig]ID{}
+	nodes := make([]node, c.NumGates())
+
+	for i, id := range c.Inputs() {
+		nid, err := out.AddInput(c.Gate(id).Name)
+		if err != nil {
+			return nil, err
+		}
+		nodes[id] = node{id: nid}
+		_ = i
+	}
+	for _, id := range c.Keys() {
+		nid, err := out.AddKey(c.Gate(id).Name)
+		if err != nil {
+			return nil, err
+		}
+		nodes[id] = node{id: nid}
+	}
+
+	for _, id := range order {
+		g := c.Gate(id)
+		switch g.Type {
+		case Input:
+			continue
+		case Const0:
+			nodes[id] = constNode(false)
+			continue
+		case Const1:
+			nodes[id] = constNode(true)
+			continue
+		case Buf:
+			nodes[id] = nodes[g.Fanin[0]]
+			continue
+		case Not:
+			nd := nodes[g.Fanin[0]]
+			if nd.isConst {
+				nodes[id] = constNode(!nd.cval)
+			} else {
+				nd.neg = !nd.neg
+				nodes[id] = nd
+			}
+			continue
+		}
+
+		// n-ary gates: split into base function + output inversion.
+		base, inverted := g.Type, false
+		switch g.Type {
+		case Nand:
+			base, inverted = And, true
+		case Nor:
+			base, inverted = Or, true
+		case Xnor:
+			base, inverted = Xor, true
+		}
+
+		var ops []node
+		dead := false // controlling constant seen
+		switch base {
+		case And, Or:
+			ctrl := base == Or // controlling value: 1 for OR, 0 for AND
+			seen := map[node]bool{}
+			for _, f := range g.Fanin {
+				nd := nodes[f]
+				if nd.isConst {
+					if nd.cval == ctrl {
+						dead = true
+						break
+					}
+					continue // non-controlling constant: drop
+				}
+				inv := nd
+				inv.neg = !inv.neg
+				if seen[inv] {
+					// x op ¬x: controlling outcome for AND (0) / OR (1).
+					dead = true
+					break
+				}
+				if !seen[nd] {
+					seen[nd] = true
+					ops = append(ops, nd)
+				}
+			}
+			if dead {
+				nodes[id] = constNode(ctrl != inverted)
+				continue
+			}
+			if len(ops) == 0 {
+				// All fanins were non-controlling constants.
+				nodes[id] = constNode((base == And) != inverted)
+				continue
+			}
+		case Xor:
+			parity := inverted
+			count := map[node]int{}
+			var orderKeep []node
+			for _, f := range g.Fanin {
+				nd := nodes[f]
+				if nd.isConst {
+					if nd.cval {
+						parity = !parity
+					}
+					continue
+				}
+				if nd.neg {
+					parity = !parity
+					nd.neg = false
+				}
+				count[nd]++
+				if count[nd] == 1 {
+					orderKeep = append(orderKeep, nd)
+				}
+			}
+			for _, nd := range orderKeep {
+				if count[nd]%2 == 1 {
+					ops = append(ops, nd)
+				}
+			}
+			if len(ops) == 0 {
+				nodes[id] = constNode(parity)
+				continue
+			}
+			inverted = parity
+		}
+
+		if len(ops) == 1 {
+			nd := ops[0]
+			if inverted {
+				nd.neg = !nd.neg
+			}
+			nodes[id] = nd
+			continue
+		}
+
+		// Materialize a left-to-right chain of shared binary gates.
+		acc, err := materialize(ops[0])
+		if err != nil {
+			return nil, err
+		}
+		for k := 1; k < len(ops); k++ {
+			rhs, err := materialize(ops[k])
+			if err != nil {
+				return nil, err
+			}
+			a, b := acc, rhs
+			if b < a {
+				a, b = b, a
+			}
+			key := sig{base, a, b}
+			if cached, ok := shared[key]; ok {
+				acc = cached
+				continue
+			}
+			nid, err := out.AddGate(base, fmt.Sprintf("_s%d_%d", id, k), a, b)
+			if err != nil {
+				return nil, err
+			}
+			shared[key] = nid
+			acc = nid
+		}
+		nodes[id] = node{id: acc, neg: inverted}
+	}
+
+	for _, o := range c.Outputs() {
+		oid, err := materialize(nodes[o])
+		if err != nil {
+			return nil, err
+		}
+		// MarkOutput rejects duplicates; route repeats through a buffer.
+		if err := out.MarkOutput(oid); err != nil {
+			buf, berr := out.AddGate(Buf, fmt.Sprintf("_ob%d", o), oid)
+			if berr != nil {
+				return nil, berr
+			}
+			if err := out.MarkOutput(buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cone, err := out.ExtractCone(c.Name, out.Outputs()...)
+	if err != nil {
+		return nil, err
+	}
+	// ExtractCone drops unused inputs/keys; rebuild with the full port
+	// list to keep shapes stable.
+	final, err := withFullPorts(cone, c)
+	if err != nil {
+		return nil, err
+	}
+	if err := final.Validate(); err != nil {
+		return nil, err
+	}
+	return final, nil
+}
+
+// withFullPorts re-adds any input/key ports dropped by cone extraction,
+// preserving the original declaration order.
+func withFullPorts(cone *Circuit, ref *Circuit) (*Circuit, error) {
+	full := New(ref.Name)
+	remap := make(map[string]ID)
+	for _, id := range ref.Inputs() {
+		name := ref.Gate(id).Name
+		nid, err := full.AddInput(name)
+		if err != nil {
+			return nil, err
+		}
+		remap[name] = nid
+	}
+	for _, id := range ref.Keys() {
+		name := ref.Gate(id).Name
+		nid, err := full.AddKey(name)
+		if err != nil {
+			return nil, err
+		}
+		remap[name] = nid
+	}
+	inputMap := make([]ID, cone.NumInputs())
+	for i, id := range cone.Inputs() {
+		nid, ok := remap[cone.Gate(id).Name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: Simplify lost track of input %q", cone.Gate(id).Name)
+		}
+		inputMap[i] = nid
+	}
+	// Cone keys are a subset of full's keys; Import declares its own key
+	// inputs, so instead re-walk the cone manually mapping keys by name.
+	order, err := cone.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	gmap := make([]ID, cone.NumGates())
+	for i := range gmap {
+		gmap[i] = InvalidID
+	}
+	for i, id := range cone.Inputs() {
+		gmap[id] = inputMap[i]
+	}
+	for _, id := range cone.Keys() {
+		nid, ok := remap[cone.Gate(id).Name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: Simplify lost track of key %q", cone.Gate(id).Name)
+		}
+		gmap[id] = nid
+	}
+	for _, id := range order {
+		g := cone.Gate(id)
+		if g.Type == Input {
+			continue
+		}
+		fanin := make([]ID, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = gmap[f]
+		}
+		nid, err := full.AddGate(g.Type, g.Name, fanin...)
+		if err != nil {
+			return nil, err
+		}
+		gmap[id] = nid
+	}
+	for _, o := range cone.Outputs() {
+		if err := full.MarkOutput(gmap[o]); err != nil {
+			return nil, err
+		}
+	}
+	return full, nil
+}

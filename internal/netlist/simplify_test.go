@@ -1,0 +1,189 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// simplifyAndCompare simplifies c and verifies functional equivalence on
+// an exhaustive or random pattern set.
+func simplifyAndCompare(t *testing.T, c *Circuit) *Circuit {
+	t.Helper()
+	s, err := Simplify(c)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	if s.NumInputs() != c.NumInputs() || s.NumKeys() != c.NumKeys() || s.NumOutputs() != c.NumOutputs() {
+		t.Fatalf("Simplify changed port shape: %s vs %s", s, c)
+	}
+	simC := MustNewSimulator(c)
+	simS := MustNewSimulator(s)
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 16; round++ {
+		in := make([]uint64, c.NumInputs())
+		key := make([]uint64, c.NumKeys())
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		for i := range key {
+			key[i] = rng.Uint64()
+		}
+		oc, err := simC.Run64(in, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ocCopy := append([]uint64(nil), oc...)
+		os, err := simS.Run64(in, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range os {
+			if ocCopy[i] != os[i] {
+				t.Fatalf("round %d: output %d differs after Simplify", round, i)
+			}
+		}
+	}
+	return s
+}
+
+func TestSimplifyConstantFolding(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	one := c.MustAddGate(Const1, "one")
+	zero := c.MustAddGate(Const0, "zero")
+	g1 := c.MustAddGate(And, "g1", a, one)  // = a
+	g2 := c.MustAddGate(Or, "g2", g1, zero) // = a
+	g3 := c.MustAddGate(Xor, "g3", g2, one) // = ¬a
+	g4 := c.MustAddGate(Not, "g4", g3)      // = a
+	c.MustMarkOutput(g4)
+	s := simplifyAndCompare(t, c)
+	stats, err := s.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LogicGates != 0 {
+		t.Errorf("constant chain left %d logic gates", stats.LogicGates)
+	}
+}
+
+func TestSimplifyControllingConstants(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	zero := c.MustAddGate(Const0, "zero")
+	g1 := c.MustAddGate(And, "g1", a, b, zero) // = 0
+	g2 := c.MustAddGate(Nor, "g2", g1, g1)     // = 1
+	g3 := c.MustAddGate(And, "g3", a, g2)      // = a
+	c.MustMarkOutput(g3)
+	s := simplifyAndCompare(t, c)
+	if st, _ := s.ComputeStats(); st.LogicGates != 0 {
+		t.Errorf("expected full collapse, got %d gates", st.LogicGates)
+	}
+}
+
+func TestSimplifyComplementCancellation(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	na := c.MustAddGate(Not, "na", a)
+	g1 := c.MustAddGate(And, "g1", a, na) // = 0
+	g2 := c.MustAddGate(Or, "g2", a, na)  // = 1
+	g3 := c.MustAddGate(Xor, "g3", a, a)  // = 0
+	o := c.MustAddGate(Or, "o", g1, g3)
+	c.MustMarkOutput(o)
+	c.MustMarkOutput(g2)
+	s := simplifyAndCompare(t, c)
+	if st, _ := s.ComputeStats(); st.LogicGates != 0 {
+		t.Errorf("expected constants, got %d gates", st.LogicGates)
+	}
+}
+
+func TestSimplifyDuplicateSharing(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	g1 := c.MustAddGate(And, "g1", a, b)
+	g2 := c.MustAddGate(And, "g2", b, a) // same function, swapped fanin
+	g3 := c.MustAddGate(Xor, "g3", g1, g2)
+	c.MustMarkOutput(g3)
+	s := simplifyAndCompare(t, c)
+	// XOR(x,x) = 0: everything collapses.
+	if st, _ := s.ComputeStats(); st.LogicGates != 0 {
+		t.Errorf("duplicate gates not shared: %d gates remain", st.LogicGates)
+	}
+}
+
+func TestSimplifyDoubleNegation(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	n1 := c.MustAddGate(Not, "n1", a)
+	n2 := c.MustAddGate(Not, "n2", n1)
+	buf := c.MustAddGate(Buf, "buf", n2)
+	c.MustMarkOutput(buf)
+	s := simplifyAndCompare(t, c)
+	if st, _ := s.ComputeStats(); st.LogicGates != 0 {
+		t.Errorf("¬¬a not collapsed: %d gates", st.LogicGates)
+	}
+}
+
+func TestSimplifyPreservesKeys(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("keyinput0")
+	k2 := c.MustAddKey("keyinput1") // unused key must survive
+	g := c.MustAddGate(Xor, "g", a, k)
+	c.MustMarkOutput(g)
+	_ = k2
+	s := simplifyAndCompare(t, c)
+	if s.NumKeys() != 2 {
+		t.Errorf("keys = %d, want 2", s.NumKeys())
+	}
+}
+
+func TestSimplifyRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := randomCircuit(seed, 8, 60)
+		s := simplifyAndCompare(t, c)
+		cs, _ := c.ComputeStats()
+		ss, _ := s.ComputeStats()
+		if ss.LogicGates > cs.LogicGates {
+			t.Errorf("seed %d: Simplify grew the circuit (%d → %d)", seed, cs.LogicGates, ss.LogicGates)
+		}
+	}
+}
+
+func TestSimplifyExhaustiveEquivalence(t *testing.T) {
+	// Exhaustive check over all inputs for a batch of small circuits.
+	for seed := int64(20); seed < 30; seed++ {
+		c := randomCircuit(seed, 6, 25)
+		s, err := Simplify(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simC := MustNewSimulator(c)
+		simS := MustNewSimulator(s)
+		for x := uint64(0); x < 64; x++ {
+			in := PatternFromUint(x, 6)
+			oc, _ := simC.Run(in, nil)
+			os, _ := simS.Run(in, nil)
+			for i := range oc {
+				if oc[i] != os[i] {
+					t.Fatalf("seed %d x=%d output %d differs", seed, x, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyDuplicateOutputs(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	g1 := c.MustAddGate(And, "g1", a, b)
+	g2 := c.MustAddGate(And, "g2", a, b) // duplicate of g1
+	c.MustMarkOutput(g1)
+	c.MustMarkOutput(g2)
+	s := simplifyAndCompare(t, c)
+	if s.NumOutputs() != 2 {
+		t.Fatalf("outputs = %d", s.NumOutputs())
+	}
+}

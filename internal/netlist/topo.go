@@ -1,0 +1,137 @@
+package netlist
+
+import "fmt"
+
+// TopoOrder returns a topological ordering of all gates (fanins before
+// fanouts). The result is cached and invalidated by AddGate. An error is
+// returned if the gate graph contains a combinational cycle.
+func (c *Circuit) TopoOrder() ([]ID, error) {
+	if c.topoValid {
+		return c.topo, nil
+	}
+	n := len(c.gates)
+	indeg := make([]int, n)
+	fanout := make([][]ID, n)
+	for id := range c.gates {
+		for _, f := range c.gates[id].Fanin {
+			indeg[id]++
+			fanout[f] = append(fanout[f], ID(id))
+		}
+	}
+	order := make([]ID, 0, n)
+	queue := make([]ID, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, ID(id))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, out := range fanout[id] {
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, out)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("netlist: circuit %q contains a combinational cycle", c.Name)
+	}
+	c.topo = order
+	c.topoValid = true
+	return order, nil
+}
+
+// Levels returns, for each gate, its logic level: inputs and constants are
+// level 0, every other gate is 1 + max(level of fanins).
+func (c *Circuit) Levels() ([]int, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	levels := make([]int, len(c.gates))
+	for _, id := range order {
+		g := &c.gates[id]
+		lv := 0
+		for _, f := range g.Fanin {
+			if levels[f]+1 > lv {
+				lv = levels[f] + 1
+			}
+		}
+		levels[id] = lv
+	}
+	return levels, nil
+}
+
+// Depth returns the maximum logic level over all outputs (0 for circuits
+// with no logic).
+func (c *Circuit) Depth() (int, error) {
+	levels, err := c.Levels()
+	if err != nil {
+		return 0, err
+	}
+	d := 0
+	for _, o := range c.outputs {
+		if levels[o] > d {
+			d = levels[o]
+		}
+	}
+	return d, nil
+}
+
+// TransitiveFanin returns the set of gate IDs in the transitive fanin cone
+// of the given roots (inclusive of the roots), as a boolean mask indexed
+// by gate ID.
+func (c *Circuit) TransitiveFanin(roots ...ID) []bool {
+	mask := make([]bool, len(c.gates))
+	stack := make([]ID, 0, len(roots))
+	for _, r := range roots {
+		if r >= 0 && int(r) < len(c.gates) && !mask[r] {
+			mask[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range c.gates[id].Fanin {
+			if !mask[f] {
+				mask[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return mask
+}
+
+// TransitiveFanout returns the set of gate IDs in the transitive fanout
+// cone of the given roots (inclusive), as a boolean mask indexed by ID.
+func (c *Circuit) TransitiveFanout(roots ...ID) []bool {
+	fanout := make([][]ID, len(c.gates))
+	for id := range c.gates {
+		for _, f := range c.gates[id].Fanin {
+			fanout[f] = append(fanout[f], ID(id))
+		}
+	}
+	mask := make([]bool, len(c.gates))
+	stack := make([]ID, 0, len(roots))
+	for _, r := range roots {
+		if r >= 0 && int(r) < len(c.gates) && !mask[r] {
+			mask[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, out := range fanout[id] {
+			if !mask[out] {
+				mask[out] = true
+				stack = append(stack, out)
+			}
+		}
+	}
+	return mask
+}

@@ -1,0 +1,180 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	c := randomCircuit(7, 6, 30)
+	cl := c.Clone()
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the clone must not touch the original.
+	cl.MustAddGate(Not, "extra", cl.Inputs()[0])
+	if c.HasName("extra") {
+		t.Error("clone shares name table")
+	}
+	// Functional equivalence on random patterns.
+	s1 := MustNewSimulator(c)
+	s2 := MustNewSimulator(cl)
+	rng := rand.New(rand.NewSource(9))
+	in := make([]uint64, c.NumInputs())
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	o1, _ := s1.Run64(in, nil)
+	o2, _ := s2.Run64(in, nil)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("clone output %d differs", i)
+		}
+	}
+}
+
+func TestImportSplicesSubcircuit(t *testing.T) {
+	// Source: f(x,y) = x NAND y.
+	src := New("src")
+	x := src.MustAddInput("x")
+	y := src.MustAddInput("y")
+	f := src.MustAddGate(Nand, "f", x, y)
+	src.MustMarkOutput(f)
+
+	dst := New("dst")
+	a := dst.MustAddInput("a")
+	b := dst.MustAddInput("b")
+	outs, err := dst.Import(src, ImportOptions{Prefix: "sub_", InputMap: []ID{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	dst.MustMarkOutput(outs[0])
+	if err := dst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.HasName("sub_f") {
+		t.Error("imported gate not prefixed")
+	}
+	for xv := 0; xv < 2; xv++ {
+		for yv := 0; yv < 2; yv++ {
+			out, err := dst.Eval([]bool{xv == 1, yv == 1}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := !(xv == 1 && yv == 1)
+			if out[0] != want {
+				t.Errorf("NAND(%d,%d) = %v", xv, yv, out[0])
+			}
+		}
+	}
+}
+
+func TestImportKeys(t *testing.T) {
+	src := New("src")
+	x := src.MustAddInput("x")
+	k := src.MustAddKey("k0")
+	g := src.MustAddGate(Xor, "g", x, k)
+	src.MustMarkOutput(g)
+
+	dst := New("dst")
+	a := dst.MustAddInput("a")
+
+	// Without ImportKeysAsKeys the import must fail.
+	if _, err := dst.Import(src, ImportOptions{InputMap: []ID{a}}); err == nil {
+		t.Fatal("import with unhandled keys accepted")
+	}
+
+	outs, err := dst.Import(src, ImportOptions{Prefix: "l_", InputMap: []ID{a}, ImportKeysAsKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.MustMarkOutput(outs[0])
+	if err := dst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumKeys() != 1 {
+		t.Fatalf("NumKeys = %d", dst.NumKeys())
+	}
+	out, err := dst.Eval([]bool{true}, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] {
+		t.Error("x XOR k with both 1 should be 0")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	src := New("src")
+	src.MustAddInput("x")
+	dst := New("dst")
+	if _, err := dst.Import(src, ImportOptions{InputMap: nil}); err == nil {
+		t.Error("short InputMap accepted")
+	}
+	if _, err := dst.Import(src, ImportOptions{InputMap: []ID{42}}); err == nil {
+		t.Error("dangling InputMap entry accepted")
+	}
+}
+
+func TestExtractCone(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	d := c.MustAddInput("d")
+	k := c.MustAddKey("k")
+	g1 := c.MustAddGate(And, "g1", a, b)
+	g2 := c.MustAddGate(Xor, "g2", g1, k)
+	g3 := c.MustAddGate(Or, "g3", d, d) // unrelated
+	c.MustMarkOutput(g2)
+	c.MustMarkOutput(g3)
+
+	cone, err := c.ExtractCone("cone", g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cone.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cone.NumInputs() != 2 || cone.NumKeys() != 1 || cone.NumOutputs() != 1 {
+		t.Fatalf("cone shape: %s", cone)
+	}
+	if cone.HasName("g3") || cone.HasName("d") {
+		t.Error("cone includes unrelated logic")
+	}
+	out, err := cone.Eval([]bool{true, true}, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Error("(a AND b) XOR 0 with a=b=1 should be 1")
+	}
+	if _, err := c.ExtractCone("bad", ID(99)); err == nil {
+		t.Error("missing root accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := New("t")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("k")
+	g1 := c.MustAddGate(Xor, "g1", a, k)
+	g2 := c.MustAddGate(Not, "g2", g1)
+	c.MustMarkOutput(g2)
+
+	s, err := c.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Inputs != 1 || s.Keys != 1 || s.Outputs != 1 {
+		t.Errorf("io stats wrong: %+v", s)
+	}
+	if s.LogicGates != 2 || s.Depth != 2 {
+		t.Errorf("logic stats wrong: %+v", s)
+	}
+	if s.GatesByType[Xor] != 1 || s.GatesByType[Input] != 2 {
+		t.Errorf("type histogram wrong: %+v", s.GatesByType)
+	}
+}

@@ -1,0 +1,170 @@
+// Package oracle models the attacker's black-box access to an activated
+// chip. Every attack in this repository consults the design exclusively
+// through the Oracle interface, which makes the "no structural analysis"
+// property of the DIP-learning attack auditable: the oracle counts
+// queries and exposes nothing but input/output behaviour.
+package oracle
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// Oracle is black-box input/output access to a functional chip.
+type Oracle interface {
+	// NumInputs returns the width of the chip's input port.
+	NumInputs() int
+	// NumOutputs returns the width of the chip's output port.
+	NumOutputs() int
+	// Query evaluates one input pattern.
+	Query(in []bool) ([]bool, error)
+	// Query64 evaluates 64 packed patterns at once (bit i of each word
+	// is pattern i); it exists because simulation-heavy attacks would
+	// otherwise be dominated by per-pattern overhead.
+	Query64(in []uint64) ([]uint64, error)
+}
+
+// Sim is an Oracle backed by simulating the original (unlocked) netlist,
+// standing in for the activated chip of the paper's threat model. It
+// counts queries and is safe for concurrent use.
+type Sim struct {
+	mu      sync.Mutex
+	sim     *netlist.Simulator
+	inputs  int
+	outputs int
+	queries uint64 // single patterns evaluated (64 per Query64 call)
+	calls   uint64
+}
+
+// NewSim wraps an original circuit as an oracle. The circuit must not
+// have key inputs — an activated chip has its key burned in.
+func NewSim(original *netlist.Circuit) (*Sim, error) {
+	if original.NumKeys() != 0 {
+		return nil, fmt.Errorf("oracle: circuit %q still has %d key inputs; activate it first",
+			original.Name, original.NumKeys())
+	}
+	sim, err := netlist.NewSimulator(original)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{sim: sim, inputs: original.NumInputs(), outputs: original.NumOutputs()}, nil
+}
+
+// MustNewSim is NewSim that panics on error.
+func MustNewSim(original *netlist.Circuit) *Sim {
+	o, err := NewSim(original)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// NumInputs implements Oracle.
+func (o *Sim) NumInputs() int { return o.inputs }
+
+// NumOutputs implements Oracle.
+func (o *Sim) NumOutputs() int { return o.outputs }
+
+// Query implements Oracle.
+func (o *Sim) Query(in []bool) ([]bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.queries++
+	o.calls++
+	return o.sim.Run(in, nil)
+}
+
+// Query64 implements Oracle.
+func (o *Sim) Query64(in []uint64) ([]uint64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.queries += 64
+	o.calls++
+	out, err := o.sim.Run64(in, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Copy: the simulator owns its output buffer.
+	return append([]uint64(nil), out...), nil
+}
+
+// Queries returns the number of input patterns evaluated so far.
+func (o *Sim) Queries() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.queries
+}
+
+// Calls returns the number of Query/Query64 invocations so far.
+func (o *Sim) Calls() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls
+}
+
+// Activate bakes a key into a locked circuit, producing the functional
+// circuit an oracle would simulate: key inputs become constants. It is
+// the bridge between "locked netlist + correct key" and "activated chip".
+func Activate(locked *netlist.Circuit, key []bool) (*netlist.Circuit, error) {
+	if len(key) != locked.NumKeys() {
+		return nil, fmt.Errorf("oracle: key length %d, circuit has %d key inputs", len(key), locked.NumKeys())
+	}
+	out := netlist.New(locked.Name + "_activated")
+	inputMap := make([]netlist.ID, locked.NumInputs())
+	for i, id := range locked.Inputs() {
+		inputMap[i] = out.MustAddInput(locked.Gate(id).Name)
+	}
+	// Rebuild with keys replaced by constants: import cannot be used
+	// directly (it would re-declare keys), so walk gates manually.
+	order, err := locked.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	remap := make([]netlist.ID, locked.NumGates())
+	for i := range remap {
+		remap[i] = netlist.InvalidID
+	}
+	for i, id := range locked.Inputs() {
+		remap[id] = inputMap[i]
+	}
+	for i, id := range locked.Keys() {
+		typ := netlist.Const0
+		if key[i] {
+			typ = netlist.Const1
+		}
+		kid, err := out.AddGate(typ, locked.Gate(id).Name)
+		if err != nil {
+			return nil, err
+		}
+		remap[id] = kid
+	}
+	for _, id := range order {
+		g := locked.Gate(id)
+		if g.Type == netlist.Input {
+			if remap[id] == netlist.InvalidID {
+				return nil, fmt.Errorf("oracle: unregistered input %q", g.Name)
+			}
+			continue
+		}
+		fanin := make([]netlist.ID, len(g.Fanin))
+		for j, f := range g.Fanin {
+			fanin[j] = remap[f]
+		}
+		nid, err := out.AddGate(g.Type, g.Name, fanin...)
+		if err != nil {
+			return nil, err
+		}
+		remap[id] = nid
+	}
+	for _, o := range locked.Outputs() {
+		if err := out.MarkOutput(remap[o]); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func buildPlain() *netlist.Circuit {
+	c := netlist.New("plain")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	g := c.MustAddGate(And, "g", a, b)
+	c.MustMarkOutput(g)
+	return c
+}
+
+// And aliases keep tests short.
+const And = netlist.And
+
+func buildLocked() *netlist.Circuit {
+	c := netlist.New("locked")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("keyinput0")
+	g := c.MustAddGate(netlist.Xor, "g", a, k)
+	c.MustMarkOutput(g)
+	return c
+}
+
+func TestNewSimRejectsLocked(t *testing.T) {
+	if _, err := NewSim(buildLocked()); err == nil {
+		t.Error("locked circuit accepted as oracle")
+	}
+}
+
+func TestQueryAndCounting(t *testing.T) {
+	o := MustNewSim(buildPlain())
+	if o.NumInputs() != 2 || o.NumOutputs() != 1 {
+		t.Fatal("port widths wrong")
+	}
+	out, err := o.Query([]bool{true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Error("AND(1,1) = 0")
+	}
+	if _, err := o.Query64([]uint64{0xF0, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Queries() != 65 || o.Calls() != 2 {
+		t.Errorf("queries=%d calls=%d", o.Queries(), o.Calls())
+	}
+}
+
+func TestQuery64CopiesBuffer(t *testing.T) {
+	o := MustNewSim(buildPlain())
+	a, _ := o.Query64([]uint64{^uint64(0), ^uint64(0)})
+	b, _ := o.Query64([]uint64{0, 0})
+	if a[0] != ^uint64(0) || b[0] != 0 {
+		t.Error("Query64 results alias an internal buffer")
+	}
+}
+
+func TestActivate(t *testing.T) {
+	locked := buildLocked()
+	// key=0 makes g = a XOR 0 = a.
+	act, err := Activate(locked, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.NumKeys() != 0 {
+		t.Fatal("activated circuit still has keys")
+	}
+	for _, v := range []bool{false, true} {
+		out, err := act.Eval([]bool{v}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != v {
+			t.Errorf("activated(key=0)(%v) = %v", v, out[0])
+		}
+	}
+	// key=1 makes g = NOT a.
+	act1, err := Activate(locked, []bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := act1.Eval([]bool{false}, nil)
+	if !out[0] {
+		t.Error("activated(key=1)(0) should be 1")
+	}
+}
+
+func TestActivateKeyLengthMismatch(t *testing.T) {
+	if _, err := Activate(buildLocked(), nil); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := Activate(buildLocked(), []bool{true, false}); err == nil {
+		t.Error("long key accepted")
+	}
+}
+
+func TestActivatePreservesOutputOrder(t *testing.T) {
+	c := netlist.New("multi")
+	a := c.MustAddInput("a")
+	k := c.MustAddKey("keyinput0")
+	g1 := c.MustAddGate(netlist.Xor, "g1", a, k)
+	g2 := c.MustAddGate(netlist.Xnor, "g2", a, k)
+	c.MustMarkOutput(g1)
+	c.MustMarkOutput(g2)
+	act, err := Activate(c, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := act.Eval([]bool{true}, nil)
+	if !out[0] || out[1] {
+		t.Error("output order scrambled by Activate")
+	}
+}

@@ -1,0 +1,112 @@
+package sat
+
+import "repro/internal/cnf"
+
+// SolveDPLL decides a formula with a plain recursive DPLL procedure
+// (unit propagation + first-unassigned-variable branching). It exists as
+// an independent correctness reference for the CDCL solver and is only
+// suitable for small instances.
+func SolveDPLL(f *cnf.Formula) (Status, []bool) {
+	assign := make([]lbool, f.NumVars+1)
+	if dpll(f.Clauses, assign) {
+		model := make([]bool, f.NumVars+1)
+		for v := 1; v <= f.NumVars; v++ {
+			model[v] = assign[v] == lTrue
+		}
+		return Sat, model
+	}
+	return Unsat, nil
+}
+
+func dpll(clauses []cnf.Clause, assign []lbool) bool {
+	// Unit propagation to fixpoint; track trail for undo.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = lUndef
+		}
+	}
+	for {
+		unitFound := false
+		for _, cl := range clauses {
+			unassigned := 0
+			var unit cnf.Lit
+			sat := false
+			for _, l := range cl {
+				switch assign[l.Var()] {
+				case lUndef:
+					unassigned++
+					unit = l
+				case lTrue:
+					if l.Sign() {
+						sat = true
+					}
+				case lFalse:
+					if !l.Sign() {
+						sat = true
+					}
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				undo()
+				return false
+			}
+			if unassigned == 1 {
+				v := unit.Var()
+				assign[v] = boolToLbool(unit.Sign())
+				trail = append(trail, v)
+				unitFound = true
+			}
+		}
+		if !unitFound {
+			break
+		}
+	}
+	// Branch on the first unassigned variable.
+	branch := 0
+	for v := 1; v < len(assign); v++ {
+		if assign[v] == lUndef {
+			branch = v
+			break
+		}
+	}
+	if branch == 0 {
+		return true // total assignment, all clauses satisfied
+	}
+	for _, val := range []lbool{lTrue, lFalse} {
+		assign[branch] = val
+		if dpll(clauses, assign) {
+			return true
+		}
+		assign[branch] = lUndef
+	}
+	undo()
+	return false
+}
+
+// CountModels exhaustively counts satisfying assignments of a formula
+// over its declared variables; for testing only (exponential).
+func CountModels(f *cnf.Formula) uint64 {
+	n := f.NumVars
+	if n > 24 {
+		panic("sat: CountModels limited to 24 variables")
+	}
+	assign := make([]bool, n+1)
+	var count uint64
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = x&(1<<uint(v-1)) != 0
+		}
+		ok, _ := f.Eval(assign)
+		if ok {
+			count++
+		}
+	}
+	return count
+}

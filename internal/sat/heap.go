@@ -1,0 +1,102 @@
+package sat
+
+// varHeap is an indexed max-heap of variables ordered by VSIDS activity.
+// It supports decrease/increase-key by tracking each variable's position.
+type varHeap struct {
+	heap     []int // heap of variable indices
+	position []int // position[v] = index in heap, or -1
+	activity *[]float64
+}
+
+func newVarHeap(activity *[]float64) *varHeap {
+	return &varHeap{activity: activity}
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+// grow ensures position tracking covers variables [0, n).
+func (h *varHeap) grow(n int) {
+	for len(h.position) < n {
+		h.position = append(h.position, -1)
+	}
+}
+
+func (h *varHeap) contains(v int) bool {
+	return v < len(h.position) && h.position[v] >= 0
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) push(v int) {
+	h.grow(v + 1)
+	if h.contains(v) {
+		return
+	}
+	h.position[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.siftUp(len(h.heap) - 1)
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.position[v] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return v
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v int) {
+	if h.contains(v) {
+		h.siftUp(h.position[v])
+	}
+}
+
+// rebuild re-heapifies after a global activity rescale.
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.position[h.heap[i]] = i
+	h.position[h.heap[j]] = j
+}
+
+func (h *varHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(h.heap[l], h.heap[best]) {
+			best = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

@@ -1,0 +1,20 @@
+package sat
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,… as described by Luby, Sinclair and
+// Zuckerman for optimal universal restart strategies.
+func luby(i uint64) uint64 {
+	// Find the finite subsequence containing index i and its position.
+	var k uint64 = 1
+	for (1<<k)-1 < i {
+		k++
+	}
+	for (1<<k)-1 != i {
+		i -= (1 << (k - 1)) - 1
+		k = 1
+		for (1<<k)-1 < i {
+			k++
+		}
+	}
+	return 1 << (k - 1)
+}

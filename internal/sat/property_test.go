@@ -1,0 +1,127 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnf"
+)
+
+// Property: any model the CDCL solver returns satisfies the formula.
+func TestModelSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	trials := 0
+	f := func(seed int64) bool {
+		trials++
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		form := randomFormula(r, 4+r.Intn(10), 3+r.Intn(30), 3)
+		s := NewFromFormula(form)
+		if s.Solve() != Sat {
+			return true // UNSAT answers are checked differentially elsewhere
+		}
+		ok, err := form.Eval(s.Model())
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a model's negation as a clause makes that exact model
+// infeasible but keeps every other model (count drops by exactly one).
+func TestBlockingClauseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		form := randomFormula(rng, 4+rng.Intn(5), 2+rng.Intn(10), 3)
+		before := CountModels(form)
+		if before == 0 {
+			continue
+		}
+		s := NewFromFormula(form)
+		if s.Solve() != Sat {
+			t.Fatal("solver disagrees with brute force")
+		}
+		model := s.Model()
+		blocked := form.Clone()
+		var cl []cnf.Lit
+		for v := 1; v <= form.NumVars; v++ {
+			l := cnf.Lit(v)
+			if model[v] {
+				l = -l
+			}
+			cl = append(cl, l)
+		}
+		blocked.Add(cl...)
+		if after := CountModels(blocked); after != before-1 {
+			t.Fatalf("trial %d: blocking removed %d models", trial, before-after)
+		}
+	}
+}
+
+// Property: solving under assumption a then ¬a partitions the model
+// count.
+func TestAssumptionPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(125))
+	for trial := 0; trial < 40; trial++ {
+		vars := 4 + rng.Intn(5)
+		form := randomFormula(rng, vars, 2+rng.Intn(12), 3)
+		v := cnf.Lit(1 + rng.Intn(vars))
+		pos := form.Clone()
+		pos.Add(v)
+		neg := form.Clone()
+		neg.Add(-v)
+		if CountModels(pos)+CountModels(neg) != CountModels(form) {
+			t.Fatalf("trial %d: partition violated", trial)
+		}
+		// And the solver agrees with each side's satisfiability.
+		s := NewFromFormula(form)
+		wantPos := Sat
+		if CountModels(pos) == 0 {
+			wantPos = Unsat
+		}
+		if got := s.Solve(v); got != wantPos {
+			t.Fatalf("trial %d: Solve(+v) = %v, want %v", trial, got, wantPos)
+		}
+		wantNeg := Sat
+		if CountModels(neg) == 0 {
+			wantNeg = Unsat
+		}
+		if got := s.Solve(-v); got != wantNeg {
+			t.Fatalf("trial %d: Solve(-v) = %v, want %v", trial, got, wantNeg)
+		}
+	}
+}
+
+// Property: permuting clause order never changes the verdict.
+func TestClauseOrderInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	for trial := 0; trial < 60; trial++ {
+		form := randomFormula(rng, 5+rng.Intn(8), 4+rng.Intn(25), 3)
+		s1 := NewFromFormula(form)
+		verdict := s1.Solve()
+		shuffled := form.Clone()
+		rng.Shuffle(len(shuffled.Clauses), func(i, j int) {
+			shuffled.Clauses[i], shuffled.Clauses[j] = shuffled.Clauses[j], shuffled.Clauses[i]
+		})
+		s2 := NewFromFormula(shuffled)
+		if s2.Solve() != verdict {
+			t.Fatalf("trial %d: clause order changed the verdict", trial)
+		}
+	}
+}
+
+// TestReduceDBKeepsSoundness drives the solver far enough to trigger
+// learned-clause reduction and checks the answer is still right.
+func TestReduceDBKeepsSoundness(t *testing.T) {
+	// PHP(9,8) generates tens of thousands of conflicts, well past the
+	// 3000-clause reduction threshold.
+	s := NewFromFormula(pigeonhole(9, 8))
+	s.maxLearnts = 200 // force frequent reductions
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(9,8) = %v", st)
+	}
+	if s.Stats().Removed == 0 {
+		t.Error("reduceDB never ran despite the tiny limit")
+	}
+}

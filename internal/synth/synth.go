@@ -1,0 +1,182 @@
+// Package synth generates seeded pseudo-random combinational circuits.
+//
+// The DIP-learning attack never consults the host circuit's function —
+// the host is common to both miter copies, so DIPs are decided entirely
+// by the CAS blocks. What matters for a faithful reproduction is the
+// benchmark's I/O profile (so the key/input sizes of the paper's Table I
+// apply) and that the generated circuit is a well-formed DAG every tool
+// in the pipeline can process. This package provides both an arbitrary
+// generator and the ISCAS-85 profiles used by the paper.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Config describes the circuit to generate.
+type Config struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int   // number of logic gates (excluding inputs)
+	Seed    int64 // generation is fully deterministic in the seed
+}
+
+// Profile is the I/O and size profile of a published benchmark circuit.
+type Profile struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int
+}
+
+// ISCAS85 holds the profiles of the ISCAS-85 circuits used in the paper's
+// Table I (inputs/outputs as printed there; gate counts from the
+// benchmark suite).
+var ISCAS85 = []Profile{
+	{Name: "c432", Inputs: 36, Outputs: 7, Gates: 160},
+	{Name: "c880", Inputs: 60, Outputs: 26, Gates: 383},
+	{Name: "c1908", Inputs: 33, Outputs: 25, Gates: 880},
+	{Name: "c2670", Inputs: 233, Outputs: 140, Gates: 1193},
+	{Name: "c3540", Inputs: 50, Outputs: 22, Gates: 1669},
+	{Name: "c5315", Inputs: 178, Outputs: 123, Gates: 2307},
+	{Name: "c6288", Inputs: 32, Outputs: 32, Gates: 2416},
+	{Name: "c7552", Inputs: 207, Outputs: 108, Gates: 3512},
+}
+
+// ProfileByName returns the ISCAS-85 profile with the given name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range ISCAS85 {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown benchmark profile %q", name)
+}
+
+// FromProfile builds a Config matching a profile.
+func FromProfile(p Profile, seed int64) Config {
+	return Config{Name: p.Name, Inputs: p.Inputs, Outputs: p.Outputs, Gates: p.Gates, Seed: seed}
+}
+
+// Generate builds a random combinational circuit. Guarantees:
+//
+//   - the result validates (acyclic, well-formed);
+//   - every primary input is in the transitive fanin of some output;
+//   - every output is driven by a distinct gate;
+//   - generation is deterministic in Config.Seed.
+func Generate(cfg Config) (*netlist.Circuit, error) {
+	if cfg.Inputs < 1 {
+		return nil, fmt.Errorf("synth: need at least 1 input, got %d", cfg.Inputs)
+	}
+	if cfg.Outputs < 1 {
+		return nil, fmt.Errorf("synth: need at least 1 output, got %d", cfg.Outputs)
+	}
+	minGates := cfg.Outputs
+	if need := (cfg.Inputs + 1) / 2; need > minGates {
+		minGates = need
+	}
+	if cfg.Gates < minGates {
+		return nil, fmt.Errorf("synth: %d gates cannot cover %d inputs and drive %d outputs (need ≥ %d)",
+			cfg.Gates, cfg.Inputs, cfg.Outputs, minGates)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := netlist.New(cfg.Name)
+	inputs := make([]netlist.ID, cfg.Inputs)
+	for i := range inputs {
+		inputs[i] = c.MustAddInput(fmt.Sprintf("I%d", i))
+	}
+
+	types := []netlist.GateType{
+		netlist.And, netlist.Nand, netlist.Or, netlist.Nor,
+		netlist.Xor, netlist.Xnor, netlist.Not,
+	}
+	signals := append([]netlist.ID(nil), inputs...)
+	unused := append([]netlist.ID(nil), inputs...) // inputs not yet consumed
+	rng.Shuffle(len(unused), func(i, j int) { unused[i], unused[j] = unused[j], unused[i] })
+
+	pick := func() netlist.ID {
+		// Recency bias: half the time pick among the most recent quarter,
+		// building depth instead of a flat two-level circuit.
+		if n := len(signals); rng.Intn(2) == 0 && n > 8 {
+			lo := n - n/4
+			return signals[lo+rng.Intn(n-lo)]
+		}
+		return signals[rng.Intn(len(signals))]
+	}
+
+	for i := 0; i < cfg.Gates; i++ {
+		typ := types[rng.Intn(len(types))]
+		var fanin []netlist.ID
+		arity := 1
+		if typ != netlist.Not {
+			arity = 2
+			if rng.Intn(4) == 0 {
+				arity = 3
+			}
+		}
+		for j := 0; j < arity; j++ {
+			// Drain the unused-input pool first so every input is consumed.
+			if len(unused) > 0 {
+				fanin = append(fanin, unused[len(unused)-1])
+				unused = unused[:len(unused)-1]
+				continue
+			}
+			fanin = append(fanin, pick())
+		}
+		id := c.MustAddGate(typ, fmt.Sprintf("N%d", i), fanin...)
+		signals = append(signals, id)
+	}
+
+	// Outputs: the last cfg.Outputs distinct gates, which by construction
+	// sit late in the topological order and (transitively) cover the
+	// earlier logic.
+	gateCount := len(signals) - len(inputs)
+	if gateCount < cfg.Outputs {
+		return nil, fmt.Errorf("synth: internal: %d gates for %d outputs", gateCount, cfg.Outputs)
+	}
+	outs := signals[len(signals)-cfg.Outputs:]
+	for _, id := range outs {
+		c.MustMarkOutput(id)
+	}
+
+	// Any input (or intermediate gate) not in the fanin of the chosen
+	// outputs gets folded in through extra XOR taps on the first output,
+	// preserving the output count while guaranteeing full input coverage.
+	mask := c.TransitiveFanin(outs...)
+	var uncovered []netlist.ID
+	for _, id := range inputs {
+		if !mask[id] {
+			uncovered = append(uncovered, id)
+		}
+	}
+	if len(uncovered) > 0 {
+		sort.Slice(uncovered, func(i, j int) bool { return uncovered[i] < uncovered[j] })
+		acc := outs[0]
+		for i, id := range uncovered {
+			acc = c.MustAddGate(netlist.Xor, fmt.Sprintf("COV%d", i), acc, id)
+		}
+		if err := c.ReplaceOutput(0, acc); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *netlist.Circuit {
+	c, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

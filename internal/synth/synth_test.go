@@ -1,0 +1,167 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+)
+
+func TestGenerateBasicProperties(t *testing.T) {
+	cfg := Config{Name: "t", Inputs: 12, Outputs: 4, Gates: 80, Seed: 1}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumInputs() != 12 || c.NumOutputs() != 4 {
+		t.Fatalf("shape: %s", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every input must reach some output.
+	mask := c.TransitiveFanin(c.Outputs()...)
+	for _, id := range c.Inputs() {
+		if !mask[id] {
+			t.Errorf("input %s unreachable from outputs", c.Gate(id).Name)
+		}
+	}
+	// Outputs must be distinct gates.
+	seen := map[netlist.ID]bool{}
+	for _, o := range c.Outputs() {
+		if seen[o] {
+			t.Error("duplicate output gate")
+		}
+		seen[o] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "t", Inputs: 8, Outputs: 2, Gates: 50, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := bench.WriteString(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := bench.WriteString(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Error("same seed produced different circuits")
+	}
+	cfg.Seed = 43
+	c, _ := Generate(cfg)
+	tc, _ := bench.WriteString(c)
+	if ta == tc {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, cfg := range []Config{
+		{Inputs: 0, Outputs: 1, Gates: 10},
+		{Inputs: 4, Outputs: 0, Gates: 10},
+		{Inputs: 4, Outputs: 8, Gates: 4},  // fewer gates than outputs
+		{Inputs: 40, Outputs: 1, Gates: 2}, // cannot consume 40 inputs
+	} {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestISCAS85Profiles(t *testing.T) {
+	want := map[string][2]int{
+		"c432": {36, 7}, "c880": {60, 26}, "c1908": {33, 25},
+		"c2670": {233, 140}, "c3540": {50, 22}, "c5315": {178, 123},
+		"c6288": {32, 32}, "c7552": {207, 108},
+	}
+	if len(ISCAS85) != len(want) {
+		t.Fatalf("expected %d profiles, got %d", len(want), len(ISCAS85))
+	}
+	for _, p := range ISCAS85 {
+		io, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %q", p.Name)
+			continue
+		}
+		if p.Inputs != io[0] || p.Outputs != io[1] {
+			t.Errorf("%s: %d/%d, want %d/%d", p.Name, p.Inputs, p.Outputs, io[0], io[1])
+		}
+	}
+	if _, err := ProfileByName("c880"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ProfileByName("c999"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestGenerateAllISCAS85Profiles(t *testing.T) {
+	for _, p := range ISCAS85 {
+		c, err := Generate(FromProfile(p, 7))
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if c.NumInputs() != p.Inputs || c.NumOutputs() != p.Outputs {
+			t.Errorf("%s: I/O profile not honored: %s", p.Name, c)
+		}
+		stats, err := c.ComputeStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.LogicGates < p.Gates {
+			t.Errorf("%s: %d logic gates, want ≥ %d", p.Name, stats.LogicGates, p.Gates)
+		}
+		if stats.Depth < 3 {
+			t.Errorf("%s: suspiciously shallow (depth %d)", p.Name, stats.Depth)
+		}
+	}
+}
+
+func TestGeneratedCircuitIsNotConstant(t *testing.T) {
+	// Sanity: outputs actually vary with the input for a sample circuit.
+	c := MustGenerate(Config{Name: "t", Inputs: 10, Outputs: 3, Gates: 60, Seed: 3})
+	sim := netlist.MustNewSimulator(c)
+	in := make([]uint64, c.NumInputs())
+	for i := range in {
+		// Walsh-like patterns: input i alternates with period 2^i.
+		in[i] = walsh(i)
+	}
+	out, err := sim.Run64(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varies := false
+	for _, w := range out {
+		if w != 0 && w != ^uint64(0) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("all outputs constant over 64 structured patterns")
+	}
+}
+
+func walsh(i int) uint64 {
+	if i >= 6 {
+		return 0xAAAAAAAAAAAAAAAA
+	}
+	var w uint64
+	period := uint(1) << uint(i)
+	for b := uint(0); b < 64; b++ {
+		if (b/period)%2 == 1 {
+			w |= 1 << b
+		}
+	}
+	return w
+}
