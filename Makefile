@@ -1,0 +1,35 @@
+# Tier-1 flow: `make ci` is what a PR must keep green.
+#
+#   make build      compile everything
+#   make test       unit + integration tests
+#   make test-race  the test suite under the race detector (the
+#                   enumeration engine and experiment runners are
+#                   concurrent; data races are correctness bugs here)
+#   make vet        go vet
+#   make ci         build + vet + test + test-race
+#   make bench      tier-1 benchmarks with allocation reporting
+#   make benchjson  refresh BENCH_core.json (the perf trajectory file)
+
+GO ?= go
+
+.PHONY: build test test-race vet ci bench benchjson
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test test-race
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .
+
+benchjson:
+	$(GO) run ./cmd/benchjson -o BENCH_core.json

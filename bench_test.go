@@ -168,7 +168,7 @@ func BenchmarkDIPExtraction(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(dips) == 0 {
+			if dips.Count() == 0 {
 				b.Fatal("no DIPs")
 			}
 		}
@@ -186,7 +186,7 @@ func BenchmarkDIPExtraction(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if len(dips) == 0 {
+			if dips.Count() == 0 {
 				b.Fatal("no DIPs")
 			}
 		}

@@ -1,0 +1,237 @@
+// Command benchjson runs the repository's tier-1 performance workloads
+// in-process (via testing.Benchmark, no go-toolchain exec) and writes
+// the results as JSON, so successive PRs accumulate a perf trajectory.
+//
+//	benchjson              # writes BENCH_core.json in the cwd
+//	benchjson -o bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lock"
+	"repro/internal/synth"
+)
+
+// Result is one benchmark's record in the JSON output.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Extra       float64 `json:"extra,omitempty"` // workload-specific metric (e.g. DIPs)
+	ExtraName   string  `json:"extra_name,omitempty"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	Timestamp  string   `json:"timestamp"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	// SpeedupParallel is sim-extraction ns/op at workers=1 divided by
+	// ns/op at workers=NumCPU (1.0 on a single-core machine).
+	SpeedupParallel float64  `json:"speedup_parallel"`
+	Results         []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output path")
+	flag.Parse()
+
+	rep := &Report{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	ext, assign, err := extractionWorkload(22)
+	var r testing.BenchmarkResult
+	fatalIf(err)
+	workerCounts := []int{1, 2}
+	if nc := runtime.NumCPU(); nc != 1 && nc != 2 {
+		workerCounts = append(workerCounts, nc)
+	}
+	var ns1, nsMax int64
+	var wantDIPs uint64
+	for _, w := range workerCounts {
+		w := w
+		ext.SetWorkers(w)
+		var dips *core.DIPSet
+		r := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				dips, err = ext.DIPs(assign)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if wantDIPs == 0 {
+			wantDIPs = dips.Count()
+		} else if dips.Count() != wantDIPs {
+			fatalIf(fmt.Errorf("workers=%d produced %d DIPs, want %d", w, dips.Count(), wantDIPs))
+		}
+		res := toResult(fmt.Sprintf("sim_extract_n22_workers_%d", w), r)
+		res.Extra, res.ExtraName = float64(dips.Count()), "DIPs"
+		rep.Results = append(rep.Results, res)
+		if w == 1 {
+			ns1 = res.NsPerOp
+		}
+		nsMax = res.NsPerOp
+	}
+	if nsMax > 0 {
+		rep.SpeedupParallel = float64(ns1) / float64(nsMax)
+	}
+
+	ext.SetWorkers(0)
+	r = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ext.Classes(assign); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Results = append(rep.Results, toResult("sim_classes_n22", r))
+
+	satRes, err := satWorkload()
+	fatalIf(err)
+	rep.Results = append(rep.Results, satRes)
+
+	row := experiments.TableI32[1] // c880, no duplicate-config note
+	var last *experiments.TableIResult
+	r = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.RunTableIRow(row, experiments.TableIOptions{Seed: 1, MatchPaperRegime: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.KeyRecovered {
+				b.Fatal("key not recovered")
+			}
+			last = res
+		}
+	})
+	tr := toResult("tablei_k32_"+row.Benchmark, r)
+	tr.Extra, tr.ExtraName = float64(last.MeasuredDIPs), "DIPs"
+	rep.Results = append(rep.Results, tr)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fatalIf(err)
+	data = append(data, '\n')
+	fatalIf(os.WriteFile(*out, data, 0o644))
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (NumCPU=%d, speedup=%.2fx)\n",
+		len(rep.Results), *out, rep.NumCPU, rep.SpeedupParallel)
+}
+
+// bench runs fn under the standard testing.Benchmark calibration (1s
+// per benchmark), with allocation reporting on.
+func bench(fn func(b *testing.B)) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+}
+
+func toResult(name string, r testing.BenchmarkResult) Result {
+	return Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// extractionWorkload mirrors BenchmarkSimExtractorParallel: a 2^n-block
+// CAS instance under the Lemma-1 assignment.
+func extractionWorkload(n int) (*core.SimExtractor, core.PairAssign, error) {
+	host, err := synth.Generate(synth.Config{Name: "h", Inputs: n + 4, Outputs: 4, Gates: 100, Seed: 1})
+	if err != nil {
+		return nil, core.PairAssign{}, err
+	}
+	chain := make(lock.ChainConfig, n-1)
+	for i := range chain {
+		if i%4 == 2 {
+			chain[i] = lock.ChainOr
+		}
+	}
+	chain[n-2] = lock.ChainAnd
+	locked, _, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: 2})
+	if err != nil {
+		return nil, core.PairAssign{}, err
+	}
+	layout, err := core.DiscoverLayout(locked.Circuit)
+	if err != nil {
+		return nil, core.PairAssign{}, err
+	}
+	ext, err := core.NewSimExtractor(locked.Circuit, layout, 3)
+	if err != nil {
+		return nil, core.PairAssign{}, err
+	}
+	assign := core.PairAssign{A: make([]bool, locked.Circuit.NumKeys()), B: make([]bool, locked.Circuit.NumKeys())}
+	for _, pos := range layout.Key1Pos {
+		assign.A[pos] = true
+	}
+	return ext, assign, nil
+}
+
+// satWorkload mirrors BenchmarkDIPExtraction/sat_n8.
+func satWorkload() (Result, error) {
+	host, err := synth.Generate(synth.Config{Name: "bh", Inputs: 11, Outputs: 4, Gates: 80, Seed: 7})
+	if err != nil {
+		return Result{}, err
+	}
+	chain := make(lock.ChainConfig, 7)
+	for i := range chain {
+		if i%3 == 1 {
+			chain[i] = lock.ChainOr
+		}
+	}
+	chain[6] = lock.ChainAnd
+	locked, _, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: 11})
+	if err != nil {
+		return Result{}, err
+	}
+	layout, err := core.DiscoverLayout(locked.Circuit)
+	if err != nil {
+		return Result{}, err
+	}
+	ext, err := core.NewSATExtractor(locked.Circuit, layout)
+	if err != nil {
+		return Result{}, err
+	}
+	assign := core.PairAssign{A: make([]bool, locked.Circuit.NumKeys()), B: make([]bool, locked.Circuit.NumKeys())}
+	for _, pos := range layout.Key1Pos {
+		assign.A[pos] = true
+	}
+	r := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dips, err := ext.DIPs(assign)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if dips.Count() == 0 {
+				b.Fatal("no DIPs")
+			}
+		}
+	})
+	return toResult("sat_extract_n8", r), nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

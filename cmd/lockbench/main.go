@@ -5,6 +5,7 @@
 //
 //	lockbench
 //	lockbench -inputs 14 -satcap 600
+//	lockbench -workers 4   # bound the cell worker pool (0 = all cores)
 package main
 
 import (
@@ -17,12 +18,13 @@ import (
 
 func main() {
 	var (
-		inputs = flag.Int("inputs", 14, "host primary inputs")
-		satCap = flag.Int("satcap", 500, "SAT/AppSAT iteration cap")
-		seed   = flag.Int64("seed", 1, "experiment seed")
+		inputs  = flag.Int("inputs", 14, "host primary inputs")
+		satCap  = flag.Int("satcap", 500, "SAT/AppSAT iteration cap")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		workers = flag.Int("workers", 0, "cell worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	cells, err := experiments.RunMatrix(*inputs, *satCap, *seed)
+	cells, err := experiments.RunMatrixWorkers(*inputs, *satCap, *seed, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)
 		os.Exit(1)

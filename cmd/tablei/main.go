@@ -3,9 +3,10 @@
 // configurations, mounts the DIP-learning attack on each, and prints the
 // measured DIP counts next to the published ones.
 //
-//	tablei            # the 32-bit half (seconds)
-//	tablei -rows 64   # the 64-bit half (minutes: 2^32 enumeration per row)
+//	tablei              # the 32-bit half (seconds)
+//	tablei -rows 64     # the 64-bit half (minutes: 2^32 enumeration per row)
 //	tablei -rows all
+//	tablei -workers 8   # bound the row/shard worker pools (0 = all cores)
 package main
 
 import (
@@ -18,9 +19,10 @@ import (
 
 func main() {
 	var (
-		rows  = flag.String("rows", "32", "which half of Table I to run: 32, 64 or all")
-		seed  = flag.Int64("seed", 1, "experiment seed")
-		prove = flag.Bool("prove", true, "SAT-prove every recovered key")
+		rows    = flag.String("rows", "32", "which half of Table I to run: 32, 64 or all")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		prove   = flag.Bool("prove", true, "SAT-prove every recovered key")
+		workers = flag.Int("workers", 0, "row/shard worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -36,15 +38,12 @@ func main() {
 		fatalIf(fmt.Errorf("unknown -rows value %q", *rows))
 	}
 
-	var results []*experiments.TableIResult
-	for _, row := range selected {
-		fmt.Fprintf(os.Stderr, "running %s |K|=%d %s ...\n", row.Benchmark, row.KeyBits, row.Chain)
-		res, err := experiments.RunTableIRow(row, experiments.TableIOptions{
-			Seed: *seed, Prove: *prove, MatchPaperRegime: true,
-		})
-		fatalIf(err)
-		results = append(results, res)
-	}
+	fmt.Fprintf(os.Stderr, "running %d rows on %d workers ...\n",
+		len(selected), experiments.DefaultWorkers(*workers))
+	results, err := experiments.RunTableIRows(selected, experiments.TableIOptions{
+		Seed: *seed, Prove: *prove, MatchPaperRegime: true, Workers: *workers,
+	})
+	fatalIf(err)
 	experiments.PrintTableI(os.Stdout, results)
 	for _, r := range results {
 		if r.Row.Note != "" {

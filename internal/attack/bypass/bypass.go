@@ -84,9 +84,9 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	if len(dips) > maxFixes {
+	if dips.Count() > uint64(maxFixes) {
 		return nil, fmt.Errorf("bypass: %d DIPs exceed the fix budget %d — bypass impractical on this instance",
-			len(dips), maxFixes)
+			dips.Count(), maxFixes)
 	}
 
 	sim, err := netlist.NewSimulator(locked)
@@ -113,7 +113,7 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	}
 	fixes := 0
 	fullIn := make([]bool, locked.NumInputs())
-	for pat := range dips {
+	for _, pat := range dips.Elements() {
 		// Learn the correct outputs: block inputs set to the DIP, other
 		// inputs zero (the CAS flip depends only on block inputs, so the
 		// correction condition is a block-pattern comparator; output

@@ -33,6 +33,10 @@ type Options struct {
 	// MaxOnePoints caps the aligned DIP-set size the attack will
 	// materialize (default 1<<27).
 	MaxOnePoints uint64
+	// Workers is the shard worker count for the simulation extractor
+	// (0 = GOMAXPROCS). Ignored when Extractor is supplied: configure
+	// the supplied extractor directly.
+	Workers int
 	// Seed drives probe sampling.
 	Seed int64
 	// Log, when non-nil, receives progress messages (stage boundaries,
@@ -107,7 +111,12 @@ func Run(opts Options) (*Result, error) {
 		if layout.N() <= opts.SATWidthLimit {
 			ext, err = NewSATExtractor(opts.Locked, layout)
 		} else {
-			ext, err = NewSimExtractor(opts.Locked, layout, opts.Seed)
+			var se *SimExtractor
+			se, err = NewSimExtractor(opts.Locked, layout, opts.Seed)
+			if se != nil {
+				se.SetWorkers(opts.Workers)
+				ext = se
+			}
 		}
 		if err != nil {
 			return nil, err
@@ -161,46 +170,78 @@ func (a *attack) assign(active int, c uint64) PairAssign {
 	return out
 }
 
-// structured holds the decoded structure of one extraction.
+// structured holds the decoded structure of one extraction. The DIP set
+// stays in its packed bitset form; the two top-bit classes are read out
+// of it as half-universe ranges (bigTop selects which half is the
+// structured class), so no per-class copies are materialized.
 type structured struct {
 	chainH  lock.ChainConfig
 	wSet    map[uint64]struct{}
 	wList   []uint64
 	s       uint64 // shift: A = W ⊕ s
 	dipNC   uint64 // the non-repeating DIP (w_nc ⊕ s)
-	big     map[uint64]struct{}
-	small   map[uint64]struct{}
-	total   int
+	dips    *DIPSet
+	bigTop  bool // structured class lives in the top half of the universe
+	total   uint64
 	nBig    uint64
 	deltas  []uint64 // effective-misalignment candidates (empty: need calibration)
 	classOK bool
+}
+
+func (st *structured) nSmall() uint64 { return st.total - st.nBig }
+
+// halfRanges returns the [lo, hi) pattern ranges of the big and small
+// classes.
+func (st *structured) halfRanges() (bigLo, bigHi, smallLo, smallHi uint64) {
+	half := st.dips.Universe() / 2
+	if st.bigTop {
+		return half, 2 * half, 0, half
+	}
+	return 0, half, half, 2 * half
+}
+
+// inBig reports membership of x in the structured (big) class.
+func (st *structured) inBig(x uint64) bool {
+	bigLo, bigHi, _, _ := st.halfRanges()
+	return x >= bigLo && x < bigHi && st.dips.Contains(x)
+}
+
+// forEachBig visits the structured class in ascending order; returning
+// false stops the walk.
+func (st *structured) forEachBig(f func(p uint64) bool) {
+	bigLo, bigHi, _, _ := st.halfRanges()
+	st.dips.ForEachRange(bigLo, bigHi, f)
+}
+
+// forEachSmall visits the suppressed class in ascending order; returning
+// false stops the walk.
+func (st *structured) forEachSmall(f func(p uint64) bool) {
+	_, _, smallLo, smallHi := st.halfRanges()
+	st.dips.ForEachRange(smallLo, smallHi, f)
 }
 
 // decode performs Algorithm 1 on an extracted DIP set: class split, chain
 // recovery from the structured class size (Lemma 2 inverted), DIP_nc by
 // the bit-flip membership rule, shift/key-gate recovery, and full
 // structural validation A == W(chain) ⊕ s.
-func (a *attack) decode(dips map[uint64]struct{}) (*structured, error) {
-	n := a.layout.N()
-	if len(dips) == 0 {
+func (a *attack) decode(dips *DIPSet) (*structured, error) {
+	total := dips.Count()
+	if total == 0 {
 		return nil, fmt.Errorf("core: miter produced no DIPs (keys behave identically)")
 	}
-	top := uint64(1) << uint(n-1)
-	big := make(map[uint64]struct{})
-	small := make(map[uint64]struct{})
-	for p := range dips {
-		if p&top != 0 {
-			big[p] = struct{}{}
-		} else {
-			small[p] = struct{}{}
-		}
+	half := dips.Universe() / 2
+	c1 := dips.CountRange(half, dips.Universe())
+	c0 := total - c1
+	// The top half is the structured class unless the bottom half is
+	// strictly larger (preserving the former map-based tie behavior).
+	bigTop := c0 <= c1
+	nBig := c1
+	if !bigTop {
+		nBig = c0
 	}
-	if len(small) > len(big) {
-		big, small = small, big
-	}
-	st := &structured{big: big, small: small, total: len(dips), nBig: uint64(len(big))}
+	st := &structured{dips: dips, bigTop: bigTop, total: total, nBig: nBig}
 
-	chainH, err := ChainFromDIPCount(st.nBig, n)
+	chainH, err := ChainFromDIPCount(st.nBig, a.layout.N())
 	if err != nil {
 		return nil, err
 	}
@@ -221,12 +262,13 @@ func (a *attack) decode(dips map[uint64]struct{}) (*structured, error) {
 	// when bit 0 is flipped (Algorithm 1, line 9).
 	var dipNC uint64
 	found := 0
-	for p := range big {
-		if _, in := big[p^1]; !in {
+	st.forEachBig(func(p uint64) bool {
+		if !st.inBig(p ^ 1) {
 			dipNC = p
 			found++
 		}
-	}
+		return true
+	})
 	if found != 1 {
 		return nil, fmt.Errorf("core: %d non-repeating DIP candidates, want exactly 1", found)
 	}
@@ -235,7 +277,7 @@ func (a *attack) decode(dips map[uint64]struct{}) (*structured, error) {
 
 	// Structural validation: big == W ⊕ s.
 	for _, w := range st.wList {
-		if _, in := big[w^st.s]; !in {
+		if !st.inBig(w ^ st.s) {
 			return nil, fmt.Errorf("core: structured class does not match the recovered chain")
 		}
 	}
@@ -254,20 +296,26 @@ func (a *attack) decode(dips map[uint64]struct{}) (*structured, error) {
 func (a *attack) deltaCandidates(st *structured) []uint64 {
 	n := a.layout.N()
 	mask := blockMask(n)
-	if len(st.small) == 0 {
+	if st.nSmall() == 0 {
 		// No suppression at all: the blocks are perfectly aligned (δ = 0).
 		return []uint64{0}
 	}
 	sSmall := ^st.s & mask
 	// The theory gives small = (W ∖ V) ⊕ ¬s with V = {w : w⊕δ ∈ W}; any
 	// element outside W ⊕ ¬s disproves the current hypothesis.
-	present := make(map[uint64]struct{}, len(st.small))
-	for p := range st.small {
+	present := make(map[uint64]struct{}, st.nSmall())
+	mismatch := false
+	st.forEachSmall(func(p uint64) bool {
 		w := p ^ sSmall
 		if _, in := st.wSet[w]; !in {
-			return nil
+			mismatch = true
+			return false
 		}
 		present[w] = struct{}{}
+		return true
+	})
+	if mismatch {
+		return nil
 	}
 	var v []uint64
 	for _, w := range st.wList {
@@ -403,7 +451,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	a.logf("extracted |I_l| = %d", len(dips))
+	a.logf("extracted |I_l| = %d", dips.Count())
 	st, err := a.decode(dips)
 	if err != nil {
 		return nil, err
@@ -545,18 +593,20 @@ func (a *attack) simDistinguish(keyA, keyB []bool, st *structured) ([]bool, bool
 	wnc := NonControllingPattern(st.chainH)
 	patterns := []uint64{wnc, ^wnc & mask, st.dipNC, ^st.dipNC & mask}
 	budget := 4096
-	for p := range st.big {
+	st.forEachBig(func(p uint64) bool {
 		if len(patterns) >= budget/2 {
-			break
+			return false
 		}
 		patterns = append(patterns, p)
-	}
-	for p := range st.small {
+		return true
+	})
+	st.forEachSmall(func(p uint64) bool {
 		if len(patterns) >= 3*budget/4 {
-			break
+			return false
 		}
 		patterns = append(patterns, p)
-	}
+		return true
+	})
 	for len(patterns) < budget {
 		patterns = append(patterns, a.rng.Uint64()&mask)
 	}
@@ -740,17 +790,18 @@ func (a *attack) probePatterns(st *structured, budget int) []uint64 {
 	// corrupts ¬w_nc instead.
 	wnc := NonControllingPattern(st.chainH)
 	out := []uint64{wnc, ^wnc & mask, st.dipNC, ^st.dipNC & mask}
-	take := func(m map[uint64]struct{}, k int) {
-		for p := range m {
+	take := func(walk func(func(uint64) bool), k int) {
+		walk(func(p uint64) bool {
 			if k == 0 {
-				return
+				return false
 			}
 			out = append(out, p)
 			k--
-		}
+			return true
+		})
 	}
-	take(st.big, budget/2)
-	take(st.small, budget/4)
+	take(st.forEachBig, budget/2)
+	take(st.forEachSmall, budget/4)
 	for i := 0; i < budget/4+1; i++ {
 		out = append(out, a.rng.Uint64()&mask)
 	}
@@ -784,13 +835,7 @@ func (a *attack) verifyKeyOnDIPs(key []bool, st *structured) error {
 			keyWords[i] = ^uint64(0)
 		}
 	}
-	all := make([]uint64, 0, len(st.big)+len(st.small))
-	for p := range st.big {
-		all = append(all, p)
-	}
-	for p := range st.small {
-		all = append(all, p)
-	}
+	all := st.dips.Elements()
 	in := make([]uint64, nIn)
 	for base := 0; base < len(all); base += 64 {
 		end := base + 64
@@ -853,7 +898,7 @@ func (a *attack) report(active int, calib uint64, st *structured, aActive, aCali
 		KeyGates2:       kgFromMask(a2, n),
 		Case:            cas,
 		AlignedDIPs:     st.nBig,
-		TotalDIPs:       uint64(st.total),
+		TotalDIPs:       st.total,
 		Calibrations:    a.calibrations,
 		CandidatesTried: a.candidates,
 		OracleQueries:   a.queries,

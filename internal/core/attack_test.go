@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/lock"
@@ -180,12 +181,15 @@ func TestAttackAlignedMatchesLemma2(t *testing.T) {
 	}
 }
 
-// TestExtractorsAgree cross-checks the SAT and simulation engines on the
-// same instances and assignments.
+// TestExtractorsAgree cross-checks the extraction engines on the same
+// instances and assignments for every chain width n ≤ 16: the sharded
+// parallel simulation extractor must return a DIPSet bit-identical to
+// the sequential (workers = 1) extractor at every width, and both must
+// match the SAT engine where full SAT enumeration is affordable.
 func TestExtractorsAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	for trial := 0; trial < 8; trial++ {
-		n := 3 + rng.Intn(4)
+	const satWidthMax = 10 // SAT enumerates one model per DIP; cap its share
+	for n := 3; n <= 16; n++ {
 		h := host(t, n+2)
 		locked, _, err := lock.ApplyCAS(h, lock.CASOptions{Chain: randomChain(rng, n), Seed: rng.Int63()})
 		if err != nil {
@@ -195,47 +199,73 @@ func TestExtractorsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		satEx, err := NewSATExtractor(locked.Circuit, layout)
+		var satEx *SATExtractor
+		if n <= satWidthMax {
+			satEx, err = NewSATExtractor(locked.Circuit, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		seqEx, err := NewSimExtractor(locked.Circuit, layout, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		simEx, err := NewSimExtractor(locked.Circuit, layout, 3)
+		seqEx.SetWorkers(1)
+		parEx, err := NewSimExtractor(locked.Circuit, layout, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
+		workers := runtime.NumCPU()
+		if workers < 3 {
+			workers = 3 // exercise real sharding even on small machines
+		}
+		parEx.SetWorkers(workers)
 		nk := locked.Circuit.NumKeys()
-		for round := 0; round < 3; round++ {
+		for round := 0; round < 2; round++ {
 			assign := PairAssign{A: make([]bool, nk), B: make([]bool, nk)}
 			for i := 0; i < nk; i++ {
 				assign.A[i] = rng.Intn(2) == 1
 				assign.B[i] = rng.Intn(2) == 1
 			}
+			seq, err := seqEx.DIPs(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := parEx.DIPs(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Equal(par) {
+				t.Fatalf("n=%d: parallel DIP set differs from sequential (%d vs %d DIPs)",
+					n, par.Count(), seq.Count())
+			}
+			cseq, err := seqEx.Classes(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpar, err := parEx.Classes(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cseq != cpar {
+				t.Fatalf("n=%d: parallel class sizes differ: %+v vs %+v", n, cpar, cseq)
+			}
+			if satEx == nil {
+				continue
+			}
 			a, err := satEx.DIPs(assign)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := simEx.DIPs(assign)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(a) != len(b) {
-				t.Fatalf("trial %d: SAT %d DIPs, sim %d", trial, len(a), len(b))
-			}
-			for p := range a {
-				if _, in := b[p]; !in {
-					t.Fatalf("trial %d: pattern %b only in SAT set", trial, p)
-				}
+			if !a.Equal(seq) {
+				t.Fatalf("n=%d: SAT %d DIPs, sim %d, sets differ", n, a.Count(), seq.Count())
 			}
 			ca, err := satEx.Classes(assign)
 			if err != nil {
 				t.Fatal(err)
 			}
-			cb, err := simEx.Classes(assign)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if ca.Big != cb.Big || ca.Small != cb.Small {
-				t.Fatalf("trial %d: class sizes differ: %+v vs %+v", trial, ca, cb)
+			if ca.Big != cseq.Big || ca.Small != cseq.Small {
+				t.Fatalf("n=%d: class sizes differ: %+v vs %+v", n, ca, cseq)
 			}
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/cnf"
 	"repro/internal/miter"
@@ -33,8 +35,8 @@ type Extractor interface {
 	// BlockWidth returns n, the chain width.
 	BlockWidth() int
 	// DIPs exactly enumerates the block-input patterns on which the two
-	// copies disagree.
-	DIPs(assign PairAssign) (map[uint64]struct{}, error)
+	// copies disagree, as a packed bitset over the 2^n pattern space.
+	DIPs(assign PairAssign) (*DIPSet, error)
 	// Classes returns the sizes of the DIP set's two bit-(n-1) classes,
 	// possibly by sampling.
 	Classes(assign PairAssign) (ClassSizes, error)
@@ -51,10 +53,21 @@ type Extractor interface {
 
 // SATExtractor enumerates DIPs with a SAT solver over the full locked
 // netlist, exactly as the paper does (CryptoMiniSat in the original).
+// The fixed-key miter and its Tseitin encoding are memoized per key
+// assignment: repeated extractions under the same assignment (DIPs then
+// Classes, or the attack's re-extraction passes) replay the cached
+// clauses into a fresh solver instead of rebuilding the miter circuit
+// and re-encoding it.
 type SATExtractor struct {
 	locked *netlist.Circuit
 	layout *BlockLayout
 	count  int
+
+	// Memoized compilation of the last assignment.
+	memoA, memoB []bool
+	memoForm     *cnf.Formula
+	memoDiff     cnf.Lit
+	memoBlock    []cnf.Lit
 }
 
 // NewSATExtractor builds a SAT-based extractor.
@@ -74,33 +87,69 @@ func (e *SATExtractor) BlockWidth() int { return e.layout.N() }
 // Extractions implements Extractor.
 func (e *SATExtractor) Extractions() int { return e.count }
 
-// DIPs implements Extractor: it builds the fixed-key miter, Tseitin
-// encodes it into a fresh solver, and enumerates models, blocking each
-// found block-input pattern (the projection onto the chain inputs) so
-// every DIP is reported once.
-func (e *SATExtractor) DIPs(assign PairAssign) (map[uint64]struct{}, error) {
-	e.count++
+// compile builds (or reuses) the fixed-key miter encoding for assign:
+// the Tseitin clauses, the disagreement literal and the block-input
+// literals in chain order.
+func (e *SATExtractor) compile(assign PairAssign) error {
+	if boolsEqual(e.memoA, assign.A) && boolsEqual(e.memoB, assign.B) {
+		return nil
+	}
 	m, err := miter.NewFixedKey(e.locked, assign.A, assign.B)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	solver := sat.New()
-	enc, err := cnf.EncodeInto(m, solver)
+	form := &cnf.Formula{}
+	enc, err := cnf.EncodeInto(m, form)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	diff := enc.OutputLits(m)[0]
-	solver.Add(diff) // only interested in disagreement witnesses
 	inLits := enc.InputLits(m)
 	blockLits := make([]cnf.Lit, e.layout.N())
 	for i, pos := range e.layout.InputPos {
 		blockLits[i] = inLits[pos]
 	}
-	out := make(map[uint64]struct{})
+	e.memoA = append(e.memoA[:0], assign.A...)
+	e.memoB = append(e.memoB[:0], assign.B...)
+	e.memoForm = form
+	e.memoDiff = enc.OutputLits(m)[0]
+	e.memoBlock = blockLits
+	return nil
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return len(a) > 0
+}
+
+// DIPs implements Extractor: it replays the (memoized) fixed-key miter
+// encoding into a fresh solver and enumerates models, blocking each
+// found block-input pattern (the projection onto the chain inputs) so
+// every DIP is reported once. The blocking-clause buffer is allocated
+// once per enumeration and reused across models.
+func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
+	e.count++
+	if err := e.compile(assign); err != nil {
+		return nil, err
+	}
+	solver := sat.New()
+	solver.EnsureVars(e.memoForm.NumVars)
+	solver.AddFormula(e.memoForm)
+	solver.Add(e.memoDiff) // only interested in disagreement witnesses
+	out, err := NewDIPSet(e.layout.N())
+	if err != nil {
+		return nil, err
+	}
+	blocking := make([]cnf.Lit, len(e.memoBlock))
 	for solver.Solve() == sat.Sat {
 		var pat uint64
-		blocking := make([]cnf.Lit, len(blockLits))
-		for i, l := range blockLits {
+		for i, l := range e.memoBlock {
 			if solver.ModelValue(l) {
 				pat |= 1 << uint(i)
 				blocking[i] = l.Neg()
@@ -108,10 +157,10 @@ func (e *SATExtractor) DIPs(assign PairAssign) (map[uint64]struct{}, error) {
 				blocking[i] = l
 			}
 		}
-		if _, dup := out[pat]; dup {
+		if out.Contains(pat) {
 			return nil, fmt.Errorf("core: SAT enumeration returned duplicate pattern %b", pat)
 		}
-		out[pat] = struct{}{}
+		out.Add(pat)
 		solver.Add(blocking...)
 	}
 	return out, nil
@@ -123,32 +172,30 @@ func (e *SATExtractor) Classes(assign PairAssign) (ClassSizes, error) {
 	if err != nil {
 		return ClassSizes{}, err
 	}
-	return classSizesOf(dips, e.layout.N()), nil
+	return classSizesOf(dips), nil
 }
 
-func classSizesOf(dips map[uint64]struct{}, n int) ClassSizes {
-	top := uint64(1) << uint(n-1)
-	var c0, c1 float64
-	for p := range dips {
-		if p&top != 0 {
-			c1++
-		} else {
-			c0++
-		}
+// classSizesOf splits a DIP set by its top bit — with the packed
+// representation the two classes are the two halves of the bitset, so
+// the split is two popcount scans.
+func classSizesOf(dips *DIPSet) ClassSizes {
+	half := dips.Universe() / 2
+	c1 := dips.CountRange(half, dips.Universe())
+	c0 := dips.Count() - c1
+	big, small := float64(c0), float64(c1)
+	if big < small {
+		big, small = small, big
 	}
-	if c0 < c1 {
-		c0, c1 = c1, c0
-	}
-	return ClassSizes{Big: c0, Small: c1, Exact: true}
+	return ClassSizes{Big: big, Small: small, Exact: true}
 }
 
 // ---------------------------------------------------------------------
-// ---------------------------------------------------------------------
-// Simulation-based extractor: bit-parallel exhaustive enumeration over
-// the key-dependent subcircuit. Functionally identical to the SAT path
-// (verified by a construction-time self-check against full-netlist
-// simulation and by cross-engine tests), but fast enough for the paper's
-// 64-bit-key instances, whose DIP sets reach 8.5M patterns.
+// Simulation-based extractor: sharded multi-core bit-parallel exhaustive
+// enumeration over the key-dependent subcircuit. Functionally identical
+// to the SAT path (verified by a construction-time self-check against
+// full-netlist simulation and by cross-engine tests), but fast enough
+// for the paper's 64-bit-key instances, whose DIP sets reach 8.5M
+// patterns over a 2^32 block space.
 // ---------------------------------------------------------------------
 
 // simOp is one gate of the compiled key-cone program. Source operands
@@ -165,6 +212,15 @@ type simOp struct {
 // the key-dependent cone of the locked netlist, with all other cone side
 // inputs held constant. Constructing one runs a randomized self-check
 // that the cone's disagreement signal matches full-netlist disagreement.
+//
+// Enumeration is sharded across worker goroutines: the 2^n pattern space
+// is partitioned into contiguous word-aligned shards, one worker per
+// shard. Each worker evaluates a private clone of the compiled program
+// (the register file is mutated per batch and is not concurrency-safe;
+// clones are recycled through a sync.Pool) and deposits its 64-pattern
+// disagreement masks into the word range of the result bitset it alone
+// owns, so the merge is free and the result is bit-identical for every
+// worker count.
 type SimExtractor struct {
 	layout  *BlockLayout
 	n       int
@@ -173,6 +229,7 @@ type SimExtractor struct {
 	outRegs []int
 	regs    int // register count of the compiled cone (excluding copies)
 	count   int
+	workers int // 0 = GOMAXPROCS
 }
 
 // NewSimExtractor compiles the key cone of the locked circuit and
@@ -182,7 +239,7 @@ func NewSimExtractor(locked *netlist.Circuit, layout *BlockLayout, seed int64) (
 		return nil, err
 	}
 	n := layout.N()
-	if n > 48 {
+	if n > maxDenseBits {
 		return nil, fmt.Errorf("core: %d chain inputs beyond exhaustive enumeration", n)
 	}
 	mask := locked.TransitiveFanout(locked.Keys()...)
@@ -246,6 +303,34 @@ func (e *SimExtractor) BlockWidth() int { return e.n }
 // Extractions implements Extractor.
 func (e *SimExtractor) Extractions() int { return e.count }
 
+// SetWorkers sets the number of shard workers used per enumeration.
+// 0 (the default) resolves to GOMAXPROCS at enumeration time; 1 forces
+// the single-goroutine path. The result is bit-identical regardless of
+// the worker count.
+func (e *SimExtractor) SetWorkers(k int) { e.workers = k }
+
+// Workers reports the configured worker count (0 = GOMAXPROCS).
+func (e *SimExtractor) Workers() int { return e.workers }
+
+// minBatchesPerWorker keeps tiny enumerations on one goroutine: below
+// this many 64-pattern batches per shard the spawn overhead dominates.
+const minBatchesPerWorker = 256
+
+// shardPlan resolves the effective worker count for nBatches batches.
+func (e *SimExtractor) shardPlan(nBatches uint64) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if max := nBatches / minBatchesPerWorker; uint64(w) > max {
+		w = int(max)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Opcode space of the prepared program's hot loop.
 const (
 	pAnd uint8 = iota
@@ -271,11 +356,23 @@ type pop struct {
 // constants of copy A (and, for keys whose two copies differ, a second
 // register with copy B's value); gates untouched by differing keys are
 // evaluated once and shared, the rest are duplicated.
+//
+// ops and outs are immutable after prepare; regs is the mutable register
+// bank the hot loop writes, so a prepared program serves ONE goroutine —
+// shard workers run on clones (see clone).
 type prepared struct {
 	n    int
 	ops  []pop
 	regs []uint64   // template: key constants baked in, inputs written per batch
 	outs [][2]int32 // (A,B) register pairs whose XOR is the disagreement
+}
+
+// clone returns a copy with a private register bank; the compiled ops
+// and output pairs are shared read-only.
+func (p *prepared) clone() *prepared {
+	q := *p
+	q.regs = append([]uint64(nil), p.regs...)
+	return &q
 }
 
 // prepare compiles the cone for one key-pair assignment.
@@ -429,16 +526,37 @@ func (p *prepared) diff(block []uint64) uint64 {
 	return d
 }
 
-// enumerate walks the whole 2^n block space in 64-pattern batches,
-// invoking visit with the base pattern and the disagreement mask.
-func (p *prepared) enumerate(visit func(base uint64, diff uint64)) {
+// laneMask returns the valid-lane mask of one 64-pattern batch: all-ones
+// except for n < 6 blocks, whose single batch has only 2^n live lanes.
+func (p *prepared) laneMask() uint64 {
+	if p.n >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (uint64(1) << uint(p.n))) - 1
+}
+
+// numBatches returns the number of 64-pattern batches covering the
+// block space.
+func (p *prepared) numBatches() uint64 {
+	if p.n <= 6 {
+		return 1
+	}
+	return uint64(1) << uint(p.n-6)
+}
+
+// enumerateShard walks batches [startB, endB) of the block space,
+// invoking visit with the base pattern and the (lane-masked)
+// disagreement mask of each 64-pattern batch. Callers running shards
+// concurrently must give each shard its own prepared clone.
+func (p *prepared) enumerateShard(startB, endB uint64, visit func(base, diff uint64)) {
 	n := p.n
+	mask := p.laneMask()
 	block := make([]uint64, n)
-	total := uint64(1) << uint(n)
 	for i := 0; i < n && i < 6; i++ {
 		block[i] = lanePattern(i)
 	}
-	for base := uint64(0); base < total; base += 64 {
+	for b := startB; b < endB; b++ {
+		base := b << 6
 		for i := 6; i < n; i++ {
 			if base&(1<<uint(i)) != 0 {
 				block[i] = ^uint64(0)
@@ -446,11 +564,45 @@ func (p *prepared) enumerate(visit func(base uint64, diff uint64)) {
 				block[i] = 0
 			}
 		}
-		visit(base, p.diff(block))
-		if total < 64 {
-			break
-		}
+		visit(base, p.diff(block)&mask)
 	}
+}
+
+// shardBounds partitions [0, nBatches) into w contiguous ranges.
+func shardBounds(nBatches uint64, w int) []uint64 {
+	bounds := make([]uint64, w+1)
+	for i := 0; i <= w; i++ {
+		bounds[i] = nBatches * uint64(i) / uint64(w)
+	}
+	return bounds
+}
+
+// runSharded executes fn(worker, startB, endB, clone) for every shard on
+// its own goroutine, each with a private prepared clone drawn from a
+// sync.Pool. The template is only ever a clone source here — handing it
+// to a worker too would let one goroutine mutate its register bank while
+// another clones it. The single-shard case runs inline on the template.
+func runSharded(tpl *prepared, nBatches uint64, w int, fn func(shard int, startB, endB uint64, pr *prepared)) {
+	if w <= 1 {
+		fn(0, 0, nBatches, tpl)
+		return
+	}
+	pool := sync.Pool{New: func() any { return tpl.clone() }}
+	bounds := shardBounds(nBatches, w)
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		if bounds[s] == bounds[s+1] {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pr := pool.Get().(*prepared)
+			fn(s, bounds[s], bounds[s+1], pr)
+			pool.Put(pr)
+		}(s)
+	}
+	wg.Wait()
 }
 
 // lanePattern gives input i (i < 6) its within-word enumeration pattern:
@@ -473,23 +625,25 @@ func lanePattern(i int) uint64 {
 	panic("lanePattern: index out of range")
 }
 
-// DIPs implements Extractor.
-func (e *SimExtractor) DIPs(assign PairAssign) (map[uint64]struct{}, error) {
+// DIPs implements Extractor: the sharded exhaustive walk. Every shard
+// deposits its disagreement masks directly into the word range of the
+// result bitset it owns — per-batch word indices are disjoint across
+// shards, so the workers are lock-free and the "merge" is the identity.
+func (e *SimExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	p, err := e.prepare(assign)
 	if err != nil {
 		return nil, err
 	}
 	e.count++
-	out := make(map[uint64]struct{})
-	total := uint64(1) << uint(e.n)
-	p.enumerate(func(base, diff uint64) {
-		for diff != 0 {
-			l := trailingZeros(diff)
-			diff &^= 1 << uint(l)
-			if v := base + uint64(l); v < total {
-				out[v] = struct{}{}
-			}
-		}
+	out, err := NewDIPSet(e.n)
+	if err != nil {
+		return nil, err
+	}
+	nBatches := p.numBatches()
+	runSharded(p, nBatches, e.shardPlan(nBatches), func(_ int, startB, endB uint64, pr *prepared) {
+		pr.enumerateShard(startB, endB, func(base, diff uint64) {
+			out.setWord(base>>6, diff)
+		})
 	})
 	return out, nil
 }
@@ -503,55 +657,102 @@ const exactClassBits = 26
 const sampleBatches = 1 << 14
 
 // Classes implements Extractor: exact for small blocks, sampled above
-// exactClassBits.
+// exactClassBits. Both paths are sharded across workers, and both
+// accumulate integer counts per shard before converting, so the result
+// is bit-identical for every worker count.
 func (e *SimExtractor) Classes(assign PairAssign) (ClassSizes, error) {
 	p, err := e.prepare(assign)
 	if err != nil {
 		return ClassSizes{}, err
 	}
 	e.count++
-	top := uint64(1) << uint(e.n-1)
 	if e.n <= exactClassBits {
-		var c0, c1 float64
-		total := uint64(1) << uint(e.n)
-		p.enumerate(func(base, diff uint64) {
-			for diff != 0 {
-				l := trailingZeros(diff)
-				diff &^= 1 << uint(l)
-				if v := base + uint64(l); v < total {
-					if v&top != 0 {
-						c1++
-					} else {
-						c0++
-					}
-				}
+		return e.classesExact(p)
+	}
+	return e.classesSampled(p)
+}
+
+// classesExact walks the whole block space, counting the two top-bit
+// classes per shard.
+func (e *SimExtractor) classesExact(p *prepared) (ClassSizes, error) {
+	top := uint64(1) << uint(e.n-1)
+	var topMaskInWord uint64 // for n ≤ 6 the top bit varies within a word
+	if e.n <= 6 {
+		topMaskInWord = lanePattern(e.n - 1)
+	}
+	nBatches := p.numBatches()
+	w := e.shardPlan(nBatches)
+	counts := make([][2]uint64, w) // per-shard accumulators: no sharing, no locks
+	runSharded(p, nBatches, w, func(shard int, startB, endB uint64, pr *prepared) {
+		var c0, c1 uint64
+		pr.enumerateShard(startB, endB, func(base, diff uint64) {
+			if e.n <= 6 {
+				c1 += uint64(popcount64(diff & topMaskInWord))
+				c0 += uint64(popcount64(diff &^ topMaskInWord))
+			} else if base&top != 0 {
+				c1 += uint64(popcount64(diff))
+			} else {
+				c0 += uint64(popcount64(diff))
 			}
 		})
-		if c0 < c1 {
-			c0, c1 = c1, c0
-		}
-		return ClassSizes{Big: c0, Small: c1, Exact: true}, nil
+		counts[shard] = [2]uint64{c0, c1}
+	})
+	var c0, c1 uint64
+	for _, c := range counts {
+		c0 += c[0]
+		c1 += c[1]
 	}
-	// Sampled: random batches, scaled to the full space.
-	rng := rand.New(rand.NewSource(int64(e.count) * 977))
-	block := make([]uint64, e.n)
-	var c0, c1 float64
-	for b := 0; b < sampleBatches; b++ {
-		for i := range block {
-			block[i] = rng.Uint64()
-		}
-		diff := p.diff(block)
-		topMask := block[e.n-1]
-		c1 += float64(popcount64(diff & topMask))
-		c0 += float64(popcount64(diff &^ topMask))
-	}
-	scale := float64(uint64(1)<<uint(e.n)) / float64(sampleBatches*64)
-	c0 *= scale
-	c1 *= scale
 	if c0 < c1 {
 		c0, c1 = c1, c0
 	}
-	return ClassSizes{Big: c0, Small: c1, Exact: false}, nil
+	return ClassSizes{Big: float64(c0), Small: float64(c1), Exact: true}, nil
+}
+
+// classesSampled estimates the class sizes from random batches, scaled
+// to the full space. Each batch's patterns derive from a splitmix64
+// stream seeded by (extraction count, batch index), so the estimate does
+// not depend on how batches are distributed over workers.
+func (e *SimExtractor) classesSampled(p *prepared) (ClassSizes, error) {
+	seedBase := uint64(e.count) * 0x9e3779b97f4a7c15
+	w := e.shardPlan(sampleBatches)
+	counts := make([][2]uint64, w)
+	runSharded(p, sampleBatches, w, func(shard int, startB, endB uint64, pr *prepared) {
+		var c0, c1 uint64
+		block := make([]uint64, e.n)
+		for b := startB; b < endB; b++ {
+			state := seedBase ^ (b+1)*0xbf58476d1ce4e5b9
+			for i := range block {
+				block[i] = splitmix64(&state)
+			}
+			diff := pr.diff(block)
+			topMask := block[e.n-1]
+			c1 += uint64(popcount64(diff & topMask))
+			c0 += uint64(popcount64(diff &^ topMask))
+		}
+		counts[shard] = [2]uint64{c0, c1}
+	})
+	var c0, c1 uint64
+	for _, c := range counts {
+		c0 += c[0]
+		c1 += c[1]
+	}
+	scale := float64(uint64(1)<<uint(e.n)) / float64(sampleBatches*64)
+	b, s := float64(c0)*scale, float64(c1)*scale
+	if b < s {
+		b, s = s, b
+	}
+	return ClassSizes{Big: b, Small: s, Exact: false}, nil
+}
+
+// splitmix64 advances the state and returns the next output of the
+// SplitMix64 stream — a tiny, seedable, allocation-free generator for
+// the sampling path.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 func (e *SimExtractor) checkAssign(assign PairAssign) error {

@@ -120,8 +120,8 @@ func TestPreparedSharesStaticCone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dips) != 0 {
-		t.Errorf("identical keys produced %d DIPs", len(dips))
+	if dips.Count() != 0 {
+		t.Errorf("identical keys produced %d DIPs", dips.Count())
 	}
 }
 

@@ -77,29 +77,43 @@ func lockScheme(scheme string, host *netlist.Circuit, seed int64) (*lock.Locked,
 	return nil, nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
 }
 
-// RunMatrix evaluates every attack against every scheme. satCap bounds
-// the SAT/AppSAT iteration budgets.
+// RunMatrix evaluates every attack against every scheme with the
+// default worker pool (GOMAXPROCS).
 func RunMatrix(hostInputs, satCap int, seed int64) ([]MatrixCell, error) {
+	return RunMatrixWorkers(hostInputs, satCap, seed, 0)
+}
+
+// RunMatrixWorkers evaluates the matrix on a bounded pool of workers
+// (≤ 0 means GOMAXPROCS). Cells are independent: every cell locks and
+// attacks its own clone of the shared host (netlist circuits cache
+// their topological order lazily and simulators are single-goroutine
+// objects, so sharing one host across concurrent cells would race).
+// Cell order — and every cell's outcome, which is fixed by the seeds —
+// is independent of the worker count.
+func RunMatrixWorkers(hostInputs, satCap int, seed int64, workers int) ([]MatrixCell, error) {
 	host, err := synth.Generate(synth.Config{
 		Name: "mx", Inputs: hostInputs, Outputs: 4, Gates: 70, Seed: seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	var cells []MatrixCell
-	for si, scheme := range MatrixSchemes {
-		for _, attackName := range MatrixAttacks {
-			locked, keyCheck, err := lockScheme(scheme, host, seed+int64(si))
-			if err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			cell := runMatrixCell(scheme, attackName, host, locked, keyCheck, satCap, seed)
-			cell.Time = time.Since(start)
-			cells = append(cells, cell)
-		}
+	// Warm the lazy topo-order cache before the clones fan out.
+	if _, err := host.TopoOrder(); err != nil {
+		return nil, err
 	}
-	return cells, nil
+	nCols := len(MatrixAttacks)
+	return RunIndexed(len(MatrixSchemes)*nCols, workers, func(idx int) (MatrixCell, error) {
+		si, ai := idx/nCols, idx%nCols
+		h := host.Clone()
+		locked, keyCheck, err := lockScheme(MatrixSchemes[si], h, seed+int64(si))
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		start := time.Now()
+		cell := runMatrixCell(MatrixSchemes[si], MatrixAttacks[ai], h, locked, keyCheck, satCap, seed)
+		cell.Time = time.Since(start)
+		return cell, nil
+	})
 }
 
 func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *lock.Locked,

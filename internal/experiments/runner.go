@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers resolves a worker-count knob: values ≤ 0 mean
+// GOMAXPROCS.
+func DefaultWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// RunIndexed evaluates fn(0) … fn(n-1) on a bounded pool of worker
+// goroutines and returns the results in index order, so output ordering
+// is deterministic no matter how the pool schedules the work. The first
+// error encountered is returned (after in-flight work drains) and the
+// partial results are discarded; remaining unstarted indices are
+// skipped.
+func RunIndexed[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue // drain without running more work
+				}
+				r, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// RunTableIRows runs Table I rows concurrently on a bounded pool
+// (opts.Workers; ≤ 0 means GOMAXPROCS) and returns the results in row
+// order. Rows are independent — each generates its own host — so this
+// is safe parallelism with deterministic output.
+func RunTableIRows(rows []TableIRow, opts TableIOptions) ([]*TableIResult, error) {
+	return RunIndexed(len(rows), opts.Workers, func(i int) (*TableIResult, error) {
+		return RunTableIRow(rows[i], opts)
+	})
+}

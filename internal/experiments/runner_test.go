@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexedPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got, err := RunIndexed(40, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 40 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunIndexedPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := RunIndexed(64, 4, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 7 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// After the failure surfaces, remaining indices are skipped, so the
+	// pool must not have run everything (first-error short circuit). A
+	// scheduling race can legitimately run a few extra jobs, but not the
+	// whole input.
+	if ran.Load() == 64 {
+		t.Log("note: all jobs ran before the error surfaced (slow machine?)")
+	}
+}
+
+func TestRunIndexedEmpty(t *testing.T) {
+	got, err := RunIndexed(0, 8, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty run: %v, %v", got, err)
+	}
+}
+
+// TestRunTableIRowsMatchesSequential checks the parallel row runner
+// returns exactly what per-row sequential calls return, in row order.
+func TestRunTableIRowsMatchesSequential(t *testing.T) {
+	rows := TableI32[:2]
+	opts := TableIOptions{Seed: 1, MatchPaperRegime: true}
+	want := make([]*TableIResult, len(rows))
+	for i, row := range rows {
+		r, err := RunTableIRow(row, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	opts.Workers = 4
+	got, err := RunTableIRows(rows, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if got[i].Row.Benchmark != want[i].Row.Benchmark ||
+			got[i].MeasuredDIPs != want[i].MeasuredDIPs ||
+			got[i].AlignedDIPs != want[i].AlignedDIPs ||
+			got[i].KeyRecovered != want[i].KeyRecovered ||
+			got[i].ChainOK != want[i].ChainOK {
+			t.Errorf("row %d: parallel %+v != sequential %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -93,6 +93,9 @@ type TableIOptions struct {
 	// false the polarities are independent random, exercising the
 	// general attack path.
 	MatchPaperRegime bool
+	// Workers bounds both the row pool of RunTableIRows and the shard
+	// workers of each row's simulation extractor (≤ 0 means GOMAXPROCS).
+	Workers int
 }
 
 // RunTableIRow locks a synthetic host with the row's configuration and
@@ -131,9 +134,10 @@ func RunTableIRow(row TableIRow, opts TableIOptions) (*TableIResult, error) {
 
 	start := time.Now()
 	res, err := core.Run(core.Options{
-		Locked: locked.Circuit,
-		Oracle: orc,
-		Seed:   opts.Seed + 3,
+		Locked:  locked.Circuit,
+		Oracle:  orc,
+		Seed:    opts.Seed + 3,
+		Workers: opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: attack on %s/%s failed: %w", row.Benchmark, row.Chain, err)

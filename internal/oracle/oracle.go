@@ -8,6 +8,7 @@ package oracle
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netlist"
 )
@@ -26,16 +27,31 @@ type Oracle interface {
 	Query64(in []uint64) ([]uint64, error)
 }
 
+// BatchOracle is the optional batched extension of Oracle. Callers with
+// many independent Query64 batches in hand (parallel attack loops, DIP
+// replay) should type-assert for it and submit the batches in one call:
+// implementations evaluate them without taking a per-call lock, so the
+// batches proceed concurrently instead of serializing on the oracle.
+type BatchOracle interface {
+	Oracle
+	// EvalMany evaluates many packed 64-pattern batches. The result has
+	// one output slice per input batch, in input order.
+	EvalMany(ins [][]uint64) ([][]uint64, error)
+}
+
 // Sim is an Oracle backed by simulating the original (unlocked) netlist,
 // standing in for the activated chip of the paper's threat model. It
-// counts queries and is safe for concurrent use.
+// counts queries and is safe for concurrent use: each in-flight query
+// draws a private simulator from an internal pool (netlist simulators
+// are single-goroutine objects), and the query counters are atomics, so
+// concurrent callers never contend on a global lock.
 type Sim struct {
-	mu      sync.Mutex
-	sim     *netlist.Simulator
+	circuit *netlist.Circuit
+	pool    sync.Pool
 	inputs  int
 	outputs int
-	queries uint64 // single patterns evaluated (64 per Query64 call)
-	calls   uint64
+	queries atomic.Uint64 // single patterns evaluated (64 per Query64 call)
+	calls   atomic.Uint64
 }
 
 // NewSim wraps an original circuit as an oracle. The circuit must not
@@ -45,11 +61,25 @@ func NewSim(original *netlist.Circuit) (*Sim, error) {
 		return nil, fmt.Errorf("oracle: circuit %q still has %d key inputs; activate it first",
 			original.Name, original.NumKeys())
 	}
-	sim, err := netlist.NewSimulator(original)
+	// Build the first simulator eagerly: it surfaces construction errors
+	// (cycles, invalid gates) at wrap time and warms the circuit's
+	// topological-order cache before any concurrent use.
+	first, err := netlist.NewSimulator(original)
 	if err != nil {
 		return nil, err
 	}
-	return &Sim{sim: sim, inputs: original.NumInputs(), outputs: original.NumOutputs()}, nil
+	o := &Sim{circuit: original, inputs: original.NumInputs(), outputs: original.NumOutputs()}
+	o.pool.New = func() any {
+		s, err := netlist.NewSimulator(o.circuit)
+		if err != nil {
+			// Construction succeeded once in NewSim and the circuit is
+			// not mutated afterwards, so this cannot fail.
+			panic(fmt.Sprintf("oracle: simulator construction failed after successful warm-up: %v", err))
+		}
+		return s
+	}
+	o.pool.Put(first)
+	return o, nil
 }
 
 // MustNewSim is NewSim that panics on error.
@@ -69,40 +99,61 @@ func (o *Sim) NumOutputs() int { return o.outputs }
 
 // Query implements Oracle.
 func (o *Sim) Query(in []bool) ([]bool, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.queries++
-	o.calls++
-	return o.sim.Run(in, nil)
+	o.queries.Add(1)
+	o.calls.Add(1)
+	sim := o.pool.Get().(*netlist.Simulator)
+	out, err := sim.Run(in, nil)
+	if err != nil {
+		o.pool.Put(sim)
+		return nil, err
+	}
+	// Copy: the simulator owns its output buffer, and it goes back into
+	// the pool where another goroutine may overwrite it.
+	res := append([]bool(nil), out...)
+	o.pool.Put(sim)
+	return res, nil
 }
 
 // Query64 implements Oracle.
 func (o *Sim) Query64(in []uint64) ([]uint64, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.queries += 64
-	o.calls++
-	out, err := o.sim.Run64(in, nil)
+	o.queries.Add(64)
+	o.calls.Add(1)
+	sim := o.pool.Get().(*netlist.Simulator)
+	out, err := sim.Run64(in, nil)
 	if err != nil {
+		o.pool.Put(sim)
 		return nil, err
 	}
-	// Copy: the simulator owns its output buffer.
-	return append([]uint64(nil), out...), nil
+	res := append([]uint64(nil), out...)
+	o.pool.Put(sim)
+	return res, nil
+}
+
+// EvalMany implements BatchOracle: every batch is evaluated on the
+// caller's goroutine with one pooled simulator, but because nothing here
+// locks, many goroutines can be inside EvalMany (or Query/Query64)
+// simultaneously — the pool hands each a distinct simulator.
+func (o *Sim) EvalMany(ins [][]uint64) ([][]uint64, error) {
+	o.queries.Add(64 * uint64(len(ins)))
+	o.calls.Add(uint64(len(ins)))
+	sim := o.pool.Get().(*netlist.Simulator)
+	defer o.pool.Put(sim)
+	outs := make([][]uint64, len(ins))
+	for i, in := range ins {
+		out, err := sim.Run64(in, nil)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = append([]uint64(nil), out...)
+	}
+	return outs, nil
 }
 
 // Queries returns the number of input patterns evaluated so far.
-func (o *Sim) Queries() uint64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.queries
-}
+func (o *Sim) Queries() uint64 { return o.queries.Load() }
 
 // Calls returns the number of Query/Query64 invocations so far.
-func (o *Sim) Calls() uint64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.calls
-}
+func (o *Sim) Calls() uint64 { return o.calls.Load() }
 
 // Activate bakes a key into a locked circuit, producing the functional
 // circuit an oracle would simulate: key inputs become constants. It is

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/netlist"
@@ -59,6 +60,63 @@ func TestQuery64CopiesBuffer(t *testing.T) {
 	b, _ := o.Query64([]uint64{0, 0})
 	if a[0] != ^uint64(0) || b[0] != 0 {
 		t.Error("Query64 results alias an internal buffer")
+	}
+}
+
+func TestEvalMany(t *testing.T) {
+	o := MustNewSim(buildPlain())
+	outs, err := o.EvalMany([][]uint64{
+		{^uint64(0), ^uint64(0)},
+		{0xF0, 0xFF},
+		{0, ^uint64(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{^uint64(0), 0xF0, 0}
+	for i, w := range want {
+		if outs[i][0] != w {
+			t.Errorf("batch %d: got %x, want %x", i, outs[i][0], w)
+		}
+	}
+	if o.Queries() != 3*64 || o.Calls() != 3 {
+		t.Errorf("queries=%d calls=%d", o.Queries(), o.Calls())
+	}
+}
+
+// TestConcurrentQueries hammers one Sim from many goroutines mixing all
+// three query paths; run under -race this certifies the pool keeps the
+// single-goroutine simulators private and the counters atomic.
+func TestConcurrentQueries(t *testing.T) {
+	o := MustNewSim(buildPlain())
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				out, err := o.Query([]bool{true, true})
+				if err != nil || !out[0] {
+					t.Error("Query under concurrency")
+					return
+				}
+				o64, err := o.Query64([]uint64{^uint64(0), 0xFF})
+				if err != nil || o64[0] != 0xFF {
+					t.Error("Query64 under concurrency")
+					return
+				}
+				outs, err := o.EvalMany([][]uint64{{^uint64(0), ^uint64(0)}, {0, 0}})
+				if err != nil || outs[0][0] != ^uint64(0) || outs[1][0] != 0 {
+					t.Error("EvalMany under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Queries(); got != workers*50*(1+64+128) {
+		t.Errorf("queries = %d, want %d", got, workers*50*(1+64+128))
 	}
 }
 
