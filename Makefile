@@ -6,13 +6,15 @@
 #                   enumeration engine and experiment runners are
 #                   concurrent; data races are correctness bugs here)
 #   make vet        go vet
-#   make ci         build + vet + test + test-race
+#   make fuzz-smoke short coverage-guided fuzz of the bench parser
+#   make ci         build + vet + test + test-race + fuzz-smoke
 #   make bench      tier-1 benchmarks with allocation reporting
 #   make benchjson  refresh BENCH_core.json (the perf trajectory file)
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build test test-race vet ci bench benchjson
+.PHONY: build test test-race vet fuzz-smoke ci bench benchjson
 
 build:
 	$(GO) build ./...
@@ -26,7 +28,10 @@ test-race:
 vet:
 	$(GO) vet ./...
 
-ci: build vet test test-race
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzBenchRead -fuzztime $(FUZZTIME) ./internal/bench/
+
+ci: build vet test test-race fuzz-smoke
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .

@@ -4,9 +4,17 @@
 //
 //	caslock-attack -locked locked.bench -oracle orig.bench
 //	caslock-attack -locked mcas.bench -oracle orig.bench -mcas
+//	caslock-attack -locked locked.bench -oracle orig.bench -noise 1e-3 -retries 4
+//	caslock-attack -locked locked.bench -oracle orig.bench -timeout 30s
+//
+// Exit codes: 0 — key recovered (and SAT-proven unless -prove=false);
+// 3 — deadline/budget hit, partial structure reported; 1 — attack ran
+// but the key is wrong or an error occurred; 2 — usage error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +23,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
@@ -27,16 +36,51 @@ func main() {
 		mcas       = flag.Bool("mcas", false, "treat the design as Mirrored CAS-Lock (SPS-strip the outer instance first)")
 		seed       = flag.Int64("seed", 1, "attack sampling seed")
 		prove      = flag.Bool("prove", true, "SAT-prove the recovered key against the oracle netlist")
+		timeout    = flag.Duration("timeout", 0, "attack deadline (0 = none); on expiry the partial structure is printed and the exit code is 3")
+		retries    = flag.Int("retries", 0, "transient-failure retry budget and per-mismatch re-query count (0 = defaults)")
+		noise      = flag.Float64("noise", 0, "inject this per-output-bit flip rate into the oracle (demo; arms majority voting)")
+		votes      = flag.Int("votes", 0, "majority-vote repeats per oracle query (0 = auto: 5 when -noise > 0, else 1)")
 	)
 	flag.Parse()
-	if *lockedPath == "" || *oraclePath == "" {
+	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	locked := readBench(*lockedPath)
 	original := readBench(*oraclePath)
-	orc, err := oracle.NewSim(original)
+	sim, err := oracle.NewSim(original)
 	fatalIf(err)
+
+	// Oracle stack: simulator → (optional) fault injector → resilient
+	// decorator. The injector models a noisy activated chip; the
+	// decorator retries transients and majority-votes away bit flips.
+	var orc oracle.Oracle = sim
+	if *noise > 0 {
+		orc = faults.New(orc, faults.Config{FlipRate: *noise, TransientRate: *noise, Seed: *seed})
+	}
+	if *votes == 0 && *noise > 0 {
+		*votes = 5
+	}
+	var resilient *oracle.Resilient
+	if *noise > 0 || *retries > 0 || *votes > 1 {
+		resilient = oracle.NewResilient(orc, oracle.ResilientOptions{
+			Retries: *retries, Votes: *votes, Seed: *seed,
+		})
+		orc = resilient
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := core.Options{
+		Context:         ctx,
+		Oracle:          orc,
+		Seed:            *seed,
+		MismatchRetries: *retries,
+	}
 
 	start := time.Now()
 	var (
@@ -44,14 +88,15 @@ func main() {
 		fullKey []bool
 	)
 	if *mcas {
-		mres, err := core.RunMCAS(locked, orc, core.Options{Seed: *seed})
-		fatalIf(err)
+		mres, err := core.RunMCAS(locked, orc, opts)
+		exitIfFailed(err, resilient)
 		res = mres.Inner
 		fullKey = mres.Key
 		fmt.Printf("outer instance removed (flip probability %.4g)\n", mres.RemovedFlipProb)
 	} else {
-		res, err = core.Run(core.Options{Locked: locked, Oracle: orc, Seed: *seed})
-		fatalIf(err)
+		opts.Locked = locked
+		res, err = core.Run(opts)
+		exitIfFailed(err, resilient)
 		fullKey = res.Key
 	}
 	elapsed := time.Since(start)
@@ -65,6 +110,7 @@ func main() {
 	fmt.Printf("  structured |A|:  %d\n", res.AlignedDIPs)
 	fmt.Printf("  oracle queries:  %d\n", res.OracleQueries)
 	fmt.Printf("  key:             %s\n", keyString(fullKey))
+	printOracleStats(resilient)
 
 	if *prove {
 		ok, err := miter.ProveUnlockedHashed(locked, fullKey, original)
@@ -76,6 +122,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// exitIfFailed classifies an attack error: a PartialError reports the
+// recovered structure and exits 3; everything else exits 1.
+func exitIfFailed(err error, resilient *oracle.Resilient) {
+	if err == nil {
+		return
+	}
+	var pe *core.PartialError
+	if errors.As(err, &pe) {
+		fmt.Printf("attack interrupted during %s (cause: %v)\n", pe.Stage, pe.Err)
+		fmt.Printf("  partial structure recovered:\n")
+		fmt.Printf("    case:          %d\n", pe.Case)
+		if pe.Chain != nil {
+			fmt.Printf("    chain:         %s\n", pe.Chain)
+		}
+		if pe.KeyGates != nil {
+			fmt.Printf("    key gates:     %s\n", kgString(pe.KeyGates))
+		}
+		fmt.Printf("    DIPs so far:   %d\n", pe.DIPs)
+		fmt.Printf("    extractions:   %d\n", pe.Extractions)
+		printOracleStats(resilient)
+		os.Exit(3)
+	}
+	fmt.Fprintln(os.Stderr, "caslock-attack:", err)
+	os.Exit(1)
+}
+
+func printOracleStats(r *oracle.Resilient) {
+	if r == nil {
+		return
+	}
+	st := r.Stats()
+	fmt.Printf("  oracle resilience: %d sub-queries, %d retries, %d votes overruled\n",
+		st.SubQueries, st.Retries, st.VotesOverruled)
 }
 
 func kgString(kg []netlist.GateType) string {

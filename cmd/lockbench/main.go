@@ -5,14 +5,22 @@
 //
 //	lockbench
 //	lockbench -inputs 14 -satcap 600
-//	lockbench -workers 4   # bound the cell worker pool (0 = all cores)
+//	lockbench -workers 4          # bound the cell worker pool (0 = all cores)
+//	lockbench -timeout 2m         # deadline for the whole grid
+//	lockbench -noise 1e-3 -retries 4   # noisy oracles behind the resilient decorator
+//
+// Exit codes: 0 — grid completed; 3 — deadline hit (partial results are
+// not printed: cells are all-or-nothing); 1 — error; 2 — usage error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -22,11 +30,35 @@ func main() {
 		satCap  = flag.Int("satcap", 500, "SAT/AppSAT iteration cap")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		workers = flag.Int("workers", 0, "cell worker count (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "deadline for the whole grid (0 = none)")
+		retries = flag.Int("retries", 0, "oracle transient-retry budget and attack mismatch re-query count (0 = defaults)")
+		noise   = flag.Float64("noise", 0, "per-output-bit oracle flip rate injected into every cell (arms majority voting)")
 	)
 	flag.Parse()
-	cells, err := experiments.RunMatrixWorkers(*inputs, *satCap, *seed, *workers)
+	if *noise < 0 || *noise >= 1 || *timeout < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cells, err := experiments.RunMatrixOptions(experiments.MatrixOptions{
+		Context:    ctx,
+		HostInputs: *inputs,
+		SATCap:     *satCap,
+		Seed:       *seed,
+		Workers:    *workers,
+		Noise:      *noise,
+		Retries:    *retries,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		if errors.Is(err, core.ErrPartial) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 	experiments.PrintMatrix(os.Stdout, cells)

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBenchRead throws arbitrary text at the bench parser. The parser
+// must never panic, and any netlist it does accept must satisfy the
+// round-trip property: Write serializes it to text that Read accepts
+// again with identical port and gate counts.
+func FuzzBenchRead(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("# comment\nINPUT(G1)\nINPUT(G2)\nOUTPUT(G3)\nG3 = NAND(G1, G2)\n")
+	f.Add("INPUT(a)\nINPUT(keyinput0)\nOUTPUT(y)\ny = XOR(a, keyinput0)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n")
+	f.Add("input(a)\noutput(y)\ny = and(a, a)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n")
+	f.Add("OUTPUT(y)\ny = NOT(y)\n")
+	f.Add("INPUT(a)\n\n\nOUTPUT(a)\n")
+	f.Add("G3 = DFF(G1)\n")
+	f.Add(strings.Repeat("INPUT(x)\n", 40))
+
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := Read(strings.NewReader(data), ReadOptions{Name: "fuzz", KeyPrefix: DefaultKeyPrefix})
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		text, err := WriteString(c)
+		if err != nil {
+			t.Fatalf("accepted netlist failed to serialize: %v", err)
+		}
+		c2, err := ReadString("fuzz2", text)
+		if err != nil {
+			t.Fatalf("serialized form rejected: %v\n%s", err, text)
+		}
+		if c2.NumInputs() != c.NumInputs() || c2.NumKeys() != c.NumKeys() ||
+			c2.NumOutputs() != c.NumOutputs() || c2.NumGates() != c.NumGates() {
+			t.Fatalf("round trip changed shape: %d/%d/%d/%d → %d/%d/%d/%d",
+				c.NumInputs(), c.NumKeys(), c.NumOutputs(), c.NumGates(),
+				c2.NumInputs(), c2.NumKeys(), c2.NumOutputs(), c2.NumGates())
+		}
+	})
+}

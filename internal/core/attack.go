@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -37,6 +39,18 @@ type Options struct {
 	// (0 = GOMAXPROCS). Ignored when Extractor is supplied: configure
 	// the supplied extractor directly.
 	Workers int
+	// Context bounds the whole attack: cancellation and deadlines are
+	// honored inside extraction shards, sliced SAT runs, the
+	// calibration sweep and the oracle-verification loops. On
+	// expiration the attack returns a *PartialError carrying whatever
+	// structure it had recovered. Nil means context.Background().
+	Context context.Context
+	// MismatchRetries enables targeted re-querying for noisy oracles:
+	// when a candidate key disagrees with the oracle on a pattern, the
+	// pattern is re-queried 2·MismatchRetries+1 times and the
+	// disagreement only counts if the per-bit majority confirms it.
+	// 0 trusts every answer (the perfect-oracle model of the paper).
+	MismatchRetries int
 	// Seed drives probe sampling.
 	Seed int64
 	// Log, when non-nil, receives progress messages (stage boundaries,
@@ -123,7 +137,18 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 
-	a := &attack{opts: opts, layout: layout, ext: ext,
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Extractors that understand cancellation get the attack's context;
+	// a caller-supplied extractor may opt in by implementing the same
+	// SetContext method.
+	if ca, ok := ext.(interface{ SetContext(context.Context) }); ok {
+		ca.SetContext(ctx)
+	}
+
+	a := &attack{opts: opts, layout: layout, ext: ext, ctx: ctx,
 		rng: rand.New(rand.NewSource(opts.Seed ^ 0x5eed))}
 	var firstErr error
 	for _, active := range []int{1, 2} {
@@ -131,6 +156,12 @@ func Run(opts Options) (*Result, error) {
 		if err == nil {
 			res.Extractions = ext.Extractions()
 			return res, nil
+		}
+		// An interrupted hypothesis ends the attack: the deadline or
+		// oracle is gone, so trying the other hypothesis would only
+		// discard the partial structure already recovered.
+		if errors.Is(err, ErrPartial) {
+			return nil, err
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -143,6 +174,7 @@ type attack struct {
 	opts   Options
 	layout *BlockLayout
 	ext    Extractor
+	ctx    context.Context
 	rng    *rand.Rand
 
 	queries      uint64
@@ -243,7 +275,7 @@ func (a *attack) decode(dips *DIPSet) (*structured, error) {
 
 	chainH, err := ChainFromDIPCount(st.nBig, a.layout.N())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrLemma2, err)
 	}
 	if chainH.Terminator() != lock.ChainAnd {
 		return nil, fmt.Errorf("core: structured class implies an OR-terminated chain in reduced space; wrong hypothesis")
@@ -270,7 +302,7 @@ func (a *attack) decode(dips *DIPSet) (*structured, error) {
 		return true
 	})
 	if found != 1 {
-		return nil, fmt.Errorf("core: %d non-repeating DIP candidates, want exactly 1", found)
+		return nil, fmt.Errorf("%w: %d non-repeating DIP candidates, want exactly 1", ErrLemma2, found)
 	}
 	st.dipNC = dipNC
 	st.s = dipNC ^ NonControllingPattern(chainH)
@@ -278,11 +310,11 @@ func (a *attack) decode(dips *DIPSet) (*structured, error) {
 	// Structural validation: big == W ⊕ s.
 	for _, w := range st.wList {
 		if !st.inBig(w ^ st.s) {
-			return nil, fmt.Errorf("core: structured class does not match the recovered chain")
+			return nil, fmt.Errorf("%w: structured class does not match the recovered chain", ErrLemma2)
 		}
 	}
 	if uint64(len(st.wList)) != st.nBig {
-		return nil, fmt.Errorf("core: class size %d does not match chain one-point count %d", st.nBig, len(st.wList))
+		return nil, fmt.Errorf("%w: class size %d does not match chain one-point count %d", ErrLemma2, st.nBig, len(st.wList))
 	}
 	st.classOK = true
 	st.deltas = a.deltaCandidates(st)
@@ -442,13 +474,31 @@ func (a *attack) logf(format string, args ...any) {
 	}
 }
 
+// ctxErr reports the attack context's cancellation state.
+func (a *attack) ctxErr() error {
+	if a.ctx == nil {
+		return nil
+	}
+	return a.ctx.Err()
+}
+
 // runWithActive executes the full pipeline under one block-role
 // hypothesis.
 func (a *attack) runWithActive(active int) (*Result, error) {
 	n := a.layout.N()
+	if err := a.ctxErr(); err != nil {
+		return nil, a.partial("extract", active, nil, err)
+	}
 	a.logf("hypothesis active=%d: extracting DIP set (Lemma-1 assignment)", active)
 	dips, err := a.ext.DIPs(a.assign(active, 0))
 	if err != nil {
+		if cerr := a.ctxErr(); cerr != nil {
+			pe := a.partial("extract", active, nil, cerr)
+			if dips != nil {
+				pe.DIPs = dips.Count() // partially enumerated set
+			}
+			return nil, pe
+		}
 		return nil, err
 	}
 	a.logf("extracted |I_l| = %d", dips.Count())
@@ -464,8 +514,15 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		// bits from the last OR gate's input position upward until the
 		// small class shrinks (suppression appears), then re-extract and
 		// decode at that calibration.
+		prev := st
 		calib, st, err = a.calibrate(active, st)
 		if err != nil {
+			if cerr := a.ctxErr(); cerr != nil {
+				return nil, a.partial("calibrate", active, prev, cerr)
+			}
+			if errors.Is(err, errCalibrationBudget) {
+				return nil, a.partial("calibrate", active, prev, err)
+			}
 			return nil, err
 		}
 	}
@@ -494,11 +551,14 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	}
 	var survivors []scored
 	for _, cd := range cands {
+		if err := a.ctxErr(); err != nil {
+			return nil, a.partial("verify", active, st, err)
+		}
 		a.candidates++
 		key := a.buildKey(active, cd.aActive, cd.aCalib)
 		ok, err := a.probeKey(key, st)
 		if err != nil {
-			return nil, err
+			return nil, a.verifyErr(active, st, err)
 		}
 		if ok {
 			survivors = append(survivors, scored{cd, key})
@@ -511,16 +571,19 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 			if i == j {
 				continue
 			}
+			if err := a.ctxErr(); err != nil {
+				return nil, a.partial("verify", active, st, err)
+			}
 			witness, equivalent, err := a.distinguish(survivors[i].key, survivors[j].key, st)
 			if err != nil {
-				return nil, err
+				return nil, a.verifyErr(active, st, err)
 			}
 			if equivalent {
 				continue
 			}
 			iOK, err := a.agreesWithOracle(witness, survivors[i].key)
 			if err != nil {
-				return nil, err
+				return nil, a.verifyErr(active, st, err)
 			}
 			if !iOK {
 				alive = false
@@ -532,12 +595,36 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		key := survivors[i].key
 		a.logf("candidate %d: replaying all %d DIPs against the oracle", i, st.total)
 		if err := a.verifyKeyOnDIPs(key, st); err != nil {
+			if cerr := a.ctxErr(); cerr != nil {
+				return nil, a.partial("verify", active, st, cerr)
+			}
+			if errors.Is(err, oracle.ErrPermanent) {
+				return nil, a.verifyErr(active, st, err)
+			}
 			continue
 		}
 		a.logf("candidate %d verified on every DIP", i)
 		return a.report(active, calib, st, survivors[i].cd.aActive, survivors[i].cd.aCalib, key), nil
 	}
-	return nil, fmt.Errorf("core: no key candidate survived oracle verification")
+	// Every candidate of a decode that passed the Lemma-2 structural
+	// checks was killed by a concrete oracle disagreement. On a correct
+	// oracle that is impossible (the true key is always a candidate and
+	// never disagrees), so diagnose the oracle instead of guessing.
+	return nil, fmt.Errorf("%w: %d candidates eliminated", ErrOracleInconsistent, len(cands))
+}
+
+// verifyErr classifies an error raised while consulting the oracle
+// during candidate verification: cancellation and permanent oracle
+// failures become PartialError (the structure is already decoded; only
+// the adjudication is missing), anything else passes through.
+func (a *attack) verifyErr(active int, st *structured, err error) error {
+	if cerr := a.ctxErr(); cerr != nil {
+		return a.partial("verify", active, st, cerr)
+	}
+	if errors.Is(err, oracle.ErrPermanent) {
+		return a.partial("verify", active, st, err)
+	}
+	return err
 }
 
 // distinguish finds an input on which the locked circuit behaves
@@ -671,11 +758,58 @@ func (a *attack) agreesWithOracle(in []bool, key []bool) (bool, error) {
 	}
 	for i := range want {
 		if want[i] != got[i] {
-			return false, nil
+			confirmed, err := a.confirmDisagreement(in, key)
+			if err != nil {
+				return false, err
+			}
+			return !confirmed, nil
 		}
 	}
 	return true, nil
 }
+
+// confirmDisagreement re-adjudicates one oracle/candidate disagreement
+// for unreliable oracles: the pattern is re-queried 2·MismatchRetries+1
+// times, each output bit takes its majority value, and the disagreement
+// only stands if the denoised answer still differs from the candidate's
+// — Algorithm 1's targeted re-query for a noise-corrupted observation.
+// With MismatchRetries == 0 (the paper's perfect-oracle model) the
+// first answer is final.
+func (a *attack) confirmDisagreement(in []bool, key []bool) (bool, error) {
+	k := a.opts.MismatchRetries
+	if k <= 0 {
+		return true, nil
+	}
+	votes := 2*k + 1
+	counts := make([]int, a.opts.Oracle.NumOutputs())
+	for v := 0; v < votes; v++ {
+		out, err := a.opts.Oracle.Query(in)
+		if err != nil {
+			return false, err
+		}
+		a.queries++
+		for i, b := range out {
+			if b {
+				counts[i]++
+			}
+		}
+	}
+	got, err := a.opts.Locked.Eval(in, key)
+	if err != nil {
+		return false, err
+	}
+	for i := range got {
+		if (2*counts[i] > votes) != got[i] {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// errCalibrationBudget marks Algorithm-2 budget exhaustion, which the
+// caller reports as a PartialError (the chain is already decoded; only
+// the inter-block offset is missing).
+var errCalibrationBudget = errors.New("core: calibration budget exhausted")
 
 // calibrate is the paper's Algorithm-2 loop: brute force the calibration
 // block's key bits at positions OR_last .. n-2 (bit n-1 is redundant up
@@ -689,10 +823,13 @@ func (a *attack) calibrate(active int, st0 *structured) (uint64, *structured, er
 	}
 	limit := uint64(1) << uint(width)
 	if limit > a.opts.MaxCalibrations {
-		return 0, nil, fmt.Errorf("core: calibration space 2^%d exceeds MaxCalibrations", width)
+		return 0, nil, fmt.Errorf("%w: calibration space 2^%d exceeds MaxCalibrations", errCalibrationBudget, width)
 	}
 	bigN := float64(st0.nBig)
 	for cand := uint64(1); cand < limit; cand++ {
+		if err := a.ctxErr(); err != nil {
+			return 0, nil, err
+		}
 		a.calibrations++
 		c := cand << uint(orLast)
 		sizes, err := a.ext.Classes(a.assign(active, c))
@@ -756,6 +893,9 @@ func (a *attack) probeKey(key []bool, st *structured) (bool, error) {
 	}
 	probes := a.probePatterns(st, 96)
 	for _, block := range probes {
+		if err := a.ctxErr(); err != nil {
+			return false, err
+		}
 		in := a.embedBlockPattern(block)
 		want, err := a.opts.Oracle.Query(in)
 		if err != nil {
@@ -768,7 +908,14 @@ func (a *attack) probeKey(key []bool, st *structured) (bool, error) {
 		}
 		for i := range want {
 			if want[i] != got[i] {
-				return false, nil
+				confirmed, err := a.confirmDisagreement(in, key)
+				if err != nil {
+					return false, err
+				}
+				if confirmed {
+					return false, nil
+				}
+				break // noise: this probe is inconclusive, move on
 			}
 		}
 	}
@@ -838,6 +985,9 @@ func (a *attack) verifyKeyOnDIPs(key []bool, st *structured) error {
 	all := st.dips.Elements()
 	in := make([]uint64, nIn)
 	for base := 0; base < len(all); base += 64 {
+		if err := a.ctxErr(); err != nil {
+			return err
+		}
 		end := base + 64
 		if end > len(all) {
 			end = len(all)
@@ -868,8 +1018,30 @@ func (a *attack) verifyKeyOnDIPs(key []bool, st *structured) error {
 		if len(chunk) < 64 {
 			laneMask = (uint64(1) << uint(len(chunk))) - 1
 		}
+		var badLanes uint64
 		for i := range want {
-			if (want[i]^got[i])&laneMask != 0 {
+			badLanes |= (want[i] ^ got[i]) & laneMask
+		}
+		if badLanes == 0 {
+			continue
+		}
+		if a.opts.MismatchRetries <= 0 {
+			return fmt.Errorf("core: candidate key disagrees with the oracle on an extracted DIP")
+		}
+		// Targeted re-query: adjudicate each disagreeing lane alone
+		// before letting it sink the candidate.
+		for badLanes != 0 {
+			lane := trailingZeros(badLanes)
+			badLanes &^= 1 << uint(lane)
+			inB := make([]bool, nIn)
+			for i := range inB {
+				inB[i] = in[i]&(1<<uint(lane)) != 0
+			}
+			confirmed, err := a.confirmDisagreement(inB, key)
+			if err != nil {
+				return err
+			}
+			if confirmed {
 				return fmt.Errorf("core: candidate key disagrees with the oracle on an extracted DIP")
 			}
 		}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cnf"
 	"repro/internal/miter"
@@ -31,6 +33,11 @@ type ClassSizes struct {
 // locked circuit, reported as patterns over the n chain inputs (bit i of
 // a pattern = chain input i). Implementations must return each block
 // pattern at most once.
+//
+// Extractors honoring cancellation additionally implement
+// SetContext(context.Context); when the context expires mid-enumeration
+// DIPs returns the partially filled set alongside the context's error,
+// so callers can report progress.
 type Extractor interface {
 	// BlockWidth returns n, the chain width.
 	BlockWidth() int
@@ -62,6 +69,7 @@ type SATExtractor struct {
 	locked *netlist.Circuit
 	layout *BlockLayout
 	count  int
+	ctx    context.Context // nil = never cancelled
 
 	// Memoized compilation of the last assignment.
 	memoA, memoB []bool
@@ -86,6 +94,11 @@ func (e *SATExtractor) BlockWidth() int { return e.layout.N() }
 
 // Extractions implements Extractor.
 func (e *SATExtractor) Extractions() int { return e.count }
+
+// SetContext bounds subsequent enumerations: the model loop slices its
+// Solve calls with conflict budgets sized from the remaining deadline
+// and checks cancellation between slices.
+func (e *SATExtractor) SetContext(ctx context.Context) { e.ctx = ctx }
 
 // compile builds (or reuses) the fixed-key miter encoding for assign:
 // the Tseitin clauses, the disagreement literal and the block-input
@@ -128,11 +141,53 @@ func boolsEqual(a, b []bool) bool {
 	return len(a) > 0
 }
 
+// satSliceConflicts bounds one Solve slice when a context is attached
+// but carries no deadline (pure cancellation): large enough that the
+// slicing overhead vanishes, small enough that cancellation lands
+// within tens of milliseconds on typical encodings.
+const satSliceConflicts = 1 << 14
+
+// sliceBudget maps the remaining deadline onto a per-Solve conflict
+// budget. The first slice is a small fixed probe; afterwards the
+// observed conflict rate converts time-remaining into
+// conflicts-remaining, and half of that is granted per slice so the
+// deadline is re-examined a few times before it lands. 0 means
+// unbudgeted (no context).
+func (e *SATExtractor) sliceBudget(start time.Time, conflicts uint64) uint64 {
+	if e.ctx == nil {
+		return 0
+	}
+	deadline, ok := e.ctx.Deadline()
+	if !ok {
+		return satSliceConflicts
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return 1 // expired: the pre-Solve ctx check fires next iteration
+	}
+	elapsed := time.Since(start)
+	if conflicts == 0 || elapsed <= 0 {
+		return 1024
+	}
+	rate := float64(conflicts) / elapsed.Seconds() // conflicts per second
+	budget := uint64(rate * remaining.Seconds() / 2)
+	if budget < 256 {
+		budget = 256
+	}
+	if budget > 1<<20 {
+		budget = 1 << 20
+	}
+	return budget
+}
+
 // DIPs implements Extractor: it replays the (memoized) fixed-key miter
 // encoding into a fresh solver and enumerates models, blocking each
 // found block-input pattern (the projection onto the chain inputs) so
 // every DIP is reported once. The blocking-clause buffer is allocated
-// once per enumeration and reused across models.
+// once per enumeration and reused across models. With a context
+// attached the Solve calls run in conflict-budgeted slices sized from
+// the remaining deadline; on expiry the partially enumerated set is
+// returned with the context's error.
 func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	e.count++
 	if err := e.compile(assign); err != nil {
@@ -147,7 +202,21 @@ func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 		return nil, err
 	}
 	blocking := make([]cnf.Lit, len(e.memoBlock))
-	for solver.Solve() == sat.Sat {
+	start := time.Now()
+	for {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		solver.ConflictBudget = e.sliceBudget(start, solver.Stats().Conflicts)
+		st := solver.Solve()
+		if st == sat.Unknown {
+			continue // budget slice exhausted: recheck the context
+		}
+		if st == sat.Unsat {
+			return out, nil
+		}
 		var pat uint64
 		for i, l := range e.memoBlock {
 			if solver.ModelValue(l) {
@@ -163,7 +232,6 @@ func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 		out.Add(pat)
 		solver.Add(blocking...)
 	}
-	return out, nil
 }
 
 // Classes implements Extractor (exact, via DIPs).
@@ -229,7 +297,8 @@ type SimExtractor struct {
 	outRegs []int
 	regs    int // register count of the compiled cone (excluding copies)
 	count   int
-	workers int // 0 = GOMAXPROCS
+	workers int             // 0 = GOMAXPROCS
+	ctx     context.Context // nil = never cancelled
 }
 
 // NewSimExtractor compiles the key cone of the locked circuit and
@@ -311,6 +380,12 @@ func (e *SimExtractor) SetWorkers(k int) { e.workers = k }
 
 // Workers reports the configured worker count (0 = GOMAXPROCS).
 func (e *SimExtractor) Workers() int { return e.workers }
+
+// SetContext bounds subsequent enumerations: shard workers poll the
+// context between batch blocks and stop early when it expires, after
+// which DIPs/Classes return the context's error (DIPs alongside the
+// partially filled set).
+func (e *SimExtractor) SetContext(ctx context.Context) { e.ctx = ctx }
 
 // minBatchesPerWorker keeps tiny enumerations on one goroutine: below
 // this many 64-pattern batches per shard the spawn overhead dominates.
@@ -544,11 +619,19 @@ func (p *prepared) numBatches() uint64 {
 	return uint64(1) << uint(p.n-6)
 }
 
+// ctxPollMask controls how often shard workers poll for cancellation:
+// every (ctxPollMask+1) batches, i.e. every 16K patterns — frequent
+// enough that a 1ms deadline lands in well under a millisecond of
+// overshoot per worker, rare enough that the check is free.
+const ctxPollMask = 255
+
 // enumerateShard walks batches [startB, endB) of the block space,
 // invoking visit with the base pattern and the (lane-masked)
-// disagreement mask of each 64-pattern batch. Callers running shards
-// concurrently must give each shard its own prepared clone.
-func (p *prepared) enumerateShard(startB, endB uint64, visit func(base, diff uint64)) {
+// disagreement mask of each 64-pattern batch. A non-nil ctx is polled
+// every ctxPollMask+1 batches; on expiry the walk stops early and the
+// context's error is returned. Callers running shards concurrently must
+// give each shard its own prepared clone.
+func (p *prepared) enumerateShard(ctx context.Context, startB, endB uint64, visit func(base, diff uint64)) error {
 	n := p.n
 	mask := p.laneMask()
 	block := make([]uint64, n)
@@ -556,6 +639,11 @@ func (p *prepared) enumerateShard(startB, endB uint64, visit func(base, diff uin
 		block[i] = lanePattern(i)
 	}
 	for b := startB; b < endB; b++ {
+		if ctx != nil && b&ctxPollMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		base := b << 6
 		for i := 6; i < n; i++ {
 			if base&(1<<uint(i)) != 0 {
@@ -566,6 +654,7 @@ func (p *prepared) enumerateShard(startB, endB uint64, visit func(base, diff uin
 		}
 		visit(base, p.diff(block)&mask)
 	}
+	return nil
 }
 
 // shardBounds partitions [0, nBatches) into w contiguous ranges.
@@ -641,10 +730,15 @@ func (e *SimExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	}
 	nBatches := p.numBatches()
 	runSharded(p, nBatches, e.shardPlan(nBatches), func(_ int, startB, endB uint64, pr *prepared) {
-		pr.enumerateShard(startB, endB, func(base, diff uint64) {
+		pr.enumerateShard(e.ctx, startB, endB, func(base, diff uint64) {
 			out.setWord(base>>6, diff)
 		})
 	})
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return out, err // partially enumerated: words up to the cancel point
+		}
+	}
 	return out, nil
 }
 
@@ -685,7 +779,7 @@ func (e *SimExtractor) classesExact(p *prepared) (ClassSizes, error) {
 	counts := make([][2]uint64, w) // per-shard accumulators: no sharing, no locks
 	runSharded(p, nBatches, w, func(shard int, startB, endB uint64, pr *prepared) {
 		var c0, c1 uint64
-		pr.enumerateShard(startB, endB, func(base, diff uint64) {
+		pr.enumerateShard(e.ctx, startB, endB, func(base, diff uint64) {
 			if e.n <= 6 {
 				c1 += uint64(popcount64(diff & topMaskInWord))
 				c0 += uint64(popcount64(diff &^ topMaskInWord))
@@ -697,6 +791,11 @@ func (e *SimExtractor) classesExact(p *prepared) (ClassSizes, error) {
 		})
 		counts[shard] = [2]uint64{c0, c1}
 	})
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return ClassSizes{}, err
+		}
+	}
 	var c0, c1 uint64
 	for _, c := range counts {
 		c0 += c[0]
@@ -720,6 +819,9 @@ func (e *SimExtractor) classesSampled(p *prepared) (ClassSizes, error) {
 		var c0, c1 uint64
 		block := make([]uint64, e.n)
 		for b := startB; b < endB; b++ {
+			if e.ctx != nil && b&ctxPollMask == 0 && e.ctx.Err() != nil {
+				break
+			}
 			state := seedBase ^ (b+1)*0xbf58476d1ce4e5b9
 			for i := range block {
 				block[i] = splitmix64(&state)

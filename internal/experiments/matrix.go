@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/attack/satattack"
 	"repro/internal/attack/sps"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/lock"
 	"repro/internal/miter"
 	"repro/internal/netlist"
@@ -77,22 +79,70 @@ func lockScheme(scheme string, host *netlist.Circuit, seed int64) (*lock.Locked,
 	return nil, nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
 }
 
+// MatrixOptions tunes a matrix run.
+type MatrixOptions struct {
+	// Context bounds the whole grid; a deadline or cancellation
+	// propagates into the DIP-learning cells and stops the pool. Nil
+	// means context.Background().
+	Context context.Context
+	// HostInputs is the shared host's primary-input count.
+	HostInputs int
+	// SATCap bounds SAT/AppSAT iterations per cell.
+	SATCap int
+	// Seed fixes host generation, locking and attack sampling.
+	Seed int64
+	// Workers bounds the cell pool (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Noise is a per-output-bit flip rate injected into every cell's
+	// oracle (0 = clean oracle). Positive noise also arms the resilient
+	// decorator's majority voting so the attacks see denoised answers.
+	Noise float64
+	// Retries is the resilient decorator's transient-retry budget and
+	// the attack's mismatch re-query count (0 = library defaults).
+	Retries int
+}
+
+// newOracle builds one cell's oracle: the clean simulator, optionally
+// behind a deterministic fault injector and the resilient decorator.
+func (o MatrixOptions) newOracle(host *netlist.Circuit, seed int64) oracle.Oracle {
+	var orc oracle.Oracle = oracle.MustNewSim(host)
+	if o.Noise <= 0 && o.Retries <= 0 {
+		return orc
+	}
+	if o.Noise > 0 {
+		orc = faults.New(orc, faults.Config{FlipRate: o.Noise, Seed: seed})
+	}
+	votes := 1
+	if o.Noise > 0 {
+		votes = 5
+	}
+	return oracle.NewResilient(orc, oracle.ResilientOptions{Retries: o.Retries, Votes: votes, Seed: seed})
+}
+
 // RunMatrix evaluates every attack against every scheme with the
-// default worker pool (GOMAXPROCS).
+// default worker pool (GOMAXPROCS) and no deadline.
 func RunMatrix(hostInputs, satCap int, seed int64) ([]MatrixCell, error) {
-	return RunMatrixWorkers(hostInputs, satCap, seed, 0)
+	return RunMatrixWorkers(context.Background(), hostInputs, satCap, seed, 0)
 }
 
 // RunMatrixWorkers evaluates the matrix on a bounded pool of workers
+// with a clean oracle; see RunMatrixOptions for the full knob set.
+func RunMatrixWorkers(ctx context.Context, hostInputs, satCap int, seed int64, workers int) ([]MatrixCell, error) {
+	return RunMatrixOptions(MatrixOptions{
+		Context: ctx, HostInputs: hostInputs, SATCap: satCap, Seed: seed, Workers: workers,
+	})
+}
+
+// RunMatrixOptions evaluates the matrix on a bounded pool of workers
 // (≤ 0 means GOMAXPROCS). Cells are independent: every cell locks and
 // attacks its own clone of the shared host (netlist circuits cache
 // their topological order lazily and simulators are single-goroutine
 // objects, so sharing one host across concurrent cells would race).
 // Cell order — and every cell's outcome, which is fixed by the seeds —
 // is independent of the worker count.
-func RunMatrixWorkers(hostInputs, satCap int, seed int64, workers int) ([]MatrixCell, error) {
+func RunMatrixOptions(mo MatrixOptions) ([]MatrixCell, error) {
 	host, err := synth.Generate(synth.Config{
-		Name: "mx", Inputs: hostInputs, Outputs: 4, Gates: 70, Seed: seed,
+		Name: "mx", Inputs: mo.HostInputs, Outputs: 4, Gates: 70, Seed: mo.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -102,23 +152,25 @@ func RunMatrixWorkers(hostInputs, satCap int, seed int64, workers int) ([]Matrix
 		return nil, err
 	}
 	nCols := len(MatrixAttacks)
-	return RunIndexed(len(MatrixSchemes)*nCols, workers, func(idx int) (MatrixCell, error) {
+	return RunIndexed(mo.Context, len(MatrixSchemes)*nCols, mo.Workers, func(ctx context.Context, idx int) (MatrixCell, error) {
 		si, ai := idx/nCols, idx%nCols
 		h := host.Clone()
-		locked, keyCheck, err := lockScheme(MatrixSchemes[si], h, seed+int64(si))
+		locked, keyCheck, err := lockScheme(MatrixSchemes[si], h, mo.Seed+int64(si))
 		if err != nil {
 			return MatrixCell{}, err
 		}
 		start := time.Now()
-		cell := runMatrixCell(MatrixSchemes[si], MatrixAttacks[ai], h, locked, keyCheck, satCap, seed)
+		cell := runMatrixCell(ctx, mo, MatrixSchemes[si], MatrixAttacks[ai], h, locked, keyCheck, int64(idx))
 		cell.Time = time.Since(start)
 		return cell, nil
 	})
 }
 
-func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *lock.Locked,
-	keyCheck func([]bool) bool, satCap int, seed int64) MatrixCell {
+func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName string, host *netlist.Circuit,
+	locked *lock.Locked, keyCheck func([]bool) bool, cellIdx int64) MatrixCell {
 
+	satCap, seed := mo.SATCap, mo.Seed
+	newOrc := func() oracle.Oracle { return mo.newOracle(host, seed^cellIdx<<20) }
 	cell := MatrixCell{Scheme: scheme, Attack: attackName}
 	prove := func(key []bool) bool {
 		ok, err := miter.ProveUnlockedHashed(locked.Circuit, key, host)
@@ -131,7 +183,7 @@ func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *loc
 	}
 	switch attackName {
 	case "SAT":
-		res, err := satattack.Run(locked.Circuit, oracle.MustNewSim(host), satattack.Options{MaxIterations: satCap})
+		res, err := satattack.Run(locked.Circuit, newOrc(), satattack.Options{MaxIterations: satCap})
 		if err != nil {
 			return fail("error: " + err.Error())
 		}
@@ -142,7 +194,7 @@ func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *loc
 		}
 		return fail(fmt.Sprintf("capped at %d iters", res.Iterations))
 	case "AppSAT":
-		res, err := appsat.Run(locked.Circuit, oracle.MustNewSim(host), appsat.Options{Seed: seed, MaxIterations: satCap})
+		res, err := appsat.Run(locked.Circuit, newOrc(), appsat.Options{Seed: seed, MaxIterations: satCap})
 		if err != nil {
 			return fail("error: " + err.Error())
 		}
@@ -153,7 +205,7 @@ func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *loc
 		}
 		return fail(fmt.Sprintf("approximate key (err≈%.3f)", res.ErrorEstimate))
 	case "CAS-Unlock":
-		res, err := casunlock.Run(locked.Circuit, oracle.MustNewSim(host), 300, seed)
+		res, err := casunlock.Run(locked.Circuit, newOrc(), 300, seed)
 		if err != nil {
 			return fail("n/a: " + err.Error())
 		}
@@ -185,9 +237,9 @@ func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *loc
 		// tried first; other schemes go through the generic SAT-miter
 		// form of the attack.
 		const fixBudget = 192
-		res, err := bypass.Run(locked.Circuit, oracle.MustNewSim(host), bypass.Options{MaxFixes: fixBudget})
+		res, err := bypass.Run(locked.Circuit, newOrc(), bypass.Options{MaxFixes: fixBudget})
 		if err != nil {
-			res, err = bypass.RunGeneric(locked.Circuit, oracle.MustNewSim(host), fixBudget, seed)
+			res, err = bypass.RunGeneric(locked.Circuit, newOrc(), fixBudget, seed)
 		}
 		if err != nil {
 			return fail("infeasible: " + trimErr(err))
@@ -201,7 +253,7 @@ func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *loc
 		return fail("bypass circuit incorrect")
 	case "DIP-learning":
 		if scheme == "M-CAS" {
-			res, err := core.RunMCAS(locked.Circuit, oracle.MustNewSim(host), core.Options{Seed: seed})
+			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries})
 			if err != nil {
 				return fail("failed: " + trimErr(err))
 			}
@@ -212,7 +264,7 @@ func runMatrixCell(scheme, attackName string, host *netlist.Circuit, locked *loc
 			}
 			return fail("wrong key")
 		}
-		res, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: oracle.MustNewSim(host), Seed: seed})
+		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries})
 		if err != nil {
 			return fail("n/a: " + trimErr(err))
 		}

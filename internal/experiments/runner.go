@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -14,16 +15,26 @@ func DefaultWorkers(w int) int {
 	return w
 }
 
-// RunIndexed evaluates fn(0) … fn(n-1) on a bounded pool of worker
-// goroutines and returns the results in index order, so output ordering
-// is deterministic no matter how the pool schedules the work. The first
-// error encountered is returned (after in-flight work drains) and the
-// partial results are discarded; remaining unstarted indices are
-// skipped.
-func RunIndexed[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+// RunIndexed evaluates fn(ctx, 0) … fn(ctx, n-1) on a bounded pool of
+// worker goroutines and returns the results in index order, so output
+// ordering is deterministic no matter how the pool schedules the work.
+//
+// The first error encountered is returned and the partial results are
+// discarded. On that first error the context handed to every fn is
+// cancelled, so already-running workers that honor their context stop
+// promptly instead of finishing doomed work; remaining unstarted
+// indices are skipped outright. Cancelling the caller's ctx has the
+// same effect and surfaces ctx.Err(). A nil ctx means
+// context.Background().
+func RunIndexed[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	workers = DefaultWorkers(workers)
 	if workers > n {
 		workers = n
@@ -31,7 +42,10 @@ func RunIndexed[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			r, err := fn(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i)
 			if err != nil {
 				return nil, err
 			}
@@ -44,38 +58,47 @@ func RunIndexed[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel() // stop in-flight workers, not just unstarted ones
+		}
+		mu.Unlock()
+	}
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				mu.Lock()
-				failed := firstErr != nil
-				mu.Unlock()
-				if failed {
+				if ctx.Err() != nil {
 					continue // drain without running more work
 				}
-				r, err := fn(i)
+				r, err := fn(ctx, i)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 					continue
 				}
 				results[i] = r
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -83,9 +106,12 @@ func RunIndexed[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 // RunTableIRows runs Table I rows concurrently on a bounded pool
 // (opts.Workers; ≤ 0 means GOMAXPROCS) and returns the results in row
 // order. Rows are independent — each generates its own host — so this
-// is safe parallelism with deterministic output.
+// is safe parallelism with deterministic output. opts.Context bounds
+// the whole grid; the first failing row cancels the rest.
 func RunTableIRows(rows []TableIRow, opts TableIOptions) ([]*TableIResult, error) {
-	return RunIndexed(len(rows), opts.Workers, func(i int) (*TableIResult, error) {
-		return RunTableIRow(rows[i], opts)
+	return RunIndexed(opts.Context, len(rows), opts.Workers, func(ctx context.Context, i int) (*TableIResult, error) {
+		rowOpts := opts
+		rowOpts.Context = ctx
+		return RunTableIRow(rows[i], rowOpts)
 	})
 }

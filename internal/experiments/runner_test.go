@@ -1,14 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunIndexedPreservesOrder(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
-		got, err := RunIndexed(40, workers, func(i int) (int, error) {
+		got, err := RunIndexed(nil, 40, workers, func(_ context.Context, i int) (int, error) {
 			return i * i, nil
 		})
 		if err != nil {
@@ -28,7 +30,7 @@ func TestRunIndexedPreservesOrder(t *testing.T) {
 func TestRunIndexedPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int64
-	_, err := RunIndexed(64, 4, func(i int) (int, error) {
+	_, err := RunIndexed(nil, 64, 4, func(_ context.Context, i int) (int, error) {
 		ran.Add(1)
 		if i == 7 {
 			return 0, boom
@@ -48,9 +50,63 @@ func TestRunIndexedPropagatesError(t *testing.T) {
 }
 
 func TestRunIndexedEmpty(t *testing.T) {
-	got, err := RunIndexed(0, 8, func(i int) (int, error) { return i, nil })
+	got, err := RunIndexed(nil, 0, 8, func(_ context.Context, i int) (int, error) { return i, nil })
 	if err != nil || got != nil {
 		t.Fatalf("empty run: %v, %v", got, err)
+	}
+}
+
+// TestRunIndexedCancelsInFlightWorkers proves the first error does not
+// just skip unstarted indices — it cancels the context handed to
+// already-running workers, so long jobs that honor ctx return within a
+// bounded latency instead of running to completion.
+func TestRunIndexedCancelsInFlightWorkers(t *testing.T) {
+	boom := errors.New("boom")
+	const workers = 4
+	started := make(chan struct{}, workers)
+	var interrupted atomic.Int64
+	begin := time.Now()
+	_, err := RunIndexed(nil, workers, workers, func(ctx context.Context, i int) (int, error) {
+		started <- struct{}{}
+		if i == 0 {
+			// Fail only after every worker holds a long-running job, so
+			// the old drain-only short circuit would have to wait out all
+			// of them.
+			for j := 0; j < workers; j++ {
+				<-started
+			}
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			interrupted.Add(1)
+			return 0, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return i, nil // would blow the test deadline
+		}
+	})
+	elapsed := time.Since(begin)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := interrupted.Load(); got != workers-1 {
+		t.Fatalf("%d in-flight workers saw the cancellation, want %d", got, workers-1)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("shutdown took %v; in-flight work was not cancelled", elapsed)
+	}
+}
+
+// TestRunIndexedHonorsCallerContext checks that cancelling the caller's
+// context stops the pool and surfaces ctx.Err().
+func TestRunIndexedHonorsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunIndexed(ctx, 100, 4, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

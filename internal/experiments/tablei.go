@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -84,6 +85,10 @@ type TableIResult struct {
 
 // TableIOptions tunes a row run.
 type TableIOptions struct {
+	// Context bounds the run: a deadline or cancellation propagates into
+	// the attack pipeline, which returns core.ErrPartial with whatever
+	// structure it had recovered. Nil means context.Background().
+	Context context.Context
 	// Seed drives host generation, key-gate choice and attack sampling.
 	Seed int64
 	// Prove runs the SAT equivalence proof of the recovered key.
@@ -134,6 +139,7 @@ func RunTableIRow(row TableIRow, opts TableIOptions) (*TableIResult, error) {
 
 	start := time.Now()
 	res, err := core.Run(core.Options{
+		Context: opts.Context,
 		Locked:  locked.Circuit,
 		Oracle:  orc,
 		Seed:    opts.Seed + 3,

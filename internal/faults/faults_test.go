@@ -1,0 +1,190 @@
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+)
+
+func testOracle(t *testing.T) (*netlist.Circuit, *oracle.Sim) {
+	t.Helper()
+	c, err := synth.Generate(synth.Config{Name: "h", Inputs: 8, Outputs: 4, Gates: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, oracle.MustNewSim(c)
+}
+
+// replay runs a fixed query workload through a fresh injector and
+// returns the concatenated responses (transient failures recorded as a
+// marker word).
+func replay(t *testing.T, inj *Injector, nIn int) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var trace []uint64
+	for q := 0; q < 50; q++ {
+		in := make([]uint64, nIn)
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		// Repeat some patterns to exercise the per-occurrence streams.
+		for rep := 0; rep < 1+q%3; rep++ {
+			out, err := inj.Query64(in)
+			if err != nil {
+				if !errors.Is(err, oracle.ErrTransient) {
+					t.Fatalf("non-transient injected error: %v", err)
+				}
+				trace = append(trace, 0xdeadbeef)
+				continue
+			}
+			trace = append(trace, out...)
+		}
+	}
+	return trace
+}
+
+// TestInjectorReproducible is the satellite property: for a fixed seed
+// the injected faults are bit-reproducible across runs.
+func TestInjectorReproducible(t *testing.T) {
+	c, _ := testOracle(t)
+	cfg := Config{FlipRate: 0.01, TransientRate: 0.05, Seed: 123}
+	a := replay(t, New(oracle.MustNewSim(c), cfg), c.NumInputs())
+	b := replay(t, New(oracle.MustNewSim(c), cfg), c.NumInputs())
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %x vs %x", i, a[i], b[i])
+		}
+	}
+	// A different seed must produce a different fault pattern.
+	cfg.Seed = 124
+	d := replay(t, New(oracle.MustNewSim(c), cfg), c.NumInputs())
+	same := len(a) == len(d)
+	if same {
+		for i := range a {
+			if a[i] != d[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed change did not change the fault stream")
+	}
+}
+
+// TestRepeatedQueriesSeeFreshNoise: the k-th repeat of a pattern draws
+// the k-th cell of its stream, so votes are independent — without this,
+// majority voting could never outvote a deterministic flip.
+func TestRepeatedQueriesSeeFreshNoise(t *testing.T) {
+	c, orc := testOracle(t)
+	inj := New(orc, Config{FlipRate: 0.5, Seed: 9})
+	in := make([]uint64, c.NumInputs())
+	first, err := inj.Query64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for rep := 0; rep < 8 && !differs; rep++ {
+		out, err := inj.Query64(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != first[i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("9 repeats of one pattern at flip rate 0.5 returned identical noise")
+	}
+}
+
+// TestFlipRateSanity: the realized flip rate lands near the configured
+// probability and zero-rate injectors are transparent.
+func TestFlipRateSanity(t *testing.T) {
+	c, orc := testOracle(t)
+	clean := oracle.MustNewSim(c)
+	inj := New(orc, Config{FlipRate: 0.02, Seed: 5})
+	rng := rand.New(rand.NewSource(8))
+	var bits, flipped uint64
+	for q := 0; q < 200; q++ {
+		in := make([]uint64, c.NumInputs())
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		want, err := clean.Query64(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inj.Query64(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			bits += 64
+			x := want[i] ^ got[i]
+			for x != 0 {
+				x &= x - 1
+				flipped++
+			}
+		}
+	}
+	rate := float64(flipped) / float64(bits)
+	if rate < 0.01 || rate > 0.04 {
+		t.Fatalf("realized flip rate %.4f, configured 0.02", rate)
+	}
+	if inj.Flips() != flipped {
+		t.Fatalf("Flips() = %d, observed %d", inj.Flips(), flipped)
+	}
+
+	passthrough := New(oracle.MustNewSim(c), Config{Seed: 5})
+	in := make([]uint64, c.NumInputs())
+	want, _ := clean.Query64(in)
+	got, err := passthrough.Query64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("zero-rate injector altered the response")
+		}
+	}
+}
+
+// TestTransientTyped: injected failures classify as oracle.ErrTransient
+// through errors.Is, and single-pattern Query flips too.
+func TestTransientTyped(t *testing.T) {
+	c, orc := testOracle(t)
+	inj := New(orc, Config{TransientRate: 1, Seed: 3})
+	in := make([]bool, c.NumInputs())
+	if _, err := inj.Query(in); !errors.Is(err, ErrTransient) {
+		t.Fatalf("want transient error, got %v", err)
+	}
+	if inj.Transients() == 0 {
+		t.Fatal("transient counter not incremented")
+	}
+
+	flipper := New(oracle.MustNewSim(c), Config{FlipRate: 1, Seed: 3})
+	clean := oracle.MustNewSim(c)
+	want, err := clean.Query(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := flipper.Query(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] == want[i] {
+			t.Fatal("FlipRate 1 left a bit unflipped")
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTransient marks an oracle failure that may succeed on retry: a
+// scan-chain handshake glitch, a dropped response, a momentary power
+// event on the activated chip. Fault injectors wrap it and the resilient
+// decorator retries on it; every other error is treated as permanent.
+var ErrTransient = errors.New("oracle: transient failure")
+
+// ErrPermanent marks an oracle failure that retrying cannot fix — either
+// the underlying error was not transient, or the retry budget ran out.
+// PermanentError wraps it, so errors.Is(err, ErrPermanent) classifies.
+var ErrPermanent = errors.New("oracle: permanent failure")
+
+// PermanentError reports that the resilient oracle gave up on a query.
+type PermanentError struct {
+	// Attempts is how many times the query was tried before giving up.
+	Attempts int
+	// Err is the last underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *PermanentError) Error() string {
+	return fmt.Sprintf("oracle: query failed permanently after %d attempts: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes both ErrPermanent (classification) and the underlying
+// cause to errors.Is/As.
+func (e *PermanentError) Unwrap() []error { return []error{ErrPermanent, e.Err} }
