@@ -1,20 +1,26 @@
 # Tier-1 flow: `make ci` is what a PR must keep green.
 #
-#   make build      compile everything
-#   make test       unit + integration tests
-#   make test-race  the test suite under the race detector (the
-#                   enumeration engine and experiment runners are
-#                   concurrent; data races are correctness bugs here)
-#   make vet        go vet
-#   make fuzz-smoke short coverage-guided fuzz of the bench parser
-#   make ci         build + vet + test + test-race + fuzz-smoke
-#   make bench      tier-1 benchmarks with allocation reporting
-#   make benchjson  refresh BENCH_core.json (the perf trajectory file)
+#   make build       compile everything
+#   make test        unit + integration tests
+#   make test-race   the test suite under the race detector (the
+#                    enumeration engine and experiment runners are
+#                    concurrent; data races are correctness bugs here)
+#   make vet         go vet
+#   make fmt-check   fail if any file needs gofmt
+#   make fuzz-smoke  short coverage-guided fuzz of the bench parser
+#   make trace-smoke end-to-end telemetry check: lock a seed circuit,
+#                    attack it with -trace, and validate the Chrome
+#                    trace (all five phase spans, wall-clock coverage)
+#   make ci          build + vet + fmt-check + test + test-race +
+#                    fuzz-smoke + trace-smoke
+#   make bench       tier-1 benchmarks with allocation reporting
+#   make benchjson   refresh BENCH_core.json (the perf trajectory file)
 
 GO ?= go
 FUZZTIME ?= 5s
+SMOKEDIR ?= .trace-smoke
 
-.PHONY: build test test-race vet fuzz-smoke ci bench benchjson
+.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke ci bench benchjson
 
 build:
 	$(GO) build ./...
@@ -28,10 +34,25 @@ test-race:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBenchRead -fuzztime $(FUZZTIME) ./internal/bench/
 
-ci: build vet test test-race fuzz-smoke
+trace-smoke:
+	@rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
+	$(GO) run ./cmd/casgen -inputs 12 -gates 60 -scheme cas -chain "2A-O-3A-O-A" \
+		-out $(SMOKEDIR)/locked.bench -orig $(SMOKEDIR)/orig.bench
+	$(GO) run ./cmd/caslock-attack -locked $(SMOKEDIR)/locked.bench -oracle $(SMOKEDIR)/orig.bench \
+		-trace $(SMOKEDIR)/trace.json -metrics-out $(SMOKEDIR)/metrics.prom
+	$(GO) run ./cmd/tracecheck -in $(SMOKEDIR)/trace.json
+	@rm -rf $(SMOKEDIR)
+
+ci: build vet fmt-check test test-race fuzz-smoke trace-smoke
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .

@@ -34,6 +34,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // benchHost builds the shared medium-sized host used by the non-Table-I
@@ -421,6 +422,43 @@ func BenchmarkBDDDIPCount(b *testing.B) {
 		if count.Uint64() != 8521761 {
 			b.Fatalf("count %v", count)
 		}
+	}
+}
+
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	// Guards the acceptance criterion that a nil registry (the default)
+	// adds no measurable overhead to the enumeration hot path, and shows
+	// what an armed registry costs (per-shard bookkeeping only — the
+	// 64-pattern batch loop itself is never instrumented). Compare:
+	//
+	//	go test -run XXX -bench TelemetryOverhead -count 10 . | benchstat
+	lockedC, layout := extractionInstance(b, 16)
+	assign := lemma1Assign(lockedC.NumKeys(), layout)
+	for _, tc := range []struct {
+		name string
+		reg  *telemetry.Registry
+	}{
+		{"disabled", nil},
+		{"enabled", telemetry.New()},
+	} {
+		reg := tc.reg
+		b.Run(tc.name, func(b *testing.B) {
+			ext, err := core.NewSimExtractor(lockedC, layout, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ext.SetTelemetry(reg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dips, err := ext.DIPs(assign)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dips.Count() == 0 {
+					b.Fatal("no DIPs")
+				}
+			}
+		})
 	}
 }
 

@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lock"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // Result is one benchmark's record in the JSON output.
@@ -34,14 +37,53 @@ type Result struct {
 
 // Report is the BENCH_core.json schema.
 type Report struct {
-	Timestamp  string   `json:"timestamp"`
-	GoVersion  string   `json:"go_version"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// SpeedupParallel is sim-extraction ns/op at workers=1 divided by
 	// ns/op at workers=NumCPU (1.0 on a single-core machine).
 	SpeedupParallel float64  `json:"speedup_parallel"`
 	Results         []Result `json:"results"`
+	// Telemetry condenses the instrumented workloads' registry (the SAT
+	// extraction and Table-I attack runs) so the perf trajectory records
+	// where the time went, not just how much there was.
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+}
+
+// TelemetrySummary is the slice of the telemetry registry a perf
+// trajectory cares about: cumulative per-phase attack seconds and the
+// oracle/SAT work totals behind them.
+type TelemetrySummary struct {
+	PhaseSeconds  map[string]float64 `json:"phase_seconds,omitempty"`
+	OracleQueries uint64             `json:"oracle_queries"`
+	SATConflicts  uint64             `json:"sat_conflicts"`
+	SATSolveCalls uint64             `json:"sat_solve_calls"`
+	Extractions   uint64             `json:"extractions"`
+}
+
+// summarize extracts the summary fields from a registry snapshot. Phase
+// names come from the attack_phase_seconds{phase="..."} histogram family.
+func summarize(tel *telemetry.Registry) *TelemetrySummary {
+	snap := tel.Snapshot()
+	ts := &TelemetrySummary{
+		OracleQueries: snap.Counters["attack_oracle_queries_total"],
+		SATConflicts:  snap.Counters["sat_conflicts_total"],
+		SATSolveCalls: snap.Counters["sat_solve_calls_total"],
+		Extractions:   snap.Counters["enum_extractions_total"],
+	}
+	const prefix = `attack_phase_seconds{phase="`
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		phase := strings.TrimSuffix(strings.TrimPrefix(name, prefix), `"}`)
+		if ts.PhaseSeconds == nil {
+			ts.PhaseSeconds = make(map[string]float64)
+		}
+		ts.PhaseSeconds[phase] = h.Sum
+	}
+	return ts
 }
 
 func main() {
@@ -54,6 +96,12 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+
+	// One registry spans the instrumented workloads (SAT extraction and
+	// the Table-I attack); the pure sim-extraction speedup measurements
+	// stay uninstrumented so their ns/op series remains comparable
+	// across PRs.
+	tel := telemetry.New()
 
 	ext, assign, err := extractionWorkload(22)
 	var r testing.BenchmarkResult
@@ -104,7 +152,7 @@ func main() {
 	})
 	rep.Results = append(rep.Results, toResult("sim_classes_n22", r))
 
-	satRes, err := satWorkload()
+	satRes, err := satWorkload(tel)
 	fatalIf(err)
 	rep.Results = append(rep.Results, satRes)
 
@@ -112,7 +160,7 @@ func main() {
 	var last *experiments.TableIResult
 	r = bench(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := experiments.RunTableIRow(row, experiments.TableIOptions{Seed: 1, MatchPaperRegime: true})
+			res, err := experiments.RunTableIRow(row, experiments.TableIOptions{Seed: 1, MatchPaperRegime: true, Telemetry: tel})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -126,12 +174,47 @@ func main() {
 	tr.Extra, tr.ExtraName = float64(last.MeasuredDIPs), "DIPs"
 	rep.Results = append(rep.Results, tr)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	fatalIf(err)
-	data = append(data, '\n')
-	fatalIf(os.WriteFile(*out, data, 0o644))
+	rep.Telemetry = summarize(tel)
+
+	fatalIf(writeReport(*out, rep))
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (NumCPU=%d, speedup=%.2fx)\n",
 		len(rep.Results), *out, rep.NumCPU, rep.SpeedupParallel)
+}
+
+// writeReport marshals and writes the report atomically (temp file in
+// the destination directory, then rename), so an interrupted run never
+// leaves a truncated BENCH file for the trajectory tooling to choke on.
+func writeReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bench-*.json")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }
 
 // bench runs fn under the standard testing.Benchmark calibration (1s
@@ -186,8 +269,9 @@ func extractionWorkload(n int) (*core.SimExtractor, core.PairAssign, error) {
 	return ext, assign, nil
 }
 
-// satWorkload mirrors BenchmarkDIPExtraction/sat_n8.
-func satWorkload() (Result, error) {
+// satWorkload mirrors BenchmarkDIPExtraction/sat_n8, instrumented so
+// the report's telemetry summary carries the SAT solver's work totals.
+func satWorkload(tel *telemetry.Registry) (Result, error) {
 	host, err := synth.Generate(synth.Config{Name: "bh", Inputs: 11, Outputs: 4, Gates: 80, Seed: 7})
 	if err != nil {
 		return Result{}, err
@@ -211,6 +295,7 @@ func satWorkload() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	ext.SetTelemetry(tel)
 	assign := core.PairAssign{A: make([]bool, locked.Circuit.NumKeys()), B: make([]bool, locked.Circuit.NumKeys())}
 	for _, pos := range layout.Key1Pos {
 		assign.A[pos] = true

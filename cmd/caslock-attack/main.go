@@ -27,6 +27,16 @@ import (
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
+	"repro/internal/telemetry"
+)
+
+// Telemetry state shared with the exit paths: the registry is nil unless
+// one of -trace / -metrics-out / -debug-addr armed it, and the writers
+// flush on every exit (success, failure and the partial exit-3 path).
+var (
+	tel        *telemetry.Registry
+	tracePath  string
+	metricsOut string
 )
 
 func main() {
@@ -40,11 +50,24 @@ func main() {
 		retries    = flag.Int("retries", 0, "transient-failure retry budget and per-mismatch re-query count (0 = defaults)")
 		noise      = flag.Float64("noise", 0, "inject this per-output-bit flip rate into the oracle (demo; arms majority voting)")
 		votes      = flag.Int("votes", 0, "majority-vote repeats per oracle query (0 = auto: 5 when -noise > 0, else 1)")
+		trace      = flag.String("trace", "", "write a Chrome-trace JSON of the attack's phase spans here (open in Perfetto / chrome://tracing)")
+		metrics    = flag.String("metrics-out", "", "write a metrics snapshot on exit (.json = JSON snapshot, anything else = Prometheus text)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (e.g. :6060)")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	tracePath, metricsOut = *trace, *metrics
+	if tracePath != "" || metricsOut != "" || *debugAddr != "" {
+		tel = telemetry.New()
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, tel)
+		fatalIf(err)
+		defer dbg.Close()
+		fmt.Printf("debug server listening on %s (/metrics, /healthz, /debug/pprof/)\n", dbg.URL())
 	}
 	locked := readBench(*lockedPath)
 	original := readBench(*oraclePath)
@@ -56,7 +79,7 @@ func main() {
 	// decorator retries transients and majority-votes away bit flips.
 	var orc oracle.Oracle = sim
 	if *noise > 0 {
-		orc = faults.New(orc, faults.Config{FlipRate: *noise, TransientRate: *noise, Seed: *seed})
+		orc = faults.New(orc, faults.Config{FlipRate: *noise, TransientRate: *noise, Seed: *seed, Telemetry: tel})
 	}
 	if *votes == 0 && *noise > 0 {
 		*votes = 5
@@ -64,7 +87,7 @@ func main() {
 	var resilient *oracle.Resilient
 	if *noise > 0 || *retries > 0 || *votes > 1 {
 		resilient = oracle.NewResilient(orc, oracle.ResilientOptions{
-			Retries: *retries, Votes: *votes, Seed: *seed,
+			Retries: *retries, Votes: *votes, Seed: *seed, Telemetry: tel,
 		})
 		orc = resilient
 	}
@@ -80,6 +103,7 @@ func main() {
 		Oracle:          orc,
 		Seed:            *seed,
 		MismatchRetries: *retries,
+		Telemetry:       tel,
 	}
 
 	start := time.Now()
@@ -119,7 +143,28 @@ func main() {
 			fmt.Println("  verification:    SAT-PROVEN equivalent to the oracle netlist")
 		} else {
 			fmt.Println("  verification:    FAILED — key does not unlock the design")
+			flushTelemetry()
 			os.Exit(1)
+		}
+	}
+	flushTelemetry()
+}
+
+// flushTelemetry writes the trace and metrics files, if requested. It
+// runs on every exit path so an interrupted attack still leaves its
+// partial trace behind.
+func flushTelemetry() {
+	if tel == nil {
+		return
+	}
+	if tracePath != "" {
+		if err := tel.WriteChromeTraceFile(tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "caslock-attack: writing trace:", err)
+		}
+	}
+	if metricsOut != "" {
+		if err := tel.WriteMetricsFile(metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "caslock-attack: writing metrics:", err)
 		}
 	}
 }
@@ -144,9 +189,11 @@ func exitIfFailed(err error, resilient *oracle.Resilient) {
 		fmt.Printf("    DIPs so far:   %d\n", pe.DIPs)
 		fmt.Printf("    extractions:   %d\n", pe.Extractions)
 		printOracleStats(resilient)
+		flushTelemetry()
 		os.Exit(3)
 	}
 	fmt.Fprintln(os.Stderr, "caslock-attack:", err)
+	flushTelemetry()
 	os.Exit(1)
 }
 

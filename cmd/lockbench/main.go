@@ -8,6 +8,7 @@
 //	lockbench -workers 4          # bound the cell worker pool (0 = all cores)
 //	lockbench -timeout 2m         # deadline for the whole grid
 //	lockbench -noise 1e-3 -retries 4   # noisy oracles behind the resilient decorator
+//	lockbench -trace grid.json -debug-addr :6060   # observe the grid live
 //
 // Exit codes: 0 — grid completed; 3 — deadline hit (partial results are
 // not printed: cells are all-or-nothing); 1 — error; 2 — usage error.
@@ -22,22 +23,54 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		inputs  = flag.Int("inputs", 14, "host primary inputs")
-		satCap  = flag.Int("satcap", 500, "SAT/AppSAT iteration cap")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		workers = flag.Int("workers", 0, "cell worker count (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 0, "deadline for the whole grid (0 = none)")
-		retries = flag.Int("retries", 0, "oracle transient-retry budget and attack mismatch re-query count (0 = defaults)")
-		noise   = flag.Float64("noise", 0, "per-output-bit oracle flip rate injected into every cell (arms majority voting)")
+		inputs    = flag.Int("inputs", 14, "host primary inputs")
+		satCap    = flag.Int("satcap", 500, "SAT/AppSAT iteration cap")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		workers   = flag.Int("workers", 0, "cell worker count (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "deadline for the whole grid (0 = none)")
+		retries   = flag.Int("retries", 0, "oracle transient-retry budget and attack mismatch re-query count (0 = defaults)")
+		noise     = flag.Float64("noise", 0, "per-output-bit oracle flip rate injected into every cell (arms majority voting)")
+		trace     = flag.String("trace", "", "write a Chrome-trace JSON of the grid's attack spans here (open in Perfetto)")
+		metrics   = flag.String("metrics-out", "", "write a metrics snapshot on exit (.json = JSON snapshot, anything else = Prometheus text)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (e.g. :6060)")
 	)
 	flag.Parse()
 	if *noise < 0 || *noise >= 1 || *timeout < 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	var tel *telemetry.Registry
+	if *trace != "" || *metrics != "" || *debugAddr != "" {
+		tel = telemetry.New()
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, tel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server listening on %s (/metrics, /healthz, /debug/pprof/)\n", dbg.URL())
+	}
+	flush := func() {
+		if tel == nil {
+			return
+		}
+		if *trace != "" {
+			if err := tel.WriteChromeTraceFile(*trace); err != nil {
+				fmt.Fprintln(os.Stderr, "lockbench: writing trace:", err)
+			}
+		}
+		if *metrics != "" {
+			if err := tel.WriteMetricsFile(*metrics); err != nil {
+				fmt.Fprintln(os.Stderr, "lockbench: writing metrics:", err)
+			}
+		}
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -53,13 +86,16 @@ func main() {
 		Workers:    *workers,
 		Noise:      *noise,
 		Retries:    *retries,
+		Telemetry:  tel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		flush()
 		if errors.Is(err, core.ErrPartial) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			os.Exit(3)
 		}
 		os.Exit(1)
 	}
 	experiments.PrintMatrix(os.Stdout, cells)
+	flush()
 }

@@ -1,0 +1,127 @@
+// Command tracecheck validates a Chrome-trace JSON emitted by
+// caslock-attack/lockbench -trace: the file must parse, contain every
+// required span name, and the attack's phase spans must cover its
+// wall-clock within a tolerance — catching both a broken writer and a
+// phase that silently stopped being instrumented.
+//
+//	tracecheck -in out.json
+//	tracecheck -in out.json -require attack,enumerate,decode,algo1,algo2,verify
+//
+// Coverage: for each "attack" span, the durations of the other required
+// spans that fall inside its window must sum to at least
+// attackDur − max(tolerance·attackDur, slack). Nested re-decodes can
+// push the sum past 100%; the check is a lower bound only.
+//
+// Exit codes: 0 — trace valid; 1 — validation failed; 2 — usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// event mirrors the fields of a Chrome-trace "X" event that the checks
+// read; ts and dur are microseconds from the trace epoch.
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "Chrome-trace JSON file to validate")
+		require   = flag.String("require", "attack,enumerate,decode,algo1,algo2,verify", "comma-separated span names that must appear")
+		tolerance = flag.Float64("tolerance", 0.05, "allowed uncovered fraction of each attack span")
+		slack     = flag.Duration("slack", 25*time.Millisecond, "absolute floor of the coverage allowance (dominates on fast attacks)")
+	)
+	flag.Parse()
+	if *in == "" || *tolerance < 0 || *tolerance >= 1 || *slack < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	failIf(err)
+	var events []event
+	failIf(json.Unmarshal(data, &events))
+	if len(events) == 0 {
+		fail(fmt.Errorf("%s: trace is empty", *in))
+	}
+
+	required := strings.Split(*require, ",")
+	seen := make(map[string]int)
+	for _, ev := range events {
+		seen[ev.Name]++
+	}
+	var missing []string
+	for _, name := range required {
+		name = strings.TrimSpace(name)
+		if name != "" && seen[name] == 0 {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fail(fmt.Errorf("%s: missing required spans: %s", *in, strings.Join(missing, ", ")))
+	}
+
+	// Coverage: only meaningful when the root "attack" span is among the
+	// required names; the remaining required names are its phases.
+	phases := make(map[string]bool)
+	var wantAttack bool
+	for _, name := range required {
+		switch name = strings.TrimSpace(name); name {
+		case "":
+		case "attack":
+			wantAttack = true
+		default:
+			phases[name] = true
+		}
+	}
+	minCoverage := 1.0
+	if wantAttack && len(phases) > 0 {
+		for _, root := range events {
+			if root.Name != "attack" || root.Ph != "X" || root.Dur <= 0 {
+				continue
+			}
+			var covered float64
+			end := root.Ts + root.Dur
+			for _, ev := range events {
+				if phases[ev.Name] && ev.Ts >= root.Ts && ev.Ts+ev.Dur <= end+1 {
+					covered += ev.Dur
+				}
+			}
+			allowance := *tolerance * root.Dur
+			if s := float64(*slack) / float64(time.Microsecond); s > allowance {
+				allowance = s
+			}
+			if covered < root.Dur-allowance {
+				fail(fmt.Errorf("%s: attack span at ts=%.0fµs lasts %.0fµs but its phases cover only %.0fµs (allowance %.0fµs)",
+					*in, root.Ts, root.Dur, covered, allowance))
+			}
+			if c := covered / root.Dur; c < minCoverage {
+				minCoverage = c
+			}
+		}
+	}
+
+	fmt.Printf("tracecheck: OK — %d events, %d required spans present, phase coverage ≥ %.1f%%\n",
+		len(events), len(required), minCoverage*100)
+}
+
+func failIf(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

@@ -4,10 +4,11 @@
 //
 //  1. on CAS-Lock, where |DIPs| = 1 + Σ 2^{c_i} spells out the secret
 //     chain configuration in binary (the paper's Lemma 2), and
+//
 //  2. on SFLL-HD, where |DIPs| = 2·C(n,h) between two chosen keys
 //     reveals the secret Hamming-distance parameter h.
 //
-//	go run ./examples/leakage
+//     go run ./examples/leakage
 package main
 
 import (

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"repro/internal/lock"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
+	"repro/internal/telemetry"
 )
 
 // Options configures the DIP-learning attack.
@@ -57,6 +59,14 @@ type Options struct {
 	// extraction sizes, calibration sweeps) — useful for the minutes-long
 	// 64-bit-key runs.
 	Log func(format string, args ...any)
+	// Telemetry, when non-nil, receives the attack's metrics and phase
+	// spans: the attack/hypothesis/enumerate/decode/algo1/algo2/verify
+	// span tree, oracle-query and candidate counters, DIP-set sizes, and
+	// (through extractors that implement SetTelemetry) SAT-solver and
+	// per-shard enumeration statistics. Nil — the default — disables
+	// instrumentation at no measurable cost to the enumeration hot path;
+	// see internal/telemetry and DESIGN.md §7.
+	Telemetry *telemetry.Registry
 }
 
 // Result reports a successful key recovery.
@@ -143,13 +153,22 @@ func Run(opts Options) (*Result, error) {
 	}
 	// Extractors that understand cancellation get the attack's context;
 	// a caller-supplied extractor may opt in by implementing the same
-	// SetContext method.
+	// SetContext method. Telemetry is wired the same way.
 	if ca, ok := ext.(interface{ SetContext(context.Context) }); ok {
 		ca.SetContext(ctx)
 	}
+	if ta, ok := ext.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+		ta.SetTelemetry(opts.Telemetry)
+	}
 
+	root := opts.Telemetry.StartSpan("attack")
+	defer root.End()
 	a := &attack{opts: opts, layout: layout, ext: ext, ctx: ctx,
+		tel: opts.Telemetry, root: root,
 		rng: rand.New(rand.NewSource(opts.Seed ^ 0x5eed))}
+	a.cQueries = opts.Telemetry.Counter("attack_oracle_queries_total")
+	a.cCandidates = opts.Telemetry.Counter("attack_candidates_total")
+	a.cCalibrations = opts.Telemetry.Counter("attack_calibrations_total")
 	var firstErr error
 	for _, active := range []int{1, 2} {
 		res, err := a.runWithActive(active)
@@ -177,9 +196,34 @@ type attack struct {
 	ctx    context.Context
 	rng    *rand.Rand
 
+	tel           *telemetry.Registry
+	root          *telemetry.Span
+	cQueries      *telemetry.Counter
+	cCandidates   *telemetry.Counter
+	cCalibrations *telemetry.Counter
+
 	queries      uint64
 	calibrations int
 	candidates   int
+}
+
+// countQueries accounts oracle pattern evaluations in both the local
+// tally and the registry.
+func (a *attack) countQueries(n uint64) {
+	a.queries += n
+	a.cQueries.Add(n)
+}
+
+// endPhase closes a phase span and feeds its duration into the
+// per-phase latency histogram. Nil-safe (telemetry disabled).
+func (a *attack) endPhase(sp *telemetry.Span) {
+	if sp == nil {
+		return
+	}
+	name := sp.Name()
+	d := sp.End()
+	a.tel.Histogram(telemetry.Label("attack_phase_seconds", "phase", name),
+		telemetry.DurationBuckets).Observe(d.Seconds())
 }
 
 // assign builds the miter key vectors: the active block's keys are all-1
@@ -252,11 +296,30 @@ func (st *structured) forEachSmall(f func(p uint64) bool) {
 	st.dips.ForEachRange(smallLo, smallHi, f)
 }
 
-// decode performs Algorithm 1 on an extracted DIP set: class split, chain
-// recovery from the structured class size (Lemma 2 inverted), DIP_nc by
-// the bit-flip membership rule, shift/key-gate recovery, and full
-// structural validation A == W(chain) ⊕ s.
-func (a *attack) decode(dips *DIPSet) (*structured, error) {
+// decode runs the structural recovery on an extracted DIP set, as two
+// traced phases: "decode" (Lemma 2 inverted: class split and chain
+// recovery from the structured class size) and "algo1" (Algorithm 1's
+// key-gate recovery: DIP_nc by the bit-flip membership rule, the shift,
+// full structural validation A == W(chain) ⊕ s, and the misalignment
+// candidates). parent scopes the phase spans (the hypothesis span, or
+// the algo2 span for calibration re-decodes); nil disables tracing.
+func (a *attack) decode(parent *telemetry.Span, dips *DIPSet) (*structured, error) {
+	st, err := a.decodeChain(parent, dips)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.recoverKeyGates(parent, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// decodeChain is the Lemma-2 half of decode: split the DIP set by its
+// top bit and invert the closed form |A| = 1 + Σ 2^{c_i} into the chain
+// configuration.
+func (a *attack) decodeChain(parent *telemetry.Span, dips *DIPSet) (st *structured, err error) {
+	sp := parent.Child("decode")
+	defer a.endPhase(sp)
 	total := dips.Count()
 	if total == 0 {
 		return nil, fmt.Errorf("core: miter produced no DIPs (keys behave identically)")
@@ -271,7 +334,7 @@ func (a *attack) decode(dips *DIPSet) (*structured, error) {
 	if !bigTop {
 		nBig = c0
 	}
-	st := &structured{dips: dips, bigTop: bigTop, total: total, nBig: nBig}
+	st = &structured{dips: dips, bigTop: bigTop, total: total, nBig: nBig}
 
 	chainH, err := ChainFromDIPCount(st.nBig, a.layout.N())
 	if err != nil {
@@ -289,7 +352,17 @@ func (a *attack) decode(dips *DIPSet) (*structured, error) {
 	for _, w := range st.wList {
 		st.wSet[w] = struct{}{}
 	}
+	sp.SetArg("chain", chainH.String())
+	sp.SetArg("aligned_dips", strconv.FormatUint(st.nBig, 10))
+	return st, nil
+}
 
+// recoverKeyGates is the Algorithm-1 half of decode: DIP_nc, the shift
+// s (which IS the active block's key-gate polarity vector), structural
+// validation, and the δ candidates.
+func (a *attack) recoverKeyGates(parent *telemetry.Span, st *structured) error {
+	sp := parent.Child("algo1")
+	defer a.endPhase(sp)
 	// DIP_nc: the unique member of the structured class that leaves it
 	// when bit 0 is flipped (Algorithm 1, line 9).
 	var dipNC uint64
@@ -302,23 +375,24 @@ func (a *attack) decode(dips *DIPSet) (*structured, error) {
 		return true
 	})
 	if found != 1 {
-		return nil, fmt.Errorf("%w: %d non-repeating DIP candidates, want exactly 1", ErrLemma2, found)
+		return fmt.Errorf("%w: %d non-repeating DIP candidates, want exactly 1", ErrLemma2, found)
 	}
 	st.dipNC = dipNC
-	st.s = dipNC ^ NonControllingPattern(chainH)
+	st.s = dipNC ^ NonControllingPattern(st.chainH)
 
 	// Structural validation: big == W ⊕ s.
 	for _, w := range st.wList {
 		if !st.inBig(w ^ st.s) {
-			return nil, fmt.Errorf("%w: structured class does not match the recovered chain", ErrLemma2)
+			return fmt.Errorf("%w: structured class does not match the recovered chain", ErrLemma2)
 		}
 	}
 	if uint64(len(st.wList)) != st.nBig {
-		return nil, fmt.Errorf("%w: class size %d does not match chain one-point count %d", ErrLemma2, st.nBig, len(st.wList))
+		return fmt.Errorf("%w: class size %d does not match chain one-point count %d", ErrLemma2, st.nBig, len(st.wList))
 	}
 	st.classOK = true
 	st.deltas = a.deltaCandidates(st)
-	return st, nil
+	sp.SetArg("deltas", strconv.Itoa(len(st.deltas)))
+	return nil
 }
 
 // deltaCandidates recovers the effective misalignment δ between the two
@@ -483,15 +557,23 @@ func (a *attack) ctxErr() error {
 }
 
 // runWithActive executes the full pipeline under one block-role
-// hypothesis.
+// hypothesis. Each stage runs under its own phase span (enumerate →
+// decode → algo1 → algo2 → verify, children of the hypothesis span);
+// the algo2 span is emitted even when the δ witness made calibration
+// unnecessary, with the arg skipped=true, so traces always show the
+// complete pipeline shape.
 func (a *attack) runWithActive(active int) (*Result, error) {
-	n := a.layout.N()
+	hyp := a.root.Child("hypothesis")
+	hyp.SetArg("case", strconv.Itoa(active))
+	defer hyp.End()
 	if err := a.ctxErr(); err != nil {
 		return nil, a.partial("extract", active, nil, err)
 	}
 	a.logf("hypothesis active=%d: extracting DIP set (Lemma-1 assignment)", active)
+	enum := hyp.Child("enumerate")
 	dips, err := a.ext.DIPs(a.assign(active, 0))
 	if err != nil {
+		a.endPhase(enum)
 		if cerr := a.ctxErr(); cerr != nil {
 			pe := a.partial("extract", active, nil, cerr)
 			if dips != nil {
@@ -501,13 +583,18 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		}
 		return nil, err
 	}
+	enum.SetArg("dips", strconv.FormatUint(dips.Count(), 10))
+	a.endPhase(enum)
+	a.tel.Histogram("attack_dip_set_size", telemetry.SizeBuckets).
+		Observe(float64(dips.Count()))
 	a.logf("extracted |I_l| = %d", dips.Count())
-	st, err := a.decode(dips)
+	st, err := a.decode(hyp, dips)
 	if err != nil {
 		return nil, err
 	}
 	a.logf("decoded: chain_h=%s |A|=%d deltas=%d", st.chainH, st.nBig, len(st.deltas))
 	calib := uint64(0)
+	algo2 := hyp.Child("algo2")
 	if len(st.deltas) == 0 {
 		a.logf("no misalignment witness: starting calibration sweep")
 		// Algorithm 2's brute force: sweep the calibration block's key
@@ -515,8 +602,9 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		// small class shrinks (suppression appears), then re-extract and
 		// decode at that calibration.
 		prev := st
-		calib, st, err = a.calibrate(active, st)
+		calib, st, err = a.calibrate(algo2, active, st)
 		if err != nil {
+			a.endPhase(algo2)
 			if cerr := a.ctxErr(); cerr != nil {
 				return nil, a.partial("calibrate", active, prev, cerr)
 			}
@@ -525,7 +613,21 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 			}
 			return nil, err
 		}
+	} else {
+		algo2.SetArg("skipped", "true")
 	}
+	a.endPhase(algo2)
+	verify := hyp.Child("verify")
+	res, err := a.verifyCandidates(active, calib, st)
+	a.endPhase(verify)
+	return res, err
+}
+
+// verifyCandidates builds the candidate key family from a decoded
+// structure and adjudicates it against the oracle: cheap probes, then
+// pairwise SAT distinguishing inputs, then the O(m) DIP replay.
+func (a *attack) verifyCandidates(active int, calib uint64, st *structured) (*Result, error) {
+	n := a.layout.N()
 	// Key candidates: the active block's polarity is s or its complement
 	// (inherent ambiguity), the inter-block offset is δ⊕c or its
 	// complement (branch ambiguity of the class split).
@@ -555,6 +657,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 			return nil, a.partial("verify", active, st, err)
 		}
 		a.candidates++
+		a.cCandidates.Inc()
 		key := a.buildKey(active, cd.aActive, cd.aCalib)
 		ok, err := a.probeKey(key, st)
 		if err != nil {
@@ -751,7 +854,7 @@ func (a *attack) agreesWithOracle(in []bool, key []bool) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	a.queries++
+	a.countQueries(1)
 	got, err := a.opts.Locked.Eval(in, key)
 	if err != nil {
 		return false, err
@@ -787,7 +890,7 @@ func (a *attack) confirmDisagreement(in []bool, key []bool) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		a.queries++
+		a.countQueries(1)
 		for i, b := range out {
 			if b {
 				counts[i]++
@@ -813,8 +916,10 @@ var errCalibrationBudget = errors.New("core: calibration budget exhausted")
 
 // calibrate is the paper's Algorithm-2 loop: brute force the calibration
 // block's key bits at positions OR_last .. n-2 (bit n-1 is redundant up
-// to complement) until the DIP set shows suppression.
-func (a *attack) calibrate(active int, st0 *structured) (uint64, *structured, error) {
+// to complement) until the DIP set shows suppression. span is the open
+// algo2 phase span; re-extractions and re-decodes during the sweep trace
+// as its children.
+func (a *attack) calibrate(span *telemetry.Span, active int, st0 *structured) (uint64, *structured, error) {
 	n := a.layout.N()
 	orLast := st0.chainH.LastOR() + 1 // chain-input position of the last OR, 0 if none
 	width := n - 1 - orLast
@@ -831,6 +936,7 @@ func (a *attack) calibrate(active int, st0 *structured) (uint64, *structured, er
 			return 0, nil, err
 		}
 		a.calibrations++
+		a.cCalibrations.Inc()
 		c := cand << uint(orLast)
 		sizes, err := a.ext.Classes(a.assign(active, c))
 		if err != nil {
@@ -849,7 +955,7 @@ func (a *attack) calibrate(active int, st0 *structured) (uint64, *structured, er
 		if err != nil {
 			return 0, nil, err
 		}
-		st, err := a.decode(dips)
+		st, err := a.decode(span, dips)
 		if err != nil {
 			continue // sampling false positive; keep sweeping
 		}
@@ -901,7 +1007,7 @@ func (a *attack) probeKey(key []bool, st *structured) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		a.queries++
+		a.countQueries(1)
 		got, err := sim.Run(in, key)
 		if err != nil {
 			return false, err
@@ -1009,7 +1115,7 @@ func (a *attack) verifyKeyOnDIPs(key []bool, st *structured) error {
 		if err != nil {
 			return err
 		}
-		a.queries += uint64(len(chunk))
+		a.countQueries(uint64(len(chunk)))
 		got, err := sim.Run64(in, keyWords)
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/sat"
+	"repro/internal/telemetry"
 )
 
 // PairAssign fixes the full key vectors of the two miter copies (indexed
@@ -69,7 +71,8 @@ type SATExtractor struct {
 	locked *netlist.Circuit
 	layout *BlockLayout
 	count  int
-	ctx    context.Context // nil = never cancelled
+	ctx    context.Context     // nil = never cancelled
+	tel    *telemetry.Registry // nil = uninstrumented
 
 	// Memoized compilation of the last assignment.
 	memoA, memoB []bool
@@ -100,6 +103,11 @@ func (e *SATExtractor) Extractions() int { return e.count }
 // and checks cancellation between slices.
 func (e *SATExtractor) SetContext(ctx context.Context) { e.ctx = ctx }
 
+// SetTelemetry attaches a metrics registry: extractions trace as
+// "miter"/"extract" spans and the solver's conflict/decision/propagation
+// statistics fold into sat_* counters. Nil disables instrumentation.
+func (e *SATExtractor) SetTelemetry(r *telemetry.Registry) { e.tel = r }
+
 // compile builds (or reuses) the fixed-key miter encoding for assign:
 // the Tseitin clauses, the disagreement literal and the block-input
 // literals in chain order.
@@ -107,6 +115,8 @@ func (e *SATExtractor) compile(assign PairAssign) error {
 	if boolsEqual(e.memoA, assign.A) && boolsEqual(e.memoB, assign.B) {
 		return nil
 	}
+	sp := e.tel.StartSpan("miter")
+	defer sp.End()
 	m, err := miter.NewFixedKey(e.locked, assign.A, assign.B)
 	if err != nil {
 		return err
@@ -190,6 +200,7 @@ func (e *SATExtractor) sliceBudget(start time.Time, conflicts uint64) uint64 {
 // returned with the context's error.
 func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	e.count++
+	e.tel.Counter("enum_extractions_total").Inc()
 	if err := e.compile(assign); err != nil {
 		return nil, err
 	}
@@ -201,6 +212,20 @@ func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := e.tel.StartSpan("extract")
+	sp.SetArg("engine", "sat")
+	defer func() {
+		if e.tel != nil {
+			st := solver.Stats()
+			e.tel.Counter("sat_conflicts_total").Add(st.Conflicts)
+			e.tel.Counter("sat_decisions_total").Add(st.Decisions)
+			e.tel.Counter("sat_propagations_total").Add(st.Propagations)
+			e.tel.Counter("sat_restarts_total").Add(st.Restarts)
+			e.tel.Counter("sat_solve_calls_total").Add(st.SolveCalls)
+			sp.SetArg("dips", strconv.FormatUint(out.Count(), 10))
+		}
+		sp.End()
+	}()
 	blocking := make([]cnf.Lit, len(e.memoBlock))
 	start := time.Now()
 	for {
@@ -297,8 +322,9 @@ type SimExtractor struct {
 	outRegs []int
 	regs    int // register count of the compiled cone (excluding copies)
 	count   int
-	workers int             // 0 = GOMAXPROCS
-	ctx     context.Context // nil = never cancelled
+	workers int                 // 0 = GOMAXPROCS
+	ctx     context.Context     // nil = never cancelled
+	tel     *telemetry.Registry // nil = uninstrumented
 }
 
 // NewSimExtractor compiles the key cone of the locked circuit and
@@ -386,6 +412,15 @@ func (e *SimExtractor) Workers() int { return e.workers }
 // which DIPs/Classes return the context's error (DIPs alongside the
 // partially filled set).
 func (e *SimExtractor) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetTelemetry attaches a metrics registry: each enumeration traces as
+// an "extract" span with one child span per shard worker (on trace
+// lanes 1..w, so Perfetto renders the parallelism), and per-shard batch
+// counts and wall times land in enum_shard_* metrics. Nil (the default)
+// disables instrumentation; the 64-pattern batch hot loop is never
+// touched either way — shard accounting happens once per shard, outside
+// it.
+func (e *SimExtractor) SetTelemetry(r *telemetry.Registry) { e.tel = r }
 
 // minBatchesPerWorker keeps tiny enumerations on one goroutine: below
 // this many 64-pattern batches per shard the spawn overhead dominates.
@@ -729,11 +764,33 @@ func (e *SimExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 		return nil, err
 	}
 	nBatches := p.numBatches()
-	runSharded(p, nBatches, e.shardPlan(nBatches), func(_ int, startB, endB uint64, pr *prepared) {
+	w := e.shardPlan(nBatches)
+	var sp *telemetry.Span
+	if e.tel != nil {
+		e.tel.Counter("enum_extractions_total").Inc()
+		e.tel.Gauge("enum_workers").Set(int64(w))
+		sp = e.tel.StartSpan("extract")
+		sp.SetArg("engine", "sim")
+		sp.SetArg("workers", strconv.Itoa(w))
+	}
+	runSharded(p, nBatches, w, func(shard int, startB, endB uint64, pr *prepared) {
+		ssp := sp.ChildLane("shard", shard+1)
 		pr.enumerateShard(e.ctx, startB, endB, func(base, diff uint64) {
 			out.setWord(base>>6, diff)
 		})
+		if e.tel != nil {
+			ssp.SetArg("shard", strconv.Itoa(shard))
+			ssp.SetArg("batches", strconv.FormatUint(endB-startB, 10))
+			e.tel.Counter(telemetry.Label("enum_shard_batches_total",
+				"shard", strconv.Itoa(shard))).Add(endB - startB)
+			e.tel.Histogram("enum_shard_seconds", telemetry.DurationBuckets).
+				ObserveDuration(ssp.End())
+		}
 	})
+	if sp != nil {
+		sp.SetArg("dips", strconv.FormatUint(out.Count(), 10))
+		sp.End()
+	}
 	if e.ctx != nil {
 		if err := e.ctx.Err(); err != nil {
 			return out, err // partially enumerated: words up to the cancel point
@@ -760,6 +817,7 @@ func (e *SimExtractor) Classes(assign PairAssign) (ClassSizes, error) {
 		return ClassSizes{}, err
 	}
 	e.count++
+	e.tel.Counter("enum_extractions_total").Inc()
 	if e.n <= exactClassBits {
 		return e.classesExact(p)
 	}

@@ -8,6 +8,14 @@ import (
 	"repro/internal/oracle"
 )
 
+// spsRemove strips the outer CAS-Lock instance, traced as a parentless
+// "sps_removal" span (it precedes the attack's root span).
+func spsRemove(locked *netlist.Circuit, opts Options) (*sps.RemovalResult, error) {
+	sp := opts.Telemetry.StartSpan("sps_removal")
+	defer sp.End()
+	return sps.RemoveOuterFlip(locked, 0.05)
+}
+
 // MCASResult reports the Mirrored CAS-Lock pipeline outcome.
 type MCASResult struct {
 	// Inner is the DIP-learning result against the stripped circuit.
@@ -26,7 +34,7 @@ type MCASResult struct {
 // DIP-learning attack. The mirrored copy of the recovered inner key then
 // unlocks the original M-CAS circuit.
 func RunMCAS(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*MCASResult, error) {
-	removal, err := sps.RemoveOuterFlip(locked, 0.05)
+	removal, err := spsRemove(locked, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: SPS removal of the outer instance failed: %w", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // ComparisonResult contrasts the baseline SAT attack, CAS-Unlock and the
@@ -45,6 +46,17 @@ type ComparisonResult struct {
 // bounds the SAT attack's iterations so the experiment terminates on
 // SAT-resilient instances (the point of CAS-Lock).
 func RunComparison(hostInputs int, chainCfg string, satCap int, seed int64) (*ComparisonResult, error) {
+	return RunComparisonT(nil, hostInputs, chainCfg, satCap, seed)
+}
+
+// RunComparisonT is RunComparison with an explicit telemetry registry.
+// Per-attack wall times (SATTime, DIPTime) are span durations, so the
+// reported numbers and any exported trace come from the same clock; a
+// nil registry gets a private one, keeping the timing path identical.
+func RunComparisonT(tel *telemetry.Registry, hostInputs int, chainCfg string, satCap int, seed int64) (*ComparisonResult, error) {
+	if tel == nil {
+		tel = telemetry.New()
+	}
 	chain, err := lock.ParseChain(chainCfg)
 	if err != nil {
 		return nil, err
@@ -62,14 +74,14 @@ func RunComparison(hostInputs int, chainCfg string, satCap int, seed int64) (*Co
 	res := &ComparisonResult{BlockWidth: chain.NumInputs(), Chain: chainCfg}
 
 	// Baseline 1: oracle-guided SAT attack.
-	start := time.Now()
+	sp := tel.StartSpan("sat_attack")
 	satRes, err := satattack.Run(locked.Circuit, oracle.MustNewSim(host), satattack.Options{MaxIterations: satCap})
+	res.SATTime = sp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.SATCompleted = satRes.Completed
 	res.SATIterations = satRes.Iterations
-	res.SATTime = time.Since(start)
 
 	// Baseline 2: CAS-Unlock's uniform keys.
 	cuRes, err := casunlock.Run(locked.Circuit, oracle.MustNewSim(host), 300, seed+2)
@@ -97,12 +109,12 @@ func RunComparison(hostInputs int, chainCfg string, satCap int, seed int64) (*Co
 	res.AppSATKeyCorrect = inst.IsCorrectCASKey(asRes.Key)
 
 	// The paper's attack.
-	start = time.Now()
-	dipRes, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: oracle.MustNewSim(host), Seed: seed + 3})
+	sp = tel.StartSpan("dip_attack")
+	dipRes, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: oracle.MustNewSim(host), Seed: seed + 3, Telemetry: tel})
+	res.DIPTime = sp.End()
 	if err != nil {
 		return nil, err
 	}
-	res.DIPTime = time.Since(start)
 	res.DIPCount = dipRes.TotalDIPs
 	res.DIPQueries = dipRes.OracleQueries
 	res.DIPKeyRecovered = inst.IsCorrectCASKey(dipRes.Key)
@@ -189,6 +201,15 @@ type ScalingPoint struct {
 // RunScaling sweeps chain configurations with growing DIP counts on one
 // host, demonstrating the O(m) complexity claim.
 func RunScaling(hostInputs int, chains []string, seed int64) ([]ScalingPoint, error) {
+	return RunScalingT(nil, hostInputs, chains, seed)
+}
+
+// RunScalingT is RunScaling with an explicit telemetry registry; each
+// sweep point's Time is the duration of its "scaling_point" span.
+func RunScalingT(tel *telemetry.Registry, hostInputs int, chains []string, seed int64) ([]ScalingPoint, error) {
+	if tel == nil {
+		tel = telemetry.New()
+	}
 	host, err := synth.Generate(synth.Config{
 		Name: "scale", Inputs: hostInputs, Outputs: 4, Gates: 60, Seed: seed,
 	})
@@ -211,8 +232,10 @@ func RunScaling(hostInputs int, chains []string, seed int64) ([]ScalingPoint, er
 		if err != nil {
 			return nil, err
 		}
-		start := time.Now()
-		res, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: oracle.MustNewSim(host), Seed: seed + 2})
+		sp := tel.StartSpan("scaling_point")
+		sp.SetArg("chain", cfg)
+		res, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: oracle.MustNewSim(host), Seed: seed + 2, Telemetry: tel})
+		elapsed := sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +246,7 @@ func RunScaling(hostInputs int, chains []string, seed int64) ([]ScalingPoint, er
 			Chain:         cfg,
 			DIPs:          res.TotalDIPs,
 			OracleQueries: res.OracleQueries,
-			Time:          time.Since(start),
+			Time:          elapsed,
 		})
 	}
 	return out, nil
@@ -245,6 +268,15 @@ type MCASExperimentResult struct {
 // DIP-learning attack, then proves the mirrored key unlocks the original
 // circuit.
 func RunMCASExperiment(hostInputs int, chainCfg string, seed int64) (*MCASExperimentResult, error) {
+	return RunMCASExperimentT(nil, hostInputs, chainCfg, seed)
+}
+
+// RunMCASExperimentT is RunMCASExperiment with an explicit telemetry
+// registry; Time is the duration of the "mcas_attack" span.
+func RunMCASExperimentT(tel *telemetry.Registry, hostInputs int, chainCfg string, seed int64) (*MCASExperimentResult, error) {
+	if tel == nil {
+		tel = telemetry.New()
+	}
 	chain, err := lock.ParseChain(chainCfg)
 	if err != nil {
 		return nil, err
@@ -259,8 +291,9 @@ func RunMCASExperiment(hostInputs int, chainCfg string, seed int64) (*MCASExperi
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	res, err := core.RunMCAS(locked.Circuit, oracle.MustNewSim(host), core.Options{Seed: seed + 2})
+	sp := tel.StartSpan("mcas_attack")
+	res, err := core.RunMCAS(locked.Circuit, oracle.MustNewSim(host), core.Options{Seed: seed + 2, Telemetry: tel})
+	elapsed := sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +308,6 @@ func RunMCASExperiment(hostInputs int, chainCfg string, seed int64) (*MCASExperi
 		KeyProven:   proven,
 		RemovedProb: res.RemovedFlipProb,
 		InnerDIPs:   res.Inner.TotalDIPs,
-		Time:        time.Since(start),
+		Time:        elapsed,
 	}, nil
 }

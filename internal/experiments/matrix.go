@@ -19,6 +19,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // The scheme-versus-attack matrix: every locking scheme in this
@@ -100,6 +101,11 @@ type MatrixOptions struct {
 	// Retries is the resilient decorator's transient-retry budget and
 	// the attack's mismatch re-query count (0 = library defaults).
 	Retries int
+	// Telemetry, when non-nil, instruments every cell: the DIP-learning
+	// attacks' phase spans, the fault injectors' and resilient
+	// decorators' counters. Cells run concurrently; the registry is
+	// race-safe, so one registry aggregates the whole grid.
+	Telemetry *telemetry.Registry
 }
 
 // newOracle builds one cell's oracle: the clean simulator, optionally
@@ -110,13 +116,13 @@ func (o MatrixOptions) newOracle(host *netlist.Circuit, seed int64) oracle.Oracl
 		return orc
 	}
 	if o.Noise > 0 {
-		orc = faults.New(orc, faults.Config{FlipRate: o.Noise, Seed: seed})
+		orc = faults.New(orc, faults.Config{FlipRate: o.Noise, Seed: seed, Telemetry: o.Telemetry})
 	}
 	votes := 1
 	if o.Noise > 0 {
 		votes = 5
 	}
-	return oracle.NewResilient(orc, oracle.ResilientOptions{Retries: o.Retries, Votes: votes, Seed: seed})
+	return oracle.NewResilient(orc, oracle.ResilientOptions{Retries: o.Retries, Votes: votes, Seed: seed, Telemetry: o.Telemetry})
 }
 
 // RunMatrix evaluates every attack against every scheme with the
@@ -253,7 +259,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 		return fail("bypass circuit incorrect")
 	case "DIP-learning":
 		if scheme == "M-CAS" {
-			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries})
+			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry})
 			if err != nil {
 				return fail("failed: " + trimErr(err))
 			}
@@ -264,7 +270,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 			}
 			return fail("wrong key")
 		}
-		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries})
+		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry})
 		if err != nil {
 			return fail("n/a: " + trimErr(err))
 		}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // TableIRow is one row of the paper's Table I.
@@ -101,6 +102,10 @@ type TableIOptions struct {
 	// Workers bounds both the row pool of RunTableIRows and the shard
 	// workers of each row's simulation extractor (≤ 0 means GOMAXPROCS).
 	Workers int
+	// Telemetry, when non-nil, instruments the row's attack (phase spans,
+	// oracle/SAT/enumeration counters) and times AttackTime from a
+	// "tablei_row" span on the same clock.
+	Telemetry *telemetry.Registry
 }
 
 // RunTableIRow locks a synthetic host with the row's configuration and
@@ -137,14 +142,22 @@ func RunTableIRow(row TableIRow, opts TableIOptions) (*TableIResult, error) {
 		return nil, err
 	}
 
-	start := time.Now()
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	sp := tel.StartSpan("tablei_row")
+	sp.SetArg("benchmark", row.Benchmark)
+	sp.SetArg("chain", row.Chain)
 	res, err := core.Run(core.Options{
-		Context: opts.Context,
-		Locked:  locked.Circuit,
-		Oracle:  orc,
-		Seed:    opts.Seed + 3,
-		Workers: opts.Workers,
+		Context:   opts.Context,
+		Locked:    locked.Circuit,
+		Oracle:    orc,
+		Seed:      opts.Seed + 3,
+		Workers:   opts.Workers,
+		Telemetry: tel,
 	})
+	elapsed := sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: attack on %s/%s failed: %w", row.Benchmark, row.Chain, err)
 	}
@@ -152,7 +165,7 @@ func RunTableIRow(row TableIRow, opts TableIOptions) (*TableIResult, error) {
 		Row:           row,
 		MeasuredDIPs:  res.TotalDIPs,
 		AlignedDIPs:   res.AlignedDIPs,
-		AttackTime:    time.Since(start),
+		AttackTime:    elapsed,
 		OracleQueries: res.OracleQueries,
 		KeyRecovered:  inst.IsCorrectCASKey(res.Key),
 		ChainOK:       res.Chain.Equal(chain) || res.Chain.Equal(dual(chain)),

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/oracle"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes an Injector.
@@ -43,6 +44,10 @@ type Config struct {
 	Latency time.Duration
 	// Seed fixes the fault stream. Equal seeds reproduce equal faults.
 	Seed int64
+	// Telemetry, when non-nil, mirrors the injector's counters into the
+	// registry as faults_calls_total, faults_flips_total and
+	// faults_transients_total.
+	Telemetry *telemetry.Registry
 }
 
 // Injector wraps an Oracle with seeded faults. It implements both
@@ -58,11 +63,21 @@ type Injector struct {
 	queries    atomic.Uint64 // calls attempted (including transient failures)
 	flips      atomic.Uint64 // output bits flipped
 	transients atomic.Uint64 // transient errors injected
+
+	// Registry mirrors of the counters above (nil-safe no-ops when no
+	// registry is configured).
+	cCalls      *telemetry.Counter
+	cFlips      *telemetry.Counter
+	cTransients *telemetry.Counter
 }
 
 // New wraps inner with the configured fault model.
 func New(inner oracle.Oracle, cfg Config) *Injector {
-	return &Injector{inner: inner, cfg: cfg, seen: make(map[uint64]uint64)}
+	f := &Injector{inner: inner, cfg: cfg, seen: make(map[uint64]uint64)}
+	f.cCalls = cfg.Telemetry.Counter("faults_calls_total")
+	f.cFlips = cfg.Telemetry.Counter("faults_flips_total")
+	f.cTransients = cfg.Telemetry.Counter("faults_transients_total")
+	return f
 }
 
 // NumInputs implements oracle.Oracle.
@@ -115,6 +130,7 @@ func threshold(p float64) uint64 {
 // the call should proceed.
 func (f *Injector) faultGate(h uint64) (uint64, error) {
 	f.queries.Add(1)
+	f.cCalls.Inc()
 	occ := f.occurrence(h)
 	state := f.stream(h, occ)
 	if f.cfg.Latency > 0 {
@@ -122,6 +138,7 @@ func (f *Injector) faultGate(h uint64) (uint64, error) {
 	}
 	if t := threshold(f.cfg.TransientRate); t != 0 && splitmix(&state) < t {
 		f.transients.Add(1)
+		f.cTransients.Inc()
 		return 0, &transientError{}
 	}
 	return state, nil
@@ -142,6 +159,7 @@ func (f *Injector) Query(in []bool) ([]bool, error) {
 			if splitmix(&state) < t {
 				out[i] = !out[i]
 				f.flips.Add(1)
+				f.cFlips.Inc()
 			}
 		}
 	}
@@ -193,6 +211,7 @@ func (f *Injector) flipWords(out []uint64, state *uint64) {
 		if mask != 0 {
 			out[i] ^= mask
 			f.flips.Add(uint64(bits.OnesCount64(mask)))
+			f.cFlips.Add(uint64(bits.OnesCount64(mask)))
 		}
 	}
 }
@@ -246,4 +265,3 @@ func hashWords(in []uint64) uint64 {
 	}
 	return h
 }
-

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ResilientOptions configures the Resilient decorator.
@@ -27,6 +29,10 @@ type ResilientOptions struct {
 	// Sleep replaces time.Sleep (tests inject a no-op to keep the
 	// retry path fast); nil means time.Sleep.
 	Sleep func(time.Duration)
+	// Telemetry, when non-nil, mirrors the Stats counters into the
+	// registry as oracle_queries_total, oracle_subqueries_total,
+	// oracle_retries_total and oracle_votes_overruled_total.
+	Telemetry *telemetry.Registry
 }
 
 // ResilientStats is a snapshot of the decorator's work counters.
@@ -62,6 +68,13 @@ type Resilient struct {
 	subQueries atomic.Uint64
 	retries    atomic.Uint64
 	overruled  atomic.Uint64
+
+	// Registry mirrors of the counters above (nil-safe no-ops when no
+	// registry is configured).
+	cQueries    *telemetry.Counter
+	cSubQueries *telemetry.Counter
+	cRetries    *telemetry.Counter
+	cOverruled  *telemetry.Counter
 }
 
 // NewResilient wraps inner with the given policy.
@@ -87,7 +100,12 @@ func NewResilient(inner Oracle, opts ResilientOptions) *Resilient {
 	if opts.Sleep == nil {
 		opts.Sleep = time.Sleep
 	}
-	return &Resilient{inner: inner, opts: opts, rng: rand.New(rand.NewSource(opts.Seed ^ 0x0a11ce))}
+	r := &Resilient{inner: inner, opts: opts, rng: rand.New(rand.NewSource(opts.Seed ^ 0x0a11ce))}
+	r.cQueries = opts.Telemetry.Counter("oracle_queries_total")
+	r.cSubQueries = opts.Telemetry.Counter("oracle_subqueries_total")
+	r.cRetries = opts.Telemetry.Counter("oracle_retries_total")
+	r.cOverruled = opts.Telemetry.Counter("oracle_votes_overruled_total")
+	return r
 }
 
 // NumInputs implements Oracle.
@@ -126,6 +144,7 @@ func (r *Resilient) withRetry(q func() error) error {
 	for {
 		attempts++
 		r.subQueries.Add(1)
+		r.cSubQueries.Inc()
 		err := q()
 		if err == nil {
 			return nil
@@ -134,6 +153,7 @@ func (r *Resilient) withRetry(q func() error) error {
 			return &PermanentError{Attempts: attempts, Err: err}
 		}
 		r.retries.Add(1)
+		r.cRetries.Inc()
 		r.opts.Sleep(r.backoff(attempts))
 	}
 }
@@ -141,6 +161,7 @@ func (r *Resilient) withRetry(q func() error) error {
 // Query implements Oracle: Votes repeated queries, per-bit majority.
 func (r *Resilient) Query(in []bool) ([]bool, error) {
 	r.queries.Add(1)
+	r.cQueries.Inc()
 	votes := r.opts.Votes
 	counts := make([]int, r.inner.NumOutputs())
 	var out []bool
@@ -172,6 +193,7 @@ func (r *Resilient) Query(in []bool) ([]bool, error) {
 	}
 	if overruled {
 		r.overruled.Add(1)
+		r.cOverruled.Inc()
 	}
 	return res, nil
 }
@@ -180,6 +202,7 @@ func (r *Resilient) Query(in []bool) ([]bool, error) {
 // the whole 64-pattern batch.
 func (r *Resilient) Query64(in []uint64) ([]uint64, error) {
 	r.queries.Add(1)
+	r.cQueries.Inc()
 	return r.query64Voted(in)
 }
 
@@ -223,6 +246,7 @@ func (r *Resilient) majority64(samples [][]uint64) []uint64 {
 			continue
 		}
 		r.overruled.Add(1)
+		r.cOverruled.Inc()
 		m := first &^ disagree // unanimous bits pass through
 		for b := 0; b < 64; b++ {
 			if disagree&(1<<uint(b)) == 0 {
@@ -248,6 +272,7 @@ func (r *Resilient) majority64(samples [][]uint64) []uint64 {
 // voting is configured, whole vote-rounds go through EvalMany.
 func (r *Resilient) EvalMany(ins [][]uint64) ([][]uint64, error) {
 	r.queries.Add(uint64(len(ins)))
+	r.cQueries.Add(uint64(len(ins)))
 	if bo, ok := r.inner.(BatchOracle); ok && r.opts.Votes == 1 {
 		var outs [][]uint64
 		err := r.withRetry(func() error {

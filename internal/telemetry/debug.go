@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer is the live-observation endpoint behind the CLIs'
+// -debug-addr flag. It serves, on its own mux (never the default one):
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  JSON snapshot (metrics + ended spans)
+//	/trace.json    Chrome-trace JSON of the spans ended so far
+//	/healthz       {"status":"ok","uptime":"..."}
+//	/debug/vars    expvar (memstats, cmdline)
+//	/debug/pprof/  the net/http/pprof suite (profile, heap, trace, ...)
+type DebugServer struct {
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+}
+
+// expvarOnce guards the process-global expvar publication: expvar.Publish
+// panics on duplicate names, and tests start several servers.
+var expvarOnce sync.Once
+
+// ServeDebug binds addr (e.g. ":6060", or ":0" for an ephemeral port)
+// and serves the debug endpoints for r in a background goroutine until
+// Close. The registry may be nil: endpoints then serve empty documents,
+// and pprof still works — profiling needs no metrics.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{
+			"status": "ok",
+			"uptime": time.Since(d.start).Round(time.Millisecond).String(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{Handler: mux}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// URL returns the http base URL of the server.
+func (d *DebugServer) URL() string {
+	if d == nil {
+		return ""
+	}
+	return fmt.Sprintf("http://%s", d.ln.Addr())
+}
+
+// Close stops the listener and all in-flight handlers.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

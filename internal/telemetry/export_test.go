@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition format byte for byte:
+// family sorting, shared # TYPE lines for labelled series, cumulative
+// histogram buckets, _sum/_count.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("attack_oracle_queries_total").Add(42)
+	r.Counter(Label("enum_shard_batches_total", "shard", "0")).Add(7)
+	r.Counter(Label("enum_shard_batches_total", "shard", "1")).Add(9)
+	r.Gauge("enum_workers").Set(4)
+	h := r.Histogram("phase_seconds", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(4)
+
+	const golden = `# TYPE attack_oracle_queries_total counter
+attack_oracle_queries_total 42
+# TYPE enum_shard_batches_total counter
+enum_shard_batches_total{shard="0"} 7
+enum_shard_batches_total{shard="1"} 9
+# TYPE enum_workers gauge
+enum_workers 4
+# TYPE phase_seconds histogram
+phase_seconds_bucket{le="0.5"} 2
+phase_seconds_bucket{le="1"} 2
+phase_seconds_bucket{le="+Inf"} 3
+phase_seconds_sum 4.75
+phase_seconds_count 3
+`
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", buf.String(), golden)
+	}
+}
+
+func TestPrometheusLabelledHistogram(t *testing.T) {
+	r := New()
+	r.Histogram(Label("attack_phase_seconds", "phase", "enumerate"), []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE attack_phase_seconds histogram",
+		`attack_phase_seconds_bucket{phase="enumerate",le="1"} 1`,
+		`attack_phase_seconds_sum{phase="enumerate"} 0.5`,
+		`attack_phase_seconds_count{phase="enumerate"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	r := New()
+	root := r.StartSpan("attack")
+	child := root.Child("enumerate")
+	shard := child.ChildLane("shard", 3)
+	shard.SetArg("shard", "2")
+	shard.End()
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	byName := map[string]int{}
+	for i, ev := range events {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d has ph %q, want X", i, ev.Ph)
+		}
+		byName[ev.Name] = i
+	}
+	sh := events[byName["shard"]]
+	if sh.Tid != 3 || sh.Args["shard"] != "2" {
+		t.Fatalf("shard event wrong: %+v", sh)
+	}
+	if events[byName["attack"]].Tid != 0 {
+		t.Fatal("root span not on lane 0")
+	}
+	// One event per line keeps the file greppable and diff-friendly.
+	if lines := strings.Count(strings.TrimSpace(buf.String()), "\n"); lines != len(events)+1 {
+		t.Fatalf("expected one event per line, got %d newlines", lines)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := New()
+	r.Counter("c_total").Add(5)
+	r.StartSpan("s").End()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["c_total"] != 5 || len(snap.Spans) != 1 {
+		t.Fatalf("snapshot round-trip wrong: %+v", snap)
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	r := New()
+	r.Counter("c_total").Inc()
+	r.StartSpan("attack").End()
+	dir := t.TempDir()
+
+	prom := filepath.Join(dir, "m.prom")
+	if err := r.WriteMetricsFile(prom); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "c_total 1") {
+		t.Fatalf("prom file wrong:\n%s", data)
+	}
+
+	js := filepath.Join(dir, "m.json")
+	if err := r.WriteMetricsFile(js); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	data, err = os.ReadFile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	trace := filepath.Join(dir, "t.json")
+	if err := r.WriteChromeTraceFile(trace); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("%d trace events, want 1", len(events))
+	}
+	// No stray temp files survive.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("%d files in dir, want 3", len(entries))
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := New()
+	r.Counter("oracle_queries_total").Add(11)
+	r.StartSpan("attack").End()
+	d, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(d.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "oracle_queries_total 11") {
+		t.Fatalf("/metrics wrong:\n%s", body)
+	}
+	if body := get("/healthz"); !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz wrong: %s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, `"oracle_queries_total": 11`) {
+		t.Fatalf("/metrics.json wrong: %s", body)
+	}
+	if body := get("/trace.json"); !strings.Contains(body, `"name":"attack"`) {
+		t.Fatalf("/trace.json wrong: %s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Fatal("/debug/vars missing memstats")
+	}
+
+	// A nil registry still serves pprof and empty metrics.
+	d2, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	resp, err := http.Get(d2.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-registry /metrics status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Span is one timed region of the trace. A span belongs to one
+// goroutine: SetArg and End must not race with each other, but distinct
+// spans of one registry may start and end concurrently (shard workers
+// each hold their own child span). A nil *Span — the disabled state —
+// no-ops every method.
+type Span struct {
+	reg    *Registry
+	id     uint64
+	parent uint64
+	name   string
+	lane   int
+	start  time.Time
+	args   map[string]string
+	done   bool
+}
+
+// SpanRecord is the immutable form a span takes once ended. Start is
+// the offset from the registry's epoch; Lane is the Chrome-trace tid
+// (0 = the main pipeline; shard workers get distinct lanes so parallel
+// work renders as parallel rows).
+type SpanRecord struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Lane   int               `json:"lane,omitempty"`
+	Start  time.Duration     `json:"start_ns"`
+	Dur    time.Duration     `json:"dur_ns"`
+	Args   map[string]string `json:"args,omitempty"`
+}
+
+// StartSpan opens a root span (lane 0, no parent). Returns nil on a
+// nil registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, id: r.nextID.Add(1), name: name, start: time.Now()}
+}
+
+// Child opens a nested span inheriting the receiver's lane. Returns nil
+// on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.reg.StartSpan(name)
+	c.parent = s.id
+	c.lane = s.lane
+	return c
+}
+
+// ChildLane opens a nested span on an explicit lane — shard workers use
+// lanes 1.. so their spans render as parallel trace rows. Returns nil
+// on a nil span.
+func (s *Span) ChildLane(name string, lane int) *Span {
+	c := s.Child(name)
+	if c != nil {
+		c.lane = lane
+	}
+	return c
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetArg attaches a key/value annotation shown in trace viewers. No-op
+// on a nil or already-ended span.
+func (s *Span) SetArg(k, v string) {
+	if s == nil || s.done {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]string, 4)
+	}
+	s.args[k] = v
+}
+
+// End closes the span, appends its record to the registry and returns
+// the measured duration. Ending twice (or ending nil) returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil || s.done {
+		return 0
+	}
+	s.done = true
+	d := time.Since(s.start)
+	r := s.reg
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Lane:   s.lane,
+		Start:  s.start.Sub(r.epoch),
+		Dur:    d,
+		Args:   s.args,
+	}
+	r.spanMu.Lock()
+	r.spans = append(r.spans, rec)
+	r.spanMu.Unlock()
+	return d
+}
+
+// SpanRecords returns a copy of all ended spans, sorted by start time.
+// Nil registries return nil.
+func (r *Registry) SpanRecords() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	out := append([]SpanRecord(nil), r.spans...)
+	r.spanMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// SpanDurations sums ended-span durations by name — the per-phase time
+// budget of a run. Nil registries return nil.
+func (r *Registry) SpanDurations() map[string]time.Duration {
+	recs := r.SpanRecords()
+	if recs == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration, 8)
+	for _, rec := range recs {
+		out[rec.Name] += rec.Dur
+	}
+	return out
+}
+
+// ChildrenOf filters recs to the direct children of parent ID, in start
+// order (recs as returned by SpanRecords is already start-ordered).
+func ChildrenOf(recs []SpanRecord, parent uint64) []SpanRecord {
+	var out []SpanRecord
+	for _, rec := range recs {
+		if rec.Parent == parent && parent != 0 {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// FindSpans filters recs to those named name, in start order.
+func FindSpans(recs []SpanRecord, name string) []SpanRecord {
+	var out []SpanRecord
+	for _, rec := range recs {
+		if rec.Name == name {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

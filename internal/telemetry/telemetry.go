@@ -1,0 +1,256 @@
+// Package telemetry is the repository's dependency-free observability
+// layer: an atomic metrics registry (counters, gauges, fixed-bucket
+// histograms), a span/trace recorder exportable as Chrome-trace JSON,
+// Prometheus-text and JSON snapshot writers, and an optional debug HTTP
+// listener (/metrics, /healthz, expvar, net/http/pprof).
+//
+// Every entry point is nil-receiver-safe: a nil *Registry — telemetry
+// disabled, the default everywhere — hands out nil metrics and nil
+// spans whose methods are no-ops, so instrumented code needs no guards
+// and the disabled path costs one nil check per event. All metric types
+// are safe for concurrent use (verified under -race); spans are
+// single-goroutine objects, but may be created and ended concurrently
+// with other spans of the same registry.
+//
+// Metric names follow Prometheus conventions (`snake_case`, counters
+// suffixed `_total`); labelled series are spelled inline with Label,
+// e.g. Label("enum_shard_batches_total", "shard", "3"). DESIGN.md §7
+// documents the full name and span taxonomy.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n. Safe on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Safe on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d to the gauge. Safe on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts and a
+// CAS-maintained float64 sum, in the Prometheus cumulative-`le` model.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; counts has one extra +Inf slot
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// DurationBuckets spans 1µs .. 1min in decades — the default latency
+// bucket layout for phase and shard timings.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 60}
+
+// SizeBuckets spans 1 .. 16M in powers of 8 — the default layout for
+// DIP-set and batch-count size distributions (Table I's sets reach
+// 8.5M patterns).
+var SizeBuckets = []float64{1, 8, 64, 512, 4096, 32768, 262144, 2097152, 16777216}
+
+func newHistogram(buckets []float64) *Histogram {
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample. Safe on a nil receiver and under
+// concurrent use.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, i.e. v ≤ le
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds. Safe on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra slot for
+	// the +Inf bucket. Counts are per-bucket (not cumulative).
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state (zero value on nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry is a get-or-create store of named metrics plus the trace
+// recorder. The zero value is not usable; construct with New. A nil
+// *Registry is the disabled state: every method is a no-op returning
+// nil metrics/spans.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu sync.Mutex
+	spans  []SpanRecord
+
+	epoch  time.Time
+	nextID atomic.Uint64
+}
+
+// New returns an empty live registry; its trace epoch is now.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		epoch:    time.Now(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls keep the original bounds).
+// Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Label renders a labelled series name, e.g.
+// Label("enum_shard_batches_total", "shard", "3") →
+// `enum_shard_batches_total{shard="3"}`. kv must be key/value pairs; an
+// odd-length kv returns the bare name.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// baseName strips the label block from a series name: the Prometheus
+// `# TYPE` family name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHammer drives one counter, one gauge and one histogram
+// from GOMAXPROCS goroutines; run under -race this is the package's
+// thread-safety certificate.
+func TestConcurrentHammer(t *testing.T) {
+	r := New()
+	c := r.Counter("hammer_total")
+	g := r.Gauge("hammer_gauge")
+	h := r.Histogram("hammer_seconds", DurationBuckets)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 1e-4)
+				// Spans may be created and ended concurrently too.
+				if i%100 == 0 {
+					sp := r.StartSpan("hammer")
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := uint64(workers * perWorker)
+	if got := c.Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != int64(want) {
+		t.Fatalf("gauge = %d, want %d", got, want)
+	}
+	s := h.Snapshot()
+	if s.Count != want {
+		t.Fatalf("histogram count = %d, want %d", s.Count, want)
+	}
+	var bucketSum uint64
+	for _, n := range s.Counts {
+		bucketSum += n
+	}
+	if bucketSum != want {
+		t.Fatalf("bucket sum = %d, want %d", bucketSum, want)
+	}
+}
+
+// TestNilRegistryIsFree exercises the whole API surface on a nil
+// registry: nothing may panic, everything returns zero values.
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(4)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("z", SizeBuckets)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram holds samples")
+	}
+	sp := r.StartSpan("root")
+	sp.SetArg("a", "b")
+	child := sp.Child("child")
+	lane := child.ChildLane("shard", 3)
+	if lane.End() != 0 || child.End() != 0 || sp.End() != 0 {
+		t.Fatal("nil spans measured time")
+	}
+	if sp.Name() != "" {
+		t.Fatal("nil span has a name")
+	}
+	if r.SpanRecords() != nil || r.SpanDurations() != nil {
+		t.Fatal("nil registry recorded spans")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Spans) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le=1 gets {0.5, 1}; le=10 gets {2, 10}; le=100 gets {11}; +Inf {1000}.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0.5+1+2+10+11+1000 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := New()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter not memoized")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("gauge not memoized")
+	}
+	if r.Histogram("a", DurationBuckets) != r.Histogram("a", SizeBuckets) {
+		t.Fatal("histogram not memoized")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := New()
+	root := r.StartSpan("root")
+	a := root.Child("a")
+	time.Sleep(time.Millisecond)
+	a.SetArg("k", "v")
+	if d := a.End(); d <= 0 {
+		t.Fatalf("span duration %v", d)
+	}
+	if d := a.End(); d != 0 {
+		t.Fatal("double End measured time")
+	}
+	b := root.ChildLane("b", 2)
+	b.End()
+	root.End()
+	recs := r.SpanRecords()
+	if len(recs) != 3 {
+		t.Fatalf("%d records, want 3", len(recs))
+	}
+	roots := FindSpans(recs, "root")
+	if len(roots) != 1 || roots[0].Parent != 0 {
+		t.Fatalf("root record wrong: %+v", roots)
+	}
+	kids := ChildrenOf(recs, roots[0].ID)
+	if len(kids) != 2 || kids[0].Name != "a" || kids[1].Name != "b" {
+		t.Fatalf("children wrong: %+v", kids)
+	}
+	if kids[0].Args["k"] != "v" {
+		t.Fatalf("args lost: %+v", kids[0].Args)
+	}
+	if kids[1].Lane != 2 {
+		t.Fatalf("lane lost: %+v", kids[1])
+	}
+	durs := r.SpanDurations()
+	if durs["a"] <= 0 || durs["root"] < durs["a"] {
+		t.Fatalf("durations inconsistent: %v", durs)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("m_total", "shard", "3"); got != `m_total{shard="3"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := Label("m", "odd"); got != "m" {
+		t.Fatalf("odd kv should return the bare name, got %q", got)
+	}
+}
