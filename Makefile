@@ -11,16 +11,25 @@
 #   make trace-smoke end-to-end telemetry check: lock a seed circuit,
 #                    attack it with -trace, and validate the Chrome
 #                    trace (all five phase spans, wall-clock coverage)
+#   make serve-smoke end-to-end service check: start caslock-served,
+#                    submit over HTTP, poll, tracecheck the per-job
+#                    trace, assert the resubmission is a zero-work
+#                    cache hit, SIGTERM-drain cleanly
+#   make signal-smoke SIGINT a running caslock-attack: exit code 3,
+#                    partial structure printed, trace flushed and valid
 #   make ci          build + vet + fmt-check + test + test-race +
-#                    fuzz-smoke + trace-smoke
+#                    fuzz-smoke + trace-smoke + serve-smoke +
+#                    signal-smoke
 #   make bench       tier-1 benchmarks with allocation reporting
 #   make benchjson   refresh BENCH_core.json (the perf trajectory file)
 
 GO ?= go
 FUZZTIME ?= 5s
 SMOKEDIR ?= .trace-smoke
+SERVEDIR ?= .serve-smoke
+SIGDIR ?= .signal-smoke
 
-.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke ci bench benchjson
+.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke ci bench benchjson
 
 build:
 	$(GO) build ./...
@@ -52,7 +61,13 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck -in $(SMOKEDIR)/trace.json
 	@rm -rf $(SMOKEDIR)
 
-ci: build vet fmt-check test test-race fuzz-smoke trace-smoke
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh $(SERVEDIR)
+
+signal-smoke:
+	GO="$(GO)" sh scripts/signal_smoke.sh $(SIGDIR)
+
+ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .

@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -92,12 +94,13 @@ func main() {
 		orc = resilient
 	}
 
-	ctx := context.Background()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if *timeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	watchSignals(cancel)
 	opts := core.Options{
 		Context:         ctx,
 		Oracle:          orc,
@@ -148,6 +151,26 @@ func main() {
 		}
 	}
 	flushTelemetry()
+}
+
+// watchSignals wires SIGINT/SIGTERM into the attack context: the first
+// signal cancels it, so the run winds down through the ordinary
+// PartialError path — partial structure printed, telemetry flushed,
+// exit 3 — exactly as a -timeout expiry would. A second signal stops
+// waiting for the wind-down: it flushes whatever telemetry exists and
+// force-exits.
+func watchSignals(cancel context.CancelFunc) {
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "caslock-attack: received %v, cancelling attack (send again to force-exit)\n", sig)
+		cancel()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "caslock-attack: force exit")
+		flushTelemetry()
+		os.Exit(130)
+	}()
 }
 
 // flushTelemetry writes the trace and metrics files, if requested. It

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -72,12 +74,26 @@ func main() {
 			}
 		}
 	}
-	ctx := context.Background()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if *timeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// First SIGINT/SIGTERM cancels the grid context — the matrix winds
+	// down and the deadline exit path (code 3) runs with telemetry
+	// flushed. A second signal force-exits after flushing.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "lockbench: received %v, cancelling grid (send again to force-exit)\n", sig)
+		cancel()
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "lockbench: force exit")
+		flush()
+		os.Exit(130)
+	}()
 	cells, err := experiments.RunMatrixOptions(experiments.MatrixOptions{
 		Context:    ctx,
 		HostInputs: *inputs,

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Canonical serializes a circuit into a deterministic, content-
+// addressable byte form: the service layer hashes it (together with the
+// attack options) to derive cache keys, so two submissions of the same
+// logical netlist must produce identical bytes.
+//
+// The form is a stripped bench dialect: no comment header (the circuit
+// name is presentation, not content), inputs/keys/outputs in their
+// declared order, gates in deterministic topological order with
+// canonical mnemonics, and a leading section-count line so that
+// structurally different circuits can never serialize to the same
+// bytes by section aliasing. Signal names ARE part of the content —
+// key-input naming carries the key-port convention, and a renamed
+// netlist legitimately hashes differently.
+func Canonical(c *netlist.Circuit) ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "v1 %d %d %d %d\n", c.NumInputs(), c.NumKeys(), c.NumOutputs(), c.NumGates())
+	for _, id := range c.Inputs() {
+		fmt.Fprintf(&b, "i %s\n", c.Gate(id).Name)
+	}
+	for _, id := range c.Keys() {
+		fmt.Fprintf(&b, "k %s\n", c.Gate(id).Name)
+	}
+	for _, id := range c.Outputs() {
+		fmt.Fprintf(&b, "o %s\n", c.Gate(id).Name)
+	}
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		g := c.Gate(id)
+		switch g.Type {
+		case netlist.Input:
+			continue
+		case netlist.Const0:
+			fmt.Fprintf(&b, "g %s = CONST0()\n", g.Name)
+			continue
+		case netlist.Const1:
+			fmt.Fprintf(&b, "g %s = CONST1()\n", g.Name)
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gate(f).Name
+		}
+		fmt.Fprintf(&b, "g %s = %s(%s)\n", g.Name, mnemonicFor(g.Type), strings.Join(names, ","))
+	}
+	return b.Bytes(), nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const canonSrc = `# a comment
+INPUT(a)
+INPUT(b)
+INPUT(keyinput0)
+OUTPUT(y)
+t = XOR(a, keyinput0)
+y = AND(t, b)
+`
+
+func TestCanonicalDeterministic(t *testing.T) {
+	c1, err := ReadString("one", canonSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadString("two", canonSrc) // different circuit name
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := Canonical(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Canonical(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("canonical bytes depend on the circuit name:\n%s\nvs\n%s", b1, b2)
+	}
+	if !bytes.HasPrefix(b1, []byte("v1 2 1 1 ")) {
+		t.Fatalf("missing section-count header: %q", b1[:20])
+	}
+}
+
+func TestCanonicalDistinguishesContent(t *testing.T) {
+	base, err := ReadString("c", canonSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []string{
+		strings.Replace(canonSrc, "AND(t, b)", "OR(t, b)", 1), // gate type
+		strings.Replace(canonSrc, "XOR(a,", "XOR(b,", 1),      // wiring
+		// key port removed entirely
+		"INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = XOR(a, b)\ny = AND(t, b)\n",
+	}
+	baseBytes, err := Canonical(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range variants {
+		c, err := ReadString("c", src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		got, err := Canonical(c)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if bytes.Equal(got, baseBytes) {
+			t.Errorf("variant %d canonicalizes identically to the base circuit", i)
+		}
+	}
+}
+
+func TestCanonicalRoundTripStable(t *testing.T) {
+	c, err := ReadString("c", canonSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bench.Write → bench.Read → Canonical must equal direct Canonical:
+	// the service receives netlists as serialized text, so the hash must
+	// be stable across a round trip.
+	text, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadString("c", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := Canonical(c)
+	b2, _ := Canonical(c2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("round trip changed canonical form:\n%s\nvs\n%s", b1, b2)
+	}
+}

@@ -11,6 +11,12 @@ import (
 // requests indicate a logic error rather than a real workload.
 const maxDenseBits = 34
 
+// MaxBlockWidth is the widest CAS block this package can attack: the
+// dense DIPSet cap. Admission boundaries validate against it (with
+// ErrBlockWidth) instead of letting a malformed instance trip internal
+// panics deep inside a shared process.
+const MaxBlockWidth = maxDenseBits
+
 // DIPSet is a packed bitset over the 2^n block-input patterns of an
 // n-input CAS block: bit p is set iff pattern p is a DIP. It replaces
 // the former map[uint64]struct{} representation — 2^n bits instead of
@@ -30,7 +36,7 @@ type DIPSet struct {
 // NewDIPSet returns an empty DIP set over n-bit block patterns.
 func NewDIPSet(n int) (*DIPSet, error) {
 	if n < 1 || n > maxDenseBits {
-		return nil, fmt.Errorf("core: DIPSet width %d outside [1, %d]", n, maxDenseBits)
+		return nil, fmt.Errorf("%w: DIPSet width %d outside [1, %d]", ErrBlockWidth, n, maxDenseBits)
 	}
 	nw := 1
 	if n > 6 {

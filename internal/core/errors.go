@@ -34,6 +34,28 @@ var ErrOracleInconsistent = errors.New("core: oracle disagreements eliminated ev
 // recovered structure.
 var ErrPartial = errors.New("core: attack interrupted before key recovery")
 
+// ErrBlockWidth classifies width-validation failures: a block width
+// outside the range this package can represent (see MaxBlockWidth).
+// Admission boundaries — the attack service in particular — match on it
+// to reject malformed or oversized instances before any work is queued.
+var ErrBlockWidth = errors.New("core: block width outside supported range")
+
+// PanicError is a panic converted into an error by RunSafe (or any
+// other panic-to-error boundary): long-running callers — the attack
+// daemon above all — must not die because one malformed netlist drove
+// an internal invariant (such as DIPSet.Add's universe check) into a
+// panic. Value is the recovered panic value; Stack the goroutine stack
+// captured at recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: attack panicked: %v", e.Value)
+}
+
 // PartialError is the graceful-degradation result: the attack ran out
 // of deadline or budget (or the oracle failed permanently) after
 // recovering part of the structure. Everything learned up to the

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/cnf"
 	"repro/internal/miter"
 	"repro/internal/netlist"
@@ -60,13 +61,32 @@ type Extractor interface {
 // full locked netlist.
 // ---------------------------------------------------------------------
 
+// encodeCacheSize bounds the SAT extractor's per-assignment encoding
+// cache: large enough to hold both Lemma-1 hypothesis assignments plus
+// the calibration sweep's working set (whose Classes→DIPs pairs and
+// re-decode extractions revisit recent assignments), small enough that
+// a long sweep cannot accumulate formulas without bound.
+const encodeCacheSize = 8
+
+// satEncoding is one memoized fixed-key miter compilation: the Tseitin
+// clauses, the disagreement literal and the block-input literals in
+// chain order. Immutable once built — enumeration replays the clauses
+// into a fresh solver, so cached encodings are safely shared.
+type satEncoding struct {
+	form  *cnf.Formula
+	diff  cnf.Lit
+	block []cnf.Lit
+}
+
 // SATExtractor enumerates DIPs with a SAT solver over the full locked
 // netlist, exactly as the paper does (CryptoMiniSat in the original).
 // The fixed-key miter and its Tseitin encoding are memoized per key
-// assignment: repeated extractions under the same assignment (DIPs then
-// Classes, or the attack's re-extraction passes) replay the cached
-// clauses into a fresh solver instead of rebuilding the miter circuit
-// and re-encoding it.
+// assignment in a small LRU: repeated extractions under the same
+// assignment (DIPs then Classes, the calibration sweep's re-extraction
+// passes) and the attack's return to an earlier assignment (the second
+// Lemma-1 hypothesis, service-level re-runs) replay the cached clauses
+// into a fresh solver instead of rebuilding the miter circuit and
+// re-encoding it.
 type SATExtractor struct {
 	locked *netlist.Circuit
 	layout *BlockLayout
@@ -74,11 +94,8 @@ type SATExtractor struct {
 	ctx    context.Context     // nil = never cancelled
 	tel    *telemetry.Registry // nil = uninstrumented
 
-	// Memoized compilation of the last assignment.
-	memoA, memoB []bool
-	memoForm     *cnf.Formula
-	memoDiff     cnf.Lit
-	memoBlock    []cnf.Lit
+	// Encoding cache, keyed by the packed (A,B) assignment bits.
+	encodings *cache.LRU[string, *satEncoding]
 }
 
 // NewSATExtractor builds a SAT-based extractor.
@@ -89,7 +106,8 @@ func NewSATExtractor(locked *netlist.Circuit, layout *BlockLayout) (*SATExtracto
 	if layout.N() > 30 {
 		return nil, fmt.Errorf("core: SAT extractor limited to 30 chain inputs (full enumeration); use the simulation extractor")
 	}
-	return &SATExtractor{locked: locked, layout: layout}, nil
+	return &SATExtractor{locked: locked, layout: layout,
+		encodings: cache.NewLRU[string, *satEncoding](encodeCacheSize)}, nil
 }
 
 // BlockWidth implements Extractor.
@@ -108,47 +126,59 @@ func (e *SATExtractor) SetContext(ctx context.Context) { e.ctx = ctx }
 // statistics fold into sat_* counters. Nil disables instrumentation.
 func (e *SATExtractor) SetTelemetry(r *telemetry.Registry) { e.tel = r }
 
-// compile builds (or reuses) the fixed-key miter encoding for assign:
-// the Tseitin clauses, the disagreement literal and the block-input
-// literals in chain order.
-func (e *SATExtractor) compile(assign PairAssign) error {
-	if boolsEqual(e.memoA, assign.A) && boolsEqual(e.memoB, assign.B) {
-		return nil
+// assignKey packs a pair assignment into the encoding cache's string
+// key: one byte per 8 key bits, copy A then copy B.
+func assignKey(assign PairAssign) string {
+	buf := make([]byte, 0, (len(assign.A)+len(assign.B)+7)/8+1)
+	pack := func(bits []bool) {
+		var b byte
+		for i, v := range bits {
+			if v {
+				b |= 1 << uint(i&7)
+			}
+			if i&7 == 7 {
+				buf = append(buf, b)
+				b = 0
+			}
+		}
+		buf = append(buf, b)
 	}
+	pack(assign.A)
+	pack(assign.B)
+	return string(buf)
+}
+
+// compile returns the fixed-key miter encoding for assign, building and
+// caching it on first use: the Tseitin clauses, the disagreement
+// literal and the block-input literals in chain order. The cache spans
+// assignments, so the attack's second hypothesis case and the
+// calibration sweep's Classes→DIPs pairs hit it instead of re-encoding.
+func (e *SATExtractor) compile(assign PairAssign) (*satEncoding, error) {
+	key := assignKey(assign)
+	if enc, ok := e.encodings.Get(key); ok {
+		e.tel.Counter("sat_encode_cache_hits_total").Inc()
+		return enc, nil
+	}
+	e.tel.Counter("sat_encode_cache_misses_total").Inc()
 	sp := e.tel.StartSpan("miter")
 	defer sp.End()
 	m, err := miter.NewFixedKey(e.locked, assign.A, assign.B)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	form := &cnf.Formula{}
 	enc, err := cnf.EncodeInto(m, form)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	inLits := enc.InputLits(m)
 	blockLits := make([]cnf.Lit, e.layout.N())
 	for i, pos := range e.layout.InputPos {
 		blockLits[i] = inLits[pos]
 	}
-	e.memoA = append(e.memoA[:0], assign.A...)
-	e.memoB = append(e.memoB[:0], assign.B...)
-	e.memoForm = form
-	e.memoDiff = enc.OutputLits(m)[0]
-	e.memoBlock = blockLits
-	return nil
-}
-
-func boolsEqual(a, b []bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return len(a) > 0
+	out := &satEncoding{form: form, diff: enc.OutputLits(m)[0], block: blockLits}
+	e.encodings.Put(key, out)
+	return out, nil
 }
 
 // satSliceConflicts bounds one Solve slice when a context is attached
@@ -201,13 +231,14 @@ func (e *SATExtractor) sliceBudget(start time.Time, conflicts uint64) uint64 {
 func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	e.count++
 	e.tel.Counter("enum_extractions_total").Inc()
-	if err := e.compile(assign); err != nil {
+	enc, err := e.compile(assign)
+	if err != nil {
 		return nil, err
 	}
 	solver := sat.New()
-	solver.EnsureVars(e.memoForm.NumVars)
-	solver.AddFormula(e.memoForm)
-	solver.Add(e.memoDiff) // only interested in disagreement witnesses
+	solver.EnsureVars(enc.form.NumVars)
+	solver.AddFormula(enc.form)
+	solver.Add(enc.diff) // only interested in disagreement witnesses
 	out, err := NewDIPSet(e.layout.N())
 	if err != nil {
 		return nil, err
@@ -226,7 +257,7 @@ func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 		}
 		sp.End()
 	}()
-	blocking := make([]cnf.Lit, len(e.memoBlock))
+	blocking := make([]cnf.Lit, len(enc.block))
 	start := time.Now()
 	for {
 		if e.ctx != nil {
@@ -243,7 +274,7 @@ func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 			return out, nil
 		}
 		var pat uint64
-		for i, l := range e.memoBlock {
+		for i, l := range enc.block {
 			if solver.ModelValue(l) {
 				pat |= 1 << uint(i)
 				blocking[i] = l.Neg()
@@ -335,7 +366,7 @@ func NewSimExtractor(locked *netlist.Circuit, layout *BlockLayout, seed int64) (
 	}
 	n := layout.N()
 	if n > maxDenseBits {
-		return nil, fmt.Errorf("core: %d chain inputs beyond exhaustive enumeration", n)
+		return nil, fmt.Errorf("%w: %d chain inputs beyond exhaustive enumeration", ErrBlockWidth, n)
 	}
 	mask := locked.TransitiveFanout(locked.Keys()...)
 	order, err := locked.TopoOrder()

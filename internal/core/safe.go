@@ -1,0 +1,35 @@
+package core
+
+import (
+	"runtime/debug"
+
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+)
+
+// RunSafe is Run behind a panic-to-error boundary: any panic raised by
+// the attack (an internal invariant driven off a malformed netlist, a
+// bookkeeping bug surfaced by hostile input) is recovered into a
+// *PanicError instead of unwinding into the caller. Long-running
+// processes that run attacks on behalf of others — the attack-as-a-
+// service daemon — use this entry point so one bad job cannot take the
+// process down.
+func RunSafe(opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return Run(opts)
+}
+
+// RunMCASSafe is RunMCAS behind the same panic-to-error boundary as
+// RunSafe.
+func RunMCASSafe(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (res *MCASResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return RunMCAS(locked, orc, opts)
+}

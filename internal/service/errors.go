@@ -1,0 +1,53 @@
+package service
+
+import "fmt"
+
+// ErrorKind classifies service failures for API mapping: each kind has
+// a stable wire name and a canonical HTTP status.
+type ErrorKind string
+
+const (
+	// KindInvalid: the request failed admission validation (unparseable
+	// netlist, mismatched oracle, block width out of range). HTTP 400.
+	KindInvalid ErrorKind = "invalid_request"
+	// KindQueueFull: admission control rejected the job because the
+	// bounded queue is at capacity. HTTP 429.
+	KindQueueFull ErrorKind = "queue_full"
+	// KindUnavailable: the service is shutting down. HTTP 503.
+	KindUnavailable ErrorKind = "unavailable"
+	// KindPanic: the attack panicked and the worker recovered it — the
+	// daemon survives, the job reports this kind. HTTP 500 on result.
+	KindPanic ErrorKind = "panic"
+	// KindAttackFailed: the attack ran to completion but failed (not a
+	// CAS instance, inconsistent oracle, ...).
+	KindAttackFailed ErrorKind = "attack_failed"
+	// KindCanceled: every interested submitter walked away before the
+	// attack started, so it was never run.
+	KindCanceled ErrorKind = "canceled"
+	// KindNotFound: no job with the requested ID. HTTP 404.
+	KindNotFound ErrorKind = "not_found"
+)
+
+// JobError is the service's typed failure: validation rejections at the
+// admission boundary and recovered worker faults both surface as one of
+// these instead of a panic or a bare string, so a shared daemon can
+// classify, count and report them per job.
+type JobError struct {
+	Kind ErrorKind
+	Err  error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("service: %s", e.Kind)
+	}
+	return fmt.Sprintf("service: %s: %v", e.Kind, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *JobError) Unwrap() error { return e.Err }
+
+func errInvalid(format string, args ...any) *JobError {
+	return &JobError{Kind: KindInvalid, Err: fmt.Errorf(format, args...)}
+}

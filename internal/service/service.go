@@ -1,0 +1,859 @@
+// Package service is the attack-as-a-service layer: a long-running
+// front end over internal/core that accepts locked-netlist attack jobs,
+// runs them on a bounded worker pool with admission control, and
+// amortizes work across requests through a content-addressed result
+// cache with singleflight deduplication — N identical submissions run
+// the attack once, and a byte-identical resubmission of a completed job
+// costs zero oracle or SAT queries.
+//
+// The boundary is hardened for shared use: requests are validated
+// before admission (block width against core.MaxBlockWidth, oracle
+// arity against the locked netlist), worker panics are recovered into
+// typed JobErrors instead of taking the daemon down, and every job runs
+// under its own telemetry registry whose span tree is served back over
+// the job API. DESIGN.md §8 documents the cache key derivation, the
+// singleflight semantics and the job state machine.
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/telemetry"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of concurrent attack executions (default 2).
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-started
+	// executions; a full queue rejects submissions with KindQueueFull
+	// (default 16).
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache, in completed
+	// jobs (default 128).
+	CacheSize int
+	// MaxBlockWidth caps the admitted CAS block width. 0 defaults to
+	// core.MaxBlockWidth; values above it are clamped to it.
+	MaxBlockWidth int
+	// MaxTimeout caps (and DefaultTimeout fills in) the per-job attack
+	// deadline. Zero means no cap / no default.
+	MaxTimeout, DefaultTimeout time.Duration
+	// Registry receives service-level metrics and per-job lifecycle
+	// spans; nil disables them. Per-job attack span trees always exist —
+	// they live in the job's own registry regardless.
+	Registry *telemetry.Registry
+	// Log, when non-nil, receives operational messages.
+	Log func(format string, args ...any)
+}
+
+// AttackRequest is one job submission. Locked and Oracle are
+// bench-format netlist texts (the oracle is the activated/original
+// circuit; it is simulated server-side).
+type AttackRequest struct {
+	Locked string `json:"locked"`
+	Oracle string `json:"oracle"`
+	// MCAS routes the job through the Mirrored-CAS pipeline (SPS strip,
+	// then the DIP-learning attack).
+	MCAS bool `json:"mcas,omitempty"`
+	// Seed drives the attack's probe sampling (part of the cache key).
+	Seed int64 `json:"seed,omitempty"`
+	// Retries arms targeted re-querying for noisy oracles.
+	Retries int `json:"retries,omitempty"`
+	// SATWidthLimit overrides the SAT/simulation engine crossover.
+	SATWidthLimit int `json:"sat_width_limit,omitempty"`
+	// TimeoutMS bounds the attack; expiry yields a partial outcome.
+	// Not part of the cache key (a budget, not a problem statement).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers overrides the enumeration shard count (0 = all cores).
+	// Not part of the cache key (results are bit-identical regardless).
+	Workers int `json:"workers,omitempty"`
+}
+
+// JobState is the job lifecycle state exposed by the API.
+type JobState string
+
+const (
+	StateQueued     JobState = "queued"
+	StateRunning    JobState = "running"
+	StateCancelling JobState = "cancelling"
+	StateDone       JobState = "done"
+	StatePartial    JobState = "partial"
+	StateFailed     JobState = "failed"
+	StateCanceled   JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case StateDone, StatePartial, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// JobResult is a successful recovery, JSON-shaped for the API.
+type JobResult struct {
+	Key             string  `json:"key"`
+	Chain           string  `json:"chain"`
+	Case            int     `json:"case"`
+	KeyGates1       string  `json:"key_gates_1"`
+	KeyGates2       string  `json:"key_gates_2"`
+	AlignedDIPs     uint64  `json:"aligned_dips"`
+	TotalDIPs       uint64  `json:"total_dips"`
+	OracleQueries   uint64  `json:"oracle_queries"`
+	Extractions     int     `json:"extractions"`
+	Calibrations    int     `json:"calibrations"`
+	CandidatesTried int     `json:"candidates_tried"`
+	MCAS            bool    `json:"mcas,omitempty"`
+	RemovedFlipProb float64 `json:"removed_flip_prob,omitempty"`
+	ElapsedMS       int64   `json:"elapsed_ms"`
+}
+
+// PartialInfo is the structure recovered before an interruption.
+type PartialInfo struct {
+	Stage       string `json:"stage"`
+	Case        int    `json:"case"`
+	Chain       string `json:"chain,omitempty"`
+	KeyGates    string `json:"key_gates,omitempty"`
+	DIPs        uint64 `json:"dips"`
+	Extractions int    `json:"extractions"`
+	Cause       string `json:"cause"`
+}
+
+// outcome is one execution's immutable final record, shared by every
+// job that deduplicated onto it (and by cache hits afterwards).
+type outcome struct {
+	result  *JobResult
+	partial *PartialInfo
+	jobErr  *JobError
+	trace   []byte // Chrome-trace JSON of the job's span tree
+}
+
+func (o *outcome) state() JobState {
+	switch {
+	case o.result != nil:
+		return StateDone
+	case o.partial != nil:
+		return StatePartial
+	case o.jobErr != nil && o.jobErr.Kind == KindCanceled:
+		return StateCanceled
+	default:
+		return StateFailed
+	}
+}
+
+// parsedRequest is an admission-validated request.
+type parsedRequest struct {
+	req    AttackRequest
+	locked *netlist.Circuit
+	orig   *netlist.Circuit
+	width  int
+}
+
+// execution is one in-flight attack shared by all jobs with its hash.
+type execution struct {
+	hash   string
+	parsed *parsedRequest
+	flight *cache.Flight[*outcome]
+	ctx    context.Context
+	cancel context.CancelFunc
+	tel    *telemetry.Registry // per-job registry (attack span tree)
+
+	mu         sync.Mutex
+	running    bool
+	startedAt  time.Time
+	finishedAt time.Time
+}
+
+func (e *execution) phase() JobState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running {
+		return StateRunning
+	}
+	return StateQueued
+}
+
+// Job is one submission's handle. Jobs sharing a content hash share an
+// execution; each job still has its own ID, timestamps and cancel
+// state.
+type Job struct {
+	id          string
+	hash        string
+	submittedAt time.Time
+	cached      bool       // admitted as a cache hit
+	exec        *execution // nil on the cached fast path
+	done        *outcome   // set immediately on the cached fast path
+
+	cancelOnce sync.Once
+	cancelled  atomic.Bool
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Hash returns the job's content-address (the cache key digest).
+func (j *Job) Hash() string { return j.hash }
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID              string       `json:"id"`
+	Hash            string       `json:"hash"`
+	State           JobState     `json:"state"`
+	Cached          bool         `json:"cached"`
+	CancelRequested bool         `json:"cancel_requested,omitempty"`
+	SubmittedAt     time.Time    `json:"submitted_at"`
+	StartedAt       *time.Time   `json:"started_at,omitempty"`
+	FinishedAt      *time.Time   `json:"finished_at,omitempty"`
+	Error           string       `json:"error,omitempty"`
+	ErrorKind       ErrorKind    `json:"error_kind,omitempty"`
+	Partial         *PartialInfo `json:"partial,omitempty"`
+}
+
+// Service is the attack-as-a-service front end. Construct with New,
+// stop with Close.
+type Service struct {
+	cfg   Config
+	tel   *telemetry.Registry
+	store *cache.Store[*outcome]
+	group *cache.Group[*outcome]
+	queue chan *execution
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	active map[string]*execution // hash → in-flight execution
+	closed bool
+
+	nextID atomic.Uint64
+	wg     sync.WaitGroup
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	// beforeRun, when non-nil, runs on the worker goroutine just before
+	// the attack starts — a test seam for deterministic cancellation and
+	// fault injection. A panic inside it exercises the worker's
+	// panic-to-JobError boundary.
+	beforeRun func(ctx context.Context, hash string) error
+
+	cSubmitted  *telemetry.Counter
+	cCacheHits  *telemetry.Counter
+	cDeduped    *telemetry.Counter
+	cAttackRuns *telemetry.Counter
+	cQueries    *telemetry.Counter
+	cPanics     *telemetry.Counter
+	gRunning    *telemetry.Gauge
+	gQueued     *telemetry.Gauge
+}
+
+// New starts a service with cfg's worker pool.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.MaxBlockWidth <= 0 || cfg.MaxBlockWidth > core.MaxBlockWidth {
+		cfg.MaxBlockWidth = core.MaxBlockWidth
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:       cfg,
+		tel:       cfg.Registry,
+		store:     cache.NewStore[*outcome](cfg.CacheSize),
+		group:     cache.NewGroup[*outcome](),
+		queue:     make(chan *execution, cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+		active:    make(map[string]*execution),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+	}
+	s.cSubmitted = s.tel.Counter("service_jobs_submitted_total")
+	s.cCacheHits = s.tel.Counter("service_cache_hits_total")
+	s.cDeduped = s.tel.Counter("service_singleflight_joins_total")
+	s.cAttackRuns = s.tel.Counter("service_attack_runs_total")
+	s.cQueries = s.tel.Counter("service_oracle_queries_total")
+	s.cPanics = s.tel.Counter("service_worker_panics_total")
+	s.gRunning = s.tel.Gauge("service_jobs_running")
+	s.gQueued = s.tel.Gauge("service_queue_depth")
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops admission, cancels every queued and running execution and
+// waits for the workers to drain. Safe to call twice.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.cancelAll()
+	s.wg.Wait()
+}
+
+func (s *Service) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// hashRequest derives the content address: SHA-256 over the canonical
+// serializations of both netlists plus the attack-semantics options.
+// Budget/parallelism knobs (TimeoutMS, Workers) are deliberately
+// excluded — they change how long the computation may take, not what it
+// computes.
+func hashRequest(p *parsedRequest) (string, error) {
+	lockedBytes, err := bench.Canonical(p.locked)
+	if err != nil {
+		return "", err
+	}
+	origBytes, err := bench.Canonical(p.orig)
+	if err != nil {
+		return "", err
+	}
+	opts := fmt.Sprintf("v1 mcas=%t seed=%d retries=%d satwidth=%d",
+		p.req.MCAS, p.req.Seed, p.req.Retries, p.req.SATWidthLimit)
+	return cache.SumParts(lockedBytes, origBytes, []byte(opts)), nil
+}
+
+// validate is the admission boundary: it parses both netlists, checks
+// the oracle's arity against the locked circuit, and validates the
+// block width BEFORE the job is queued — out-of-universe widths are
+// rejected here with a typed error instead of being discovered as a
+// panic deep inside a worker.
+func (s *Service) validate(req AttackRequest) (*parsedRequest, error) {
+	if strings.TrimSpace(req.Locked) == "" || strings.TrimSpace(req.Oracle) == "" {
+		return nil, errInvalid("locked and oracle netlists are required")
+	}
+	if req.Retries < 0 || req.SATWidthLimit < 0 || req.Workers < 0 || req.TimeoutMS < 0 {
+		return nil, errInvalid("negative option values")
+	}
+	locked, err := bench.ReadString("locked", req.Locked)
+	if err != nil {
+		return nil, errInvalid("locked netlist: %v", err)
+	}
+	orig, err := bench.ReadString("oracle", req.Oracle)
+	if err != nil {
+		return nil, errInvalid("oracle netlist: %v", err)
+	}
+	if orig.NumKeys() != 0 {
+		return nil, errInvalid("oracle netlist has %d key inputs, want 0 (submit the activated/original circuit)", orig.NumKeys())
+	}
+	if orig.NumInputs() != locked.NumInputs() || orig.NumOutputs() != locked.NumOutputs() {
+		return nil, errInvalid("oracle arity %d→%d does not match locked %d→%d",
+			orig.NumInputs(), orig.NumOutputs(), locked.NumInputs(), locked.NumOutputs())
+	}
+	if locked.NumKeys() == 0 {
+		return nil, errInvalid("locked netlist has no key inputs")
+	}
+	p := &parsedRequest{req: req, locked: locked, orig: orig}
+	if req.MCAS {
+		// The M-CAS pipeline discovers the inner layout only after the
+		// SPS strip; bound the width by what the key count implies.
+		p.width = locked.NumKeys() / 4
+		if locked.NumKeys()%4 != 0 || p.width < 1 {
+			return nil, errInvalid("M-CAS key count %d is not 4×block width", locked.NumKeys())
+		}
+	} else {
+		layout, err := core.DiscoverLayout(locked)
+		if err != nil {
+			return nil, errInvalid("locked netlist is not a recognizable CAS instance: %v", err)
+		}
+		p.width = layout.N()
+		if layout.N()*2 != locked.NumKeys() {
+			return nil, errInvalid("layout covers %d key bits, circuit has %d", layout.N()*2, locked.NumKeys())
+		}
+	}
+	if p.width < 1 || p.width > s.cfg.MaxBlockWidth {
+		return nil, &JobError{Kind: KindInvalid, Err: fmt.Errorf("%w: block width %d outside [1, %d]",
+			core.ErrBlockWidth, p.width, s.cfg.MaxBlockWidth)}
+	}
+	return p, nil
+}
+
+// Submit validates and admits one job. Identical in-flight submissions
+// deduplicate onto one execution; identical completed submissions are
+// answered from the cache without running anything. A full queue is a
+// typed KindQueueFull rejection (HTTP 429 at the API layer).
+func (s *Service) Submit(req AttackRequest) (*Job, error) {
+	parsed, err := s.validate(req)
+	if err != nil {
+		s.tel.Counter(telemetry.Label("service_jobs_rejected_total", "reason", "invalid")).Inc()
+		return nil, err
+	}
+	hash, err := hashRequest(parsed)
+	if err != nil {
+		return nil, errInvalid("canonicalizing request: %v", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, &JobError{Kind: KindUnavailable, Err: errors.New("service is shutting down")}
+	}
+	job := &Job{
+		id:          fmt.Sprintf("j-%06d", s.nextID.Add(1)),
+		hash:        hash,
+		submittedAt: time.Now(),
+	}
+	if out, ok := s.store.Lookup(hash); ok {
+		job.cached = true
+		job.done = out
+		s.jobs[job.id] = job
+		s.cSubmitted.Inc()
+		s.cCacheHits.Inc()
+		s.logf("job %s: cache hit for %s", job.id, shortHash(hash))
+		return job, nil
+	}
+	flight, leader := s.group.Join(hash)
+	if leader {
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout == 0 {
+			timeout = s.cfg.DefaultTimeout
+		}
+		if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+			timeout = s.cfg.MaxTimeout
+		}
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+		}
+		exec := &execution{
+			hash:   hash,
+			parsed: parsed,
+			flight: flight,
+			ctx:    ctx,
+			cancel: cancel,
+			tel:    telemetry.New(),
+		}
+		flight.SetCancel(cancel)
+		select {
+		case s.queue <- exec:
+			s.active[hash] = exec
+			s.gQueued.Set(int64(len(s.queue)))
+		default:
+			// Undo the join: finish the flight with the rejection so the
+			// group entry is removed (no follower can exist yet — Submit
+			// runs under s.mu).
+			cancel()
+			rejection := &outcome{jobErr: &JobError{Kind: KindQueueFull, Err: errors.New("admission queue full")}}
+			flight.Finish(rejection, nil)
+			s.tel.Counter(telemetry.Label("service_jobs_rejected_total", "reason", "queue_full")).Inc()
+			return nil, rejection.jobErr
+		}
+	} else {
+		s.cDeduped.Inc()
+	}
+	job.exec = s.active[hash]
+	if job.exec == nil {
+		// The flight predates our lock but its execution already left the
+		// active map: it is finishing concurrently; treat it like a join
+		// on a completed flight (snapshot will read the outcome).
+		job.exec = &execution{hash: hash, flight: flight, tel: telemetry.New()}
+	}
+	s.jobs[job.id] = job
+	s.cSubmitted.Inc()
+	return job, nil
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// Get returns a job's status snapshot.
+func (s *Service) Get(id string) (JobStatus, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.snapshot(), nil
+}
+
+// Outcome returns a job's terminal outcome, or an error when the job is
+// unknown or still in progress (the boolean distinguishes: false means
+// not finished yet).
+func (s *Service) Outcome(id string) (*JobStatus, *JobResult, bool, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	st := j.snapshot()
+	out := j.outcome()
+	if out == nil {
+		return &st, nil, false, nil
+	}
+	return &st, out.result, true, nil
+}
+
+// Trace returns the Chrome-trace JSON of a job's span tree. For a job
+// still in progress it snapshots the spans ended so far.
+func (s *Service) Trace(id string) ([]byte, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if out := j.outcome(); out != nil && out.trace != nil {
+		return out.trace, nil
+	}
+	if j.exec == nil || j.exec.tel == nil {
+		return []byte("[]"), nil
+	}
+	var buf bytes.Buffer
+	if err := j.exec.tel.WriteChromeTrace(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Cancel withdraws one job's interest in its execution. The execution
+// itself is only aborted when its last interested job cancels — that is
+// the refcounted singleflight contract — after which the in-flight
+// attack winds down into a partial outcome.
+func (s *Service) Cancel(id string) (JobStatus, error) {
+	j, err := s.lookup(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if j.exec != nil && j.outcome() == nil {
+		j.cancelOnce.Do(func() {
+			j.cancelled.Store(true)
+			j.exec.flight.Leave()
+		})
+	}
+	return j.snapshot(), nil
+}
+
+// List returns a snapshot of every known job, newest first.
+func (s *Service) List() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot()
+	}
+	sortStatuses(out)
+	return out
+}
+
+func sortStatuses(xs []JobStatus) {
+	// Newest first: IDs are monotonic, so reverse-lexicographic on the
+	// zero-padded numeric suffix is submission order reversed.
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[j].ID > xs[i].ID {
+				xs[i], xs[j] = xs[j], xs[i]
+			}
+		}
+	}
+}
+
+func (s *Service) lookup(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, &JobError{Kind: KindNotFound, Err: fmt.Errorf("unknown job %q", id)}
+	}
+	return j, nil
+}
+
+// outcome returns the job's terminal outcome, nil while in progress.
+func (j *Job) outcome() *outcome {
+	if j.done != nil {
+		return j.done
+	}
+	if j.exec == nil {
+		return nil
+	}
+	select {
+	case <-j.exec.flight.Done:
+		out, _ := j.exec.flight.Result()
+		return out
+	default:
+		return nil
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (j *Job) Wait(ctx context.Context) (*JobStatus, error) {
+	if j.done == nil && j.exec != nil {
+		select {
+		case <-j.exec.flight.Done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	st := j.snapshot()
+	return &st, nil
+}
+
+func (j *Job) snapshot() JobStatus {
+	st := JobStatus{
+		ID:              j.id,
+		Hash:            j.hash,
+		Cached:          j.cached,
+		CancelRequested: j.cancelled.Load(),
+		SubmittedAt:     j.submittedAt,
+	}
+	out := j.outcome()
+	if out == nil {
+		st.State = j.exec.phase()
+		if st.CancelRequested {
+			st.State = StateCancelling
+		}
+		if st.State == StateRunning {
+			j.exec.mu.Lock()
+			t := j.exec.startedAt
+			j.exec.mu.Unlock()
+			st.StartedAt = &t
+		}
+		return st
+	}
+	st.State = out.state()
+	st.Partial = out.partial
+	if out.jobErr != nil {
+		st.Error = out.jobErr.Error()
+		st.ErrorKind = out.jobErr.Kind
+	}
+	if out.partial != nil {
+		st.Error = out.partial.Cause
+	}
+	if j.exec != nil {
+		j.exec.mu.Lock()
+		if !j.exec.startedAt.IsZero() {
+			t := j.exec.startedAt
+			st.StartedAt = &t
+		}
+		if !j.exec.finishedAt.IsZero() {
+			t := j.exec.finishedAt
+			st.FinishedAt = &t
+		}
+		j.exec.mu.Unlock()
+	}
+	return st
+}
+
+// worker drains the execution queue.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for exec := range s.queue {
+		s.gQueued.Set(int64(len(s.queue)))
+		out := s.runProtected(exec)
+		if out.result != nil {
+			s.store.Put(exec.hash, out)
+		}
+		s.mu.Lock()
+		delete(s.active, exec.hash)
+		s.mu.Unlock()
+		exec.mu.Lock()
+		exec.finishedAt = time.Now()
+		exec.mu.Unlock()
+		exec.cancel() // release the context's timer; the outcome is sealed
+		exec.flight.Finish(out, nil)
+	}
+}
+
+// runProtected executes one attack with the worker's panic boundary:
+// core.RunSafe already converts attack-internal panics, and this outer
+// recover catches everything else (hooks, option plumbing), so a worker
+// goroutine can never take the daemon down.
+func (s *Service) runProtected(exec *execution) (out *outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cPanics.Inc()
+			s.logf("job %s: worker panic recovered: %v", shortHash(exec.hash), r)
+			out = &outcome{jobErr: &JobError{Kind: KindPanic, Err: fmt.Errorf("worker panic: %v", r)}}
+		}
+	}()
+
+	jobSpan := s.tel.StartSpan("job")
+	jobSpan.SetArg("hash", shortHash(exec.hash))
+	defer jobSpan.End()
+
+	exec.mu.Lock()
+	exec.running = true
+	exec.startedAt = time.Now()
+	exec.mu.Unlock()
+	s.gRunning.Add(1)
+	defer s.gRunning.Add(-1)
+
+	if hook := s.beforeRun; hook != nil {
+		if err := hook(exec.ctx, exec.hash); err != nil {
+			return s.finishOutcome(exec, nil, err, time.Time{})
+		}
+	}
+	if err := exec.ctx.Err(); err != nil {
+		// Every submitter left (or the deadline passed) while the job was
+		// still queued: nothing ran, nothing partial to report.
+		jobSpan.SetArg("state", string(StateCanceled))
+		return &outcome{jobErr: &JobError{Kind: KindCanceled, Err: err}}
+	}
+
+	req := exec.parsed.req
+	sim, err := oracle.NewSim(exec.parsed.orig)
+	if err != nil {
+		return &outcome{jobErr: &JobError{Kind: KindAttackFailed, Err: err}}
+	}
+	opts := core.Options{
+		Oracle:          sim,
+		Context:         exec.ctx,
+		Seed:            req.Seed,
+		MismatchRetries: req.Retries,
+		SATWidthLimit:   req.SATWidthLimit,
+		Workers:         req.Workers,
+		Telemetry:       exec.tel,
+	}
+	s.cAttackRuns.Inc()
+	start := time.Now()
+	var (
+		res     *core.Result
+		fullKey []bool
+		flip    float64
+		runErr  error
+	)
+	if req.MCAS {
+		var mres *core.MCASResult
+		mres, runErr = core.RunMCASSafe(exec.parsed.locked, sim, opts)
+		if runErr == nil {
+			res, fullKey, flip = mres.Inner, mres.Key, mres.RemovedFlipProb
+		}
+	} else {
+		opts.Locked = exec.parsed.locked
+		res, runErr = core.RunSafe(opts)
+		if runErr == nil {
+			fullKey = res.Key
+		}
+	}
+	out = s.buildOutcome(exec, req, res, fullKey, flip, runErr, start)
+	s.cQueries.Add(queriesOf(res, exec.tel))
+	jobSpan.SetArg("state", string(out.state()))
+	return s.sealTrace(exec, out)
+}
+
+// finishOutcome wraps a pre-attack failure (hook error) uniformly.
+func (s *Service) finishOutcome(exec *execution, res *core.Result, err error, _ time.Time) *outcome {
+	out := s.buildOutcome(exec, exec.parsed.req, res, nil, 0, err, time.Now())
+	return s.sealTrace(exec, out)
+}
+
+// buildOutcome classifies an attack error into the job state machine.
+func (s *Service) buildOutcome(exec *execution, req AttackRequest, res *core.Result, fullKey []bool, flip float64, runErr error, start time.Time) *outcome {
+	if runErr == nil && res != nil {
+		return &outcome{result: &JobResult{
+			Key:             bitString(fullKey),
+			Chain:           res.Chain.String(),
+			Case:            res.Case,
+			KeyGates1:       gateString(res.KeyGates1),
+			KeyGates2:       gateString(res.KeyGates2),
+			AlignedDIPs:     res.AlignedDIPs,
+			TotalDIPs:       res.TotalDIPs,
+			OracleQueries:   res.OracleQueries,
+			Extractions:     res.Extractions,
+			Calibrations:    res.Calibrations,
+			CandidatesTried: res.CandidatesTried,
+			MCAS:            req.MCAS,
+			RemovedFlipProb: flip,
+			ElapsedMS:       time.Since(start).Milliseconds(),
+		}}
+	}
+	var pe *core.PartialError
+	if errors.As(runErr, &pe) {
+		return &outcome{partial: &PartialInfo{
+			Stage:       pe.Stage,
+			Case:        pe.Case,
+			Chain:       chainString(pe.Chain),
+			KeyGates:    gateString(pe.KeyGates),
+			DIPs:        pe.DIPs,
+			Extractions: pe.Extractions,
+			Cause:       pe.Err.Error(),
+		}}
+	}
+	var panicErr *core.PanicError
+	if errors.As(runErr, &panicErr) {
+		s.cPanics.Inc()
+		s.logf("job %s: attack panic recovered: %v", shortHash(exec.hash), panicErr.Value)
+		return &outcome{jobErr: &JobError{Kind: KindPanic, Err: panicErr}}
+	}
+	return &outcome{jobErr: &JobError{Kind: KindAttackFailed, Err: runErr}}
+}
+
+// sealTrace snapshots the per-job span tree into the outcome so cache
+// hits and late readers see the trace without holding the registry.
+func (s *Service) sealTrace(exec *execution, out *outcome) *outcome {
+	var buf bytes.Buffer
+	if err := exec.tel.WriteChromeTrace(&buf); err == nil {
+		out.trace = buf.Bytes()
+	}
+	return out
+}
+
+// queriesOf reads the execution's oracle-query spend for the service
+// counter: the Result's tally when the attack finished, the registry's
+// counter when it was interrupted midway.
+func queriesOf(res *core.Result, tel *telemetry.Registry) uint64 {
+	if res != nil {
+		return res.OracleQueries
+	}
+	return tel.Counter("attack_oracle_queries_total").Value()
+}
+
+func bitString(key []bool) string {
+	var sb strings.Builder
+	for _, b := range key {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func gateString(kg []netlist.GateType) string {
+	if kg == nil {
+		return ""
+	}
+	parts := make([]string, len(kg))
+	for i, t := range kg {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func chainString(c fmt.Stringer) string {
+	if c == nil {
+		return ""
+	}
+	return c.String()
+}

@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -21,10 +23,15 @@ import (
 //	/debug/vars    expvar (memstats, cmdline)
 //	/debug/pprof/  the net/http/pprof suite (profile, heap, trace, ...)
 type DebugServer struct {
-	srv   *http.Server
-	ln    net.Listener
-	start time.Time
+	srv      *http.Server
+	ln       net.Listener
+	start    time.Time
+	serveErr chan error // buffered; receives Serve's return exactly once
 }
+
+// shutdownTimeout bounds Close's graceful drain: in-flight scrapes get
+// this long to finish before the connections are torn down.
+const shutdownTimeout = 2 * time.Second
 
 // expvarOnce guards the process-global expvar publication: expvar.Publish
 // panics on duplicate names, and tests start several servers.
@@ -39,7 +46,7 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DebugServer{ln: ln, start: time.Now()}
+	d := &DebugServer{ln: ln, start: time.Now(), serveErr: make(chan error, 1)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -76,8 +83,27 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	d.srv = &http.Server{Handler: mux}
-	go d.srv.Serve(ln)
+	go func() { d.serveErr <- d.srv.Serve(ln) }()
 	return d, nil
+}
+
+// Err reports a Serve failure, if one has occurred, without blocking.
+// The normal shutdown sentinel (http.ErrServerClosed) is filtered out;
+// after Close has consumed the serve result, Err returns nil.
+func (d *DebugServer) Err() error {
+	if d == nil {
+		return nil
+	}
+	select {
+	case err := <-d.serveErr:
+		d.serveErr <- err // keep it available for Close
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	default:
+		return nil
+	}
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -96,10 +122,29 @@ func (d *DebugServer) URL() string {
 	return fmt.Sprintf("http://%s", d.ln.Addr())
 }
 
-// Close stops the listener and all in-flight handlers.
+// Close stops the server gracefully: no new connections are accepted
+// and in-flight handlers get shutdownTimeout to drain before being cut
+// off. It returns any lifecycle error the background Serve goroutine
+// hit (a crashed accept loop was previously silent); the normal
+// http.ErrServerClosed sentinel is not an error.
 func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
-	return d.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	shutdownErr := d.srv.Shutdown(ctx)
+	if shutdownErr != nil {
+		// Drain exceeded the deadline (or the context machinery failed):
+		// fall back to the hard close so no connection outlives us.
+		d.srv.Close()
+	}
+	serveErr := <-d.serveErr
+	if errors.Is(serveErr, http.ErrServerClosed) {
+		serveErr = nil
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	return serveErr
 }

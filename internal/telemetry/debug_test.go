@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeDebugListenErrorPropagates(t *testing.T) {
+	first, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// Binding the same port again must fail loudly, not silently.
+	if _, err := ServeDebug(first.Addr(), nil); err == nil {
+		t.Fatal("second listen on an occupied port reported no error")
+	}
+}
+
+func TestServeDebugCloseGraceful(t *testing.T) {
+	r := New()
+	r.Counter("x_total").Inc()
+	d, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(d.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "x_total") {
+		t.Fatalf("metrics missing counter: %s", body)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err() while serving: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("graceful Close: %v", err)
+	}
+	// The listener must be gone promptly after Close.
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	if _, err := client.Get(d.URL() + "/healthz"); err == nil {
+		t.Fatal("server still accepting after Close")
+	}
+}
+
+func TestServeDebugCloseNil(t *testing.T) {
+	var d *DebugServer
+	if err := d.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("nil Err: %v", err)
+	}
+}

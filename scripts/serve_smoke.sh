@@ -1,0 +1,104 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the attack-as-a-service daemon.
+#
+# Generates a CAS-locked instance, starts caslock-served on ephemeral
+# ports, submits the job over HTTP, polls it to completion, validates
+# the per-job Chrome trace with tracecheck, then resubmits the
+# byte-identical job and asserts — via the daemon's /metrics — that it
+# was answered from the content-addressed cache with zero additional
+# attack runs and zero additional oracle queries.
+#
+# Usage: serve_smoke.sh <workdir>
+set -eu
+
+DIR=${1:?usage: serve_smoke.sh workdir}
+GO=${GO:-go}
+rm -rf "$DIR" && mkdir -p "$DIR/bin"
+
+$GO build -o "$DIR/bin/" ./cmd/caslock-served ./cmd/casgen ./cmd/tracecheck
+
+"$DIR/bin/casgen" -inputs 12 -gates 60 -scheme cas -chain "2A-O-3A" \
+	-out "$DIR/locked.bench" -orig "$DIR/orig.bench"
+
+"$DIR/bin/caslock-served" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -workers 2 \
+	>"$DIR/served.out" 2>"$DIR/served.err" &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+base=""
+for _ in $(seq 1 100); do
+	base=$(sed -n 's/^listening on \(http:[^ ]*\)$/\1/p' "$DIR/served.out" || true)
+	dbg=$(sed -n 's/.*debug server listening on \(http:[^ ]*\) .*/\1/p' "$DIR/served.err" || true)
+	[ -n "$base" ] && [ -n "$dbg" ] && break
+	sleep 0.1
+done
+if [ -z "$base" ] || [ -z "$dbg" ]; then
+	echo "serve-smoke: daemon never announced its ports" >&2
+	cat "$DIR/served.err" >&2
+	exit 1
+fi
+
+jq -n --rawfile locked "$DIR/locked.bench" --rawfile oracle "$DIR/orig.bench" \
+	'{locked: $locked, oracle: $oracle, seed: 7}' >"$DIR/req.json"
+
+# Submit and poll to a terminal state.
+curl -fsS -X POST "$base/v1/attacks" --data-binary @"$DIR/req.json" >"$DIR/submit1.json"
+id=$(jq -r .id "$DIR/submit1.json")
+state=queued
+for _ in $(seq 1 600); do
+	state=$(curl -fsS "$base/v1/attacks/$id" | jq -r .state)
+	case "$state" in done | partial | failed | canceled) break ;; esac
+	sleep 0.1
+done
+if [ "$state" != done ]; then
+	echo "serve-smoke: job $id ended in state $state" >&2
+	curl -fsS "$base/v1/attacks/$id" >&2
+	exit 1
+fi
+
+key=$(curl -fsS "$base/v1/attacks/$id/result" | jq -r .result.key)
+[ -n "$key" ] && [ "$key" != null ] || { echo "serve-smoke: no key in result" >&2; exit 1; }
+
+# The per-job span tree must be a valid, phase-complete attack trace.
+curl -fsS "$base/v1/attacks/$id/trace" >"$DIR/trace.json"
+"$DIR/bin/tracecheck" -in "$DIR/trace.json"
+
+runs_before=$(curl -fsS "$dbg/metrics" | awk '$1 == "service_attack_runs_total" {print $2}')
+queries_before=$(curl -fsS "$dbg/metrics" | awk '$1 == "service_oracle_queries_total" {print $2}')
+
+# Byte-identical resubmission: must arrive already terminal, flagged
+# cached, with zero additional attack runs or oracle queries.
+curl -fsS -X POST "$base/v1/attacks" --data-binary @"$DIR/req.json" >"$DIR/submit2.json"
+cached=$(jq -r .cached "$DIR/submit2.json")
+state2=$(jq -r .state "$DIR/submit2.json")
+if [ "$cached" != true ] || [ "$state2" != done ]; then
+	echo "serve-smoke: resubmission not served from cache (cached=$cached state=$state2)" >&2
+	exit 1
+fi
+id2=$(jq -r .id "$DIR/submit2.json")
+key2=$(curl -fsS "$base/v1/attacks/$id2/result" | jq -r .result.key)
+if [ "$key2" != "$key" ]; then
+	echo "serve-smoke: cached key $key2 differs from original $key" >&2
+	exit 1
+fi
+
+runs_after=$(curl -fsS "$dbg/metrics" | awk '$1 == "service_attack_runs_total" {print $2}')
+queries_after=$(curl -fsS "$dbg/metrics" | awk '$1 == "service_oracle_queries_total" {print $2}')
+if [ "$runs_after" != "$runs_before" ] || [ "$queries_after" != "$queries_before" ]; then
+	echo "serve-smoke: cache hit spent work: runs $runs_before -> $runs_after, queries $queries_before -> $queries_after" >&2
+	exit 1
+fi
+
+# Graceful shutdown: first SIGTERM drains; the process must exit 0.
+kill -TERM "$SRV"
+rc=0
+wait "$SRV" || rc=$?
+trap - EXIT
+if [ "$rc" != 0 ]; then
+	echo "serve-smoke: daemon exited $rc on graceful shutdown" >&2
+	cat "$DIR/served.err" >&2
+	exit 1
+fi
+
+echo "serve-smoke: OK (job $id done, key $key, cache hit verified, clean shutdown)"
+rm -rf "$DIR"
