@@ -17,19 +17,32 @@
 #                    cache hit, SIGTERM-drain cleanly
 #   make signal-smoke SIGINT a running caslock-attack: exit code 3,
 #                    partial structure printed, trace flushed and valid
+#   make engine-smoke differential end-to-end check: attack the same
+#                    32-bit-key instance with and without
+#                    -legacy-encoding and assert byte-identical keys
+#   make govulncheck govulncheck ./... when the tool is installed
+#                    (skips with a notice otherwise — no network
+#                    installs in CI)
 #   make ci          build + vet + fmt-check + test + test-race +
 #                    fuzz-smoke + trace-smoke + serve-smoke +
-#                    signal-smoke
+#                    signal-smoke + engine-smoke + govulncheck
 #   make bench       tier-1 benchmarks with allocation reporting
-#   make benchjson   refresh BENCH_core.json (the perf trajectory file)
+#   make benchjson   refresh BENCH_core.json (the perf trajectory file);
+#                    diffs against the committed baseline into the
+#                    report's "delta" section
+#   make bench-compare  run the workloads to a scratch file and fail if
+#                    aggregate sat_* time regressed >20% vs the
+#                    committed BENCH_core.json
 
 GO ?= go
 FUZZTIME ?= 5s
 SMOKEDIR ?= .trace-smoke
 SERVEDIR ?= .serve-smoke
 SIGDIR ?= .signal-smoke
+ENGDIR ?= .engine-smoke
+MAXREGRESS ?= 0.20
 
-.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke ci bench benchjson
+.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke govulncheck ci bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -67,10 +80,28 @@ serve-smoke:
 signal-smoke:
 	GO="$(GO)" sh scripts/signal_smoke.sh $(SIGDIR)
 
-ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke
+engine-smoke:
+	GO="$(GO)" sh scripts/engine_smoke.sh $(ENGDIR)
+
+# Vulnerability scan, gated: the CI container has no network, so the
+# tool cannot be installed on the fly. Runs when present, else skips
+# loudly enough to notice.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping vulnerability scan"; \
+	fi
+
+ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke govulncheck
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .
 
 benchjson:
-	$(GO) run ./cmd/benchjson -o BENCH_core.json
+	$(GO) run ./cmd/benchjson -o BENCH_core.json -baseline BENCH_core.json
+
+bench-compare:
+	@tmp=$$(mktemp /tmp/bench-compare-XXXXXX.json); \
+	$(GO) run ./cmd/benchjson -o $$tmp -baseline BENCH_core.json -max-regress $(MAXREGRESS); \
+	status=$$?; rm -f $$tmp; exit $$status

@@ -4,6 +4,16 @@
 //
 //	benchjson              # writes BENCH_core.json in the cwd
 //	benchjson -o bench.json
+//
+// When a baseline report is available (the previous committed
+// BENCH_core.json — by default the output path's existing content, or
+// an explicit -baseline), the new report carries a "delta" section
+// comparing every shared workload and the aggregate SAT solve time.
+// With -max-regress set, a SAT-time regression beyond that fraction
+// exits nonzero — `make bench-compare` uses this to fail loudly on
+// >20% regressions.
+//
+//	benchjson -baseline BENCH_core.json -max-regress 0.20
 package main
 
 import (
@@ -49,6 +59,78 @@ type Report struct {
 	// extraction and Table-I attack runs) so the perf trajectory records
 	// where the time went, not just how much there was.
 	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+	// Delta compares this report against the previous committed one.
+	Delta *DeltaReport `json:"delta,omitempty"`
+}
+
+// DeltaEntry is one workload's change versus the baseline report.
+type DeltaEntry struct {
+	Name     string `json:"name"`
+	NsBefore int64  `json:"ns_before"`
+	NsAfter  int64  `json:"ns_after"`
+	// Change is (after-before)/before: negative is an improvement.
+	Change float64 `json:"change"`
+}
+
+// DeltaReport is the "delta" section: per-workload ns/op changes for
+// every workload present in both reports, plus the aggregate SAT solve
+// time (the sum of ns/op over sat_* workloads), which bench-compare
+// gates on.
+type DeltaReport struct {
+	BaselineTimestamp string       `json:"baseline_timestamp"`
+	SATNsBefore       int64        `json:"sat_ns_before"`
+	SATNsAfter        int64        `json:"sat_ns_after"`
+	SATTimeChange     float64      `json:"sat_time_change"`
+	Results           []DeltaEntry `json:"results,omitempty"`
+}
+
+// computeDelta builds the delta section from a baseline report. Only
+// workloads present in both reports are compared — both per-entry and
+// in the SAT aggregate — so a renamed or newly added workload never
+// fabricates a regression.
+func computeDelta(base, rep *Report) *DeltaReport {
+	prev := make(map[string]int64, len(base.Results))
+	for _, r := range base.Results {
+		prev[r.Name] = r.NsPerOp
+	}
+	d := &DeltaReport{BaselineTimestamp: base.Timestamp}
+	for _, r := range rep.Results {
+		before, ok := prev[r.Name]
+		if !ok || before == 0 {
+			continue
+		}
+		d.Results = append(d.Results, DeltaEntry{
+			Name:     r.Name,
+			NsBefore: before,
+			NsAfter:  r.NsPerOp,
+			Change:   float64(r.NsPerOp-before) / float64(before),
+		})
+		if strings.HasPrefix(r.Name, "sat_") {
+			d.SATNsBefore += before
+			d.SATNsAfter += r.NsPerOp
+		}
+	}
+	if d.SATNsBefore > 0 {
+		d.SATTimeChange = float64(d.SATNsAfter-d.SATNsBefore) / float64(d.SATNsBefore)
+	}
+	return d
+}
+
+// loadBaseline reads a previous report; a missing file is not an error
+// (first run of the trajectory), anything else is.
+func loadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return &rep, nil
 }
 
 // TelemetrySummary is the slice of the telemetry registry a perf
@@ -88,7 +170,18 @@ func summarize(tel *telemetry.Registry) *TelemetrySummary {
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output path")
+	baseline := flag.String("baseline", "", "previous report to diff against (default: the output path's existing content)")
+	maxRegress := flag.Float64("max-regress", 0, "fail (exit 1) when aggregate sat_* time regresses by more than this fraction (0 = report-only)")
 	flag.Parse()
+
+	basePath := *baseline
+	if basePath == "" {
+		basePath = *out
+	}
+	// Load the baseline before the workloads run (and long before the
+	// atomic overwrite of the output path clobbers it).
+	base, err := loadBaseline(basePath)
+	fatalIf(err)
 
 	rep := &Report{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
@@ -152,9 +245,17 @@ func main() {
 	})
 	rep.Results = append(rep.Results, toResult("sim_classes_n22", r))
 
-	satRes, err := satWorkload(tel)
+	satRes, err := satWorkload(tel, false)
 	fatalIf(err)
 	rep.Results = append(rep.Results, satRes)
+
+	// The same workload on the legacy per-assignment re-encode path, so
+	// the trajectory records the incremental engine's win explicitly.
+	// It runs uninstrumented: its solver work would otherwise pollute
+	// the engine path's telemetry summary.
+	legRes, err := satWorkload(nil, true)
+	fatalIf(err)
+	rep.Results = append(rep.Results, legRes)
 
 	row := experiments.TableI32[1] // c880, no duplicate-config note
 	var last *experiments.TableIResult
@@ -175,10 +276,33 @@ func main() {
 	rep.Results = append(rep.Results, tr)
 
 	rep.Telemetry = summarize(tel)
+	if base != nil {
+		rep.Delta = computeDelta(base, rep)
+	}
 
 	fatalIf(writeReport(*out, rep))
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (NumCPU=%d, speedup=%.2fx)\n",
 		len(rep.Results), *out, rep.NumCPU, rep.SpeedupParallel)
+	if rep.Delta != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: delta vs %s (%s): SAT time %s\n",
+			basePath, rep.Delta.BaselineTimestamp, pct(rep.Delta.SATTimeChange))
+		for _, d := range rep.Delta.Results {
+			fmt.Fprintf(os.Stderr, "benchjson:   %-28s %12d -> %12d ns/op (%s)\n",
+				d.Name, d.NsBefore, d.NsAfter, pct(d.Change))
+		}
+		if *maxRegress > 0 && rep.Delta.SATTimeChange > *maxRegress {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: SAT time regressed %s against %s (limit %s)\n",
+				pct(rep.Delta.SATTimeChange), basePath, pct(*maxRegress))
+			os.Exit(1)
+		}
+	} else if *maxRegress > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no baseline at %s; regression gate skipped\n", basePath)
+	}
+}
+
+// pct renders a fraction as a signed percentage.
+func pct(f float64) string {
+	return fmt.Sprintf("%+.1f%%", f*100)
 }
 
 // writeReport marshals and writes the report atomically (temp file in
@@ -271,7 +395,9 @@ func extractionWorkload(n int) (*core.SimExtractor, core.PairAssign, error) {
 
 // satWorkload mirrors BenchmarkDIPExtraction/sat_n8, instrumented so
 // the report's telemetry summary carries the SAT solver's work totals.
-func satWorkload(tel *telemetry.Registry) (Result, error) {
+// With legacy set, the extractor runs the per-assignment re-encode path
+// and the result is reported as sat_extract_n8_legacy.
+func satWorkload(tel *telemetry.Registry, legacy bool) (Result, error) {
 	host, err := synth.Generate(synth.Config{Name: "bh", Inputs: 11, Outputs: 4, Gates: 80, Seed: 7})
 	if err != nil {
 		return Result{}, err
@@ -295,7 +421,10 @@ func satWorkload(tel *telemetry.Registry) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ext.SetTelemetry(tel)
+	if tel != nil {
+		ext.SetTelemetry(tel)
+	}
+	ext.SetLegacyEncoding(legacy)
 	assign := core.PairAssign{A: make([]bool, locked.Circuit.NumKeys()), B: make([]bool, locked.Circuit.NumKeys())}
 	for _, pos := range layout.Key1Pos {
 		assign.A[pos] = true
@@ -311,7 +440,11 @@ func satWorkload(tel *telemetry.Registry) (Result, error) {
 			}
 		}
 	})
-	return toResult("sat_extract_n8", r), nil
+	name := "sat_extract_n8"
+	if legacy {
+		name += "_legacy"
+	}
+	return toResult(name, r), nil
 }
 
 func fatalIf(err error) {

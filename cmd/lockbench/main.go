@@ -36,6 +36,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "cell worker count (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole grid (0 = none)")
 		retries   = flag.Int("retries", 0, "oracle transient-retry budget and attack mismatch re-query count (0 = defaults)")
+		legacyEnc = flag.Bool("legacy-encoding", false, "disable the persistent incremental-SAT engine in the DIP-learning cells")
 		noise     = flag.Float64("noise", 0, "per-output-bit oracle flip rate injected into every cell (arms majority voting)")
 		trace     = flag.String("trace", "", "write a Chrome-trace JSON of the grid's attack spans here (open in Perfetto)")
 		metrics   = flag.String("metrics-out", "", "write a metrics snapshot on exit (.json = JSON snapshot, anything else = Prometheus text)")
@@ -95,14 +96,15 @@ func main() {
 		os.Exit(130)
 	}()
 	cells, err := experiments.RunMatrixOptions(experiments.MatrixOptions{
-		Context:    ctx,
-		HostInputs: *inputs,
-		SATCap:     *satCap,
-		Seed:       *seed,
-		Workers:    *workers,
-		Noise:      *noise,
-		Retries:    *retries,
-		Telemetry:  tel,
+		Context:        ctx,
+		HostInputs:     *inputs,
+		SATCap:         *satCap,
+		Seed:           *seed,
+		Workers:        *workers,
+		Noise:          *noise,
+		Retries:        *retries,
+		Telemetry:      tel,
+		LegacyEncoding: *legacyEnc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)

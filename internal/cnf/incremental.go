@@ -1,0 +1,46 @@
+package cnf
+
+import "repro/internal/netlist"
+
+// Incremental is a reusable gate→CNF encoder over one live sink
+// (typically a solver): each circuit is Tseitin-encoded at most once,
+// and the resulting Encoding — the stable gate→variable map — is
+// memoized, so later phases look literals up instead of re-encoding.
+// Clauses that are not gate semantics (blocking clauses, unit
+// constraints) are appended through the same sink without disturbing
+// the var maps, which is what lets an attack add per-model blocking
+// clauses to a persistent encoding without re-Tseitin-ing anything.
+type Incremental struct {
+	sink Sink
+	encs map[*netlist.Circuit]*Encoding
+}
+
+// NewIncremental wraps a sink in a memoizing encoder.
+func NewIncremental(sink Sink) *Incremental {
+	return &Incremental{sink: sink, encs: make(map[*netlist.Circuit]*Encoding)}
+}
+
+// Encode returns the circuit's encoding in the underlying sink, encoding
+// it on first use. The returned Encoding is stable: repeated calls for
+// the same circuit return the identical variable map.
+func (inc *Incremental) Encode(c *netlist.Circuit) (*Encoding, error) {
+	if enc, ok := inc.encs[c]; ok {
+		return enc, nil
+	}
+	enc, err := EncodeInto(c, inc.sink)
+	if err != nil {
+		return nil, err
+	}
+	inc.encs[c] = enc
+	return enc, nil
+}
+
+// Encoded reports whether the circuit has already been encoded.
+func (inc *Incremental) Encoded(c *netlist.Circuit) bool {
+	_, ok := inc.encs[c]
+	return ok
+}
+
+// Append adds a clause over already-allocated variables (blocking
+// clauses, output constraints) to the underlying sink.
+func (inc *Incremental) Append(lits ...Lit) { inc.sink.Add(lits...) }

@@ -1,0 +1,47 @@
+package cnf
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestIncrementalEncodeOnce(t *testing.T) {
+	c := netlist.New("inc")
+	a := c.MustAddInput("a")
+	b := c.MustAddInput("b")
+	g, err := c.AddGate(netlist.And, "g", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkOutput(g); err != nil {
+		t.Fatal(err)
+	}
+	f := &Formula{}
+	inc := NewIncremental(f)
+	if inc.Encoded(c) {
+		t.Fatal("Encoded true before Encode")
+	}
+	enc1, err := inc.Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, nc := f.NumVars, len(f.Clauses)
+	enc2, err := inc.Encode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc1 != enc2 {
+		t.Fatal("re-Encode returned a different var map")
+	}
+	if f.NumVars != nv || len(f.Clauses) != nc {
+		t.Fatalf("re-Encode grew the formula: %d/%d vars, %d/%d clauses", nv, f.NumVars, nc, len(f.Clauses))
+	}
+	if !inc.Encoded(c) {
+		t.Fatal("Encoded false after Encode")
+	}
+	inc.Append(enc1.Var(g).Neg())
+	if len(f.Clauses) != nc+1 {
+		t.Fatal("Append did not add the clause")
+	}
+}

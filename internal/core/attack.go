@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/miter"
 	"repro/internal/netlist"
@@ -31,6 +32,12 @@ type Options struct {
 	// SATWidthLimit is the largest block width attacked with the SAT
 	// engine when Extractor is nil (default 12).
 	SATWidthLimit int
+	// LegacyEncoding disables the persistent incremental-SAT engine and
+	// restores the per-assignment re-encode path: each SAT extraction
+	// compiles (or LRU-replays) a fixed-key miter into a fresh solver,
+	// and candidate distinguishing builds throwaway hashed miters. An
+	// escape hatch — results are identical, the engine is just faster.
+	LegacyEncoding bool
 	// MaxCalibrations caps the Algorithm-2 brute-force loop over the
 	// calibration block's upper key bits (default 1<<20).
 	MaxCalibrations uint64
@@ -160,6 +167,9 @@ func Run(opts Options) (*Result, error) {
 	if ta, ok := ext.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
 		ta.SetTelemetry(opts.Telemetry)
 	}
+	if la, ok := ext.(interface{ SetLegacyEncoding(bool) }); ok {
+		la.SetLegacyEncoding(opts.LegacyEncoding)
+	}
 
 	root := opts.Telemetry.StartSpan("attack")
 	defer root.End()
@@ -202,9 +212,56 @@ type attack struct {
 	cCandidates   *telemetry.Counter
 	cCalibrations *telemetry.Counter
 
+	eng      *engine.Engine // persistent engine for SAT distinguishing
+	engTried bool
+
 	queries      uint64
 	calibrations int
 	candidates   int
+}
+
+// engine returns the persistent incremental engine shared with the
+// extractor, when it offers one. In the simulation-extractor regime
+// (wide blocks) no engine exists and callers fall back to the
+// structural-hashing prover — deliberately: a distinguishing query
+// there is almost always an equivalence proof of two activated copies
+// of the whole netlist, which hashing collapses in milliseconds while
+// a cold CDCL instance pays an encoding plus a full UNSAT search
+// (measured 20x slower on the c880-profile Table-I row). The engine
+// only wins where it is already warm from SAT enumeration. Nil under
+// LegacyEncoding.
+func (a *attack) engine() *engine.Engine {
+	if a.engTried {
+		return a.eng
+	}
+	a.engTried = true
+	if a.opts.LegacyEncoding {
+		return nil
+	}
+	if ea, ok := a.ext.(interface {
+		Engine() (*engine.Engine, error)
+	}); ok {
+		eng, err := ea.Engine()
+		if err == nil {
+			a.eng = eng
+		} else {
+			a.logf("incremental engine unavailable (%v): falling back to throwaway miters", err)
+		}
+	}
+	return a.eng
+}
+
+// setPhase labels the current pipeline phase on every engine-aware
+// component: the extractor (which forwards to its engine) and any
+// attack-owned engine. Per-phase budgeting and stats attribution key off
+// these labels.
+func (a *attack) setPhase(name string) {
+	if pa, ok := a.ext.(interface{ SetPhase(string) }); ok {
+		pa.SetPhase(name)
+	}
+	if a.eng != nil {
+		a.eng.SetPhase(name)
+	}
 }
 
 // countQueries accounts oracle pattern evaluations in both the local
@@ -570,6 +627,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		return nil, a.partial("extract", active, nil, err)
 	}
 	a.logf("hypothesis active=%d: extracting DIP set (Lemma-1 assignment)", active)
+	a.setPhase("enumerate")
 	enum := hyp.Child("enumerate")
 	dips, err := a.ext.DIPs(a.assign(active, 0))
 	if err != nil {
@@ -596,6 +654,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	calib := uint64(0)
 	algo2 := hyp.Child("algo2")
 	if len(st.deltas) == 0 {
+		a.setPhase("algo2")
 		a.logf("no misalignment witness: starting calibration sweep")
 		// Algorithm 2's brute force: sweep the calibration block's key
 		// bits from the last OR gate's input position upward until the
@@ -617,6 +676,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		algo2.SetArg("skipped", "true")
 	}
 	a.endPhase(algo2)
+	a.setPhase("verify")
 	verify := hyp.Child("verify")
 	res, err := a.verifyCandidates(active, calib, st)
 	a.endPhase(verify)
@@ -730,20 +790,30 @@ func (a *attack) verifyErr(active int, st *structured, err error) error {
 	return err
 }
 
+// distinguishConflictBudget bounds one SAT distinguishing query; an
+// exhausted budget is treated as "no difference found", which is safe
+// because candidates are only ever eliminated on a concrete oracle
+// disagreement and the winner is still replayed against every DIP.
+const distinguishConflictBudget = 200000
+
 // distinguish finds an input on which the locked circuit behaves
 // differently under the two keys, or reports that none was found. It
 // first sweeps the extracted block space by bit-parallel simulation
 // (wrong candidate pairs differ on block patterns, and this finds the
 // witness in milliseconds); only if the sweep is clean does it fall to
-// the structurally-hashed SAT prover, with a conflict budget — an
-// Unknown outcome is treated as "no difference found", which is safe
-// because candidates are only ever eliminated on a concrete oracle
-// disagreement and the winner is still replayed against every DIP.
+// SAT — normally an assumption query against the persistent engine,
+// whose learned clauses from the enumeration phases make repeated
+// pairwise probes cheap, or a throwaway structurally-hashed miter under
+// LegacyEncoding. Both run under distinguishConflictBudget with the same
+// Unknown-means-equivalent contract.
 func (a *attack) distinguish(keyA, keyB []bool, st *structured) (witness []bool, equivalent bool, err error) {
 	if w, found, err := a.simDistinguish(keyA, keyB, st); err != nil {
 		return nil, false, err
 	} else if found {
 		return w, false, nil
+	}
+	if eng := a.engine(); eng != nil {
+		return eng.Distinguish(keyA, keyB, distinguishConflictBudget)
 	}
 	actA, err := oracle.Activate(a.opts.Locked, keyA)
 	if err != nil {
@@ -753,7 +823,7 @@ func (a *attack) distinguish(keyA, keyB []bool, st *structured) (witness []bool,
 	if err != nil {
 		return nil, false, err
 	}
-	eq, w, err := miter.ProveEquivalentHashedBudget(actA, actB, 200000)
+	eq, w, err := miter.ProveEquivalentHashedBudget(actA, actB, distinguishConflictBudget)
 	if err != nil {
 		return nil, false, err
 	}

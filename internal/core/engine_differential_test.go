@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/oracle"
+	"repro/internal/telemetry"
+)
+
+// runPath mounts one full attack on a fresh lock instance and returns
+// the result; legacy selects the pre-engine re-encode path.
+func runPath(t *testing.T, inputs int, chain string, lockSeed, attackSeed int64, legacy bool) (*Result, *lock.CASInstance) {
+	t.Helper()
+	h := host(t, inputs)
+	locked, inst, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain(chain), Seed: lockSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := oracle.NewSim(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Locked: locked.Circuit, Oracle: orc, Seed: attackSeed, LegacyEncoding: legacy})
+	if err != nil {
+		t.Fatalf("attack (legacy=%v) failed: %v", legacy, err)
+	}
+	return res, inst
+}
+
+// TestEngineLegacyKeyDifferential proves the persistent incremental
+// engine and the legacy per-assignment re-encode path recover
+// byte-identical keys (and identical chain structure) across chain
+// schemes, terminator cases, and key widths — including instances
+// beyond the SAT/simulation extractor boundary, where both paths use
+// the structural-hashing prover for distinguishing (the engine only
+// engages where SAT enumeration already warmed it).
+func TestEngineLegacyKeyDifferential(t *testing.T) {
+	cases := []struct {
+		name   string
+		chain  string
+		inputs int
+		seeds  []int64
+	}{
+		{"and-term-n5", "2A-O-A", 8, []int64{1, 2}},
+		{"or-term-n5", "A-O-A-O", 8, []int64{1, 2}},
+		{"and-heavy-n8", "3A-O-3A", 10, []int64{3}},
+		{"or-heavy-n8", "2O-A-2O-2A", 10, []int64{3}},
+		{"sim-n13", "6A-O-5A", 14, []int64{5}},
+		{"key32-n16", "7A-O-7A", 18, []int64{7}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range tc.seeds {
+				engRes, inst := runPath(t, tc.inputs, tc.chain, seed, seed^0xbeef, false)
+				legRes, _ := runPath(t, tc.inputs, tc.chain, seed, seed^0xbeef, true)
+				if !inst.IsCorrectCASKey(engRes.Key) {
+					t.Fatalf("seed %d: engine path recovered a wrong key", seed)
+				}
+				if len(engRes.Key) != len(legRes.Key) {
+					t.Fatalf("seed %d: key lengths differ: %d vs %d", seed, len(engRes.Key), len(legRes.Key))
+				}
+				for i := range engRes.Key {
+					if engRes.Key[i] != legRes.Key[i] {
+						t.Fatalf("seed %d: keys diverge at bit %d", seed, i)
+					}
+				}
+				if engRes.Chain.String() != legRes.Chain.String() {
+					t.Fatalf("seed %d: chains diverge: %s vs %s", seed, engRes.Chain, legRes.Chain)
+				}
+				if engRes.Case != legRes.Case {
+					t.Fatalf("seed %d: cases diverge: %d vs %d", seed, engRes.Case, legRes.Case)
+				}
+				if engRes.AlignedDIPs != legRes.AlignedDIPs || engRes.TotalDIPs != legRes.TotalDIPs {
+					t.Fatalf("seed %d: DIP accounting diverges: %d/%d vs %d/%d", seed,
+						engRes.AlignedDIPs, engRes.TotalDIPs, legRes.AlignedDIPs, legRes.TotalDIPs)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEncodesOnceAcrossAttack runs a full SAT-path attack on the
+// default (incremental) path and checks the engine contract: exactly one
+// Tseitin encoding for the whole attack — both hypotheses, every
+// calibration candidate, every verifier query — with every subsequent
+// solve session counted as an avoided re-encode, and the legacy
+// per-assignment compile path never touched.
+func TestEngineEncodesOnceAcrossAttack(t *testing.T) {
+	h := host(t, 10)
+	locked, inst, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("A-O-2A-O"), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := oracle.NewSim(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	res, err := Run(Options{Locked: locked.Circuit, Oracle: orc, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IsCorrectCASKey(res.Key) {
+		t.Fatal("recovered key incorrect")
+	}
+	snap := tel.Snapshot()
+	if got := snap.Counters["engine_encodings_total"]; got != 1 {
+		t.Fatalf("engine_encodings_total = %d, want exactly 1", got)
+	}
+	if snap.Counters["engine_encodings_avoided_total"] == 0 {
+		t.Fatal("no avoided re-encodes counted: the persistent engine is not being reused")
+	}
+	if got := snap.Counters["sat_encode_cache_misses_total"]; got != 0 {
+		t.Fatalf("legacy compile path ran %d times on the incremental path", got)
+	}
+	if snap.Counters["sat_solve_calls_total"] == 0 {
+		t.Fatal("sat_* counter continuity broken on the engine path")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cnf"
+	"repro/internal/engine"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/sat"
@@ -80,13 +81,17 @@ type satEncoding struct {
 
 // SATExtractor enumerates DIPs with a SAT solver over the full locked
 // netlist, exactly as the paper does (CryptoMiniSat in the original).
-// The fixed-key miter and its Tseitin encoding are memoized per key
-// assignment in a small LRU: repeated extractions under the same
-// assignment (DIPs then Classes, the calibration sweep's re-extraction
-// passes) and the attack's return to an earlier assignment (the second
-// Lemma-1 hypothesis, service-level re-runs) replay the cached clauses
-// into a fresh solver instead of rebuilding the miter circuit and
-// re-encoding it.
+//
+// The default path runs on the persistent incremental engine
+// (internal/engine): the key-differential miter is Tseitin encoded once
+// into one long-lived solver, key assignments become assumption
+// literals, and every extraction across every attack phase reuses the
+// same clause database, so learned clauses and variable activity carry
+// over between hypotheses and calibration candidates.
+//
+// SetLegacyEncoding(true) restores the pre-engine path: the fixed-key
+// miter and its Tseitin encoding are memoized per key assignment in a
+// small LRU and replayed into a fresh solver per enumeration.
 type SATExtractor struct {
 	locked *netlist.Circuit
 	layout *BlockLayout
@@ -94,7 +99,11 @@ type SATExtractor struct {
 	ctx    context.Context     // nil = never cancelled
 	tel    *telemetry.Registry // nil = uninstrumented
 
-	// Encoding cache, keyed by the packed (A,B) assignment bits.
+	legacy bool
+	eng    *engine.Engine // lazily built persistent engine (non-legacy path)
+	phase  string         // pending phase label, applied when eng is built
+
+	// Legacy encoding cache, keyed by the packed (A,B) assignment bits.
 	encodings *cache.LRU[string, *satEncoding]
 }
 
@@ -119,12 +128,60 @@ func (e *SATExtractor) Extractions() int { return e.count }
 // SetContext bounds subsequent enumerations: the model loop slices its
 // Solve calls with conflict budgets sized from the remaining deadline
 // and checks cancellation between slices.
-func (e *SATExtractor) SetContext(ctx context.Context) { e.ctx = ctx }
+func (e *SATExtractor) SetContext(ctx context.Context) {
+	e.ctx = ctx
+	if e.eng != nil {
+		e.eng.SetContext(ctx)
+	}
+}
 
 // SetTelemetry attaches a metrics registry: extractions trace as
-// "miter"/"extract" spans and the solver's conflict/decision/propagation
-// statistics fold into sat_* counters. Nil disables instrumentation.
-func (e *SATExtractor) SetTelemetry(r *telemetry.Registry) { e.tel = r }
+// "extract" spans and the solver's conflict/decision/propagation
+// statistics fold into sat_* counters (plus the engine_* families on the
+// incremental path). Nil disables instrumentation.
+func (e *SATExtractor) SetTelemetry(r *telemetry.Registry) {
+	e.tel = r
+	if e.eng != nil {
+		e.eng.SetTelemetry(r)
+	}
+}
+
+// SetLegacyEncoding selects the pre-engine per-assignment re-encode path
+// (the -legacy-encoding escape hatch). Must be chosen before the first
+// extraction; flipping it afterwards only affects subsequent calls.
+func (e *SATExtractor) SetLegacyEncoding(v bool) { e.legacy = v }
+
+// SetPhase labels subsequent engine work for per-phase stats attribution
+// and deadline budgeting; a no-op on the legacy path.
+func (e *SATExtractor) SetPhase(name string) {
+	e.phase = name
+	if e.eng != nil {
+		e.eng.SetPhase(name)
+	}
+}
+
+// Engine returns the persistent incremental engine, building it on first
+// use, or nil when the extractor runs in legacy mode. The attack shares
+// this engine for its SAT-based candidate distinguishing, so verifier
+// queries profit from the clauses the enumeration phases learned.
+func (e *SATExtractor) Engine() (*engine.Engine, error) {
+	if e.legacy {
+		return nil, nil
+	}
+	if e.eng == nil {
+		eng, err := engine.New(e.locked, e.layout.InputPos)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetContext(e.ctx)
+		eng.SetTelemetry(e.tel)
+		if e.phase != "" {
+			eng.SetPhase(e.phase)
+		}
+		e.eng = eng
+	}
+	return e.eng, nil
+}
 
 // assignKey packs a pair assignment into the encoding cache's string
 // key: one byte per 8 key bits, copy A then copy B.
@@ -220,15 +277,59 @@ func (e *SATExtractor) sliceBudget(start time.Time, conflicts uint64) uint64 {
 	return budget
 }
 
-// DIPs implements Extractor: it replays the (memoized) fixed-key miter
-// encoding into a fresh solver and enumerates models, blocking each
-// found block-input pattern (the projection onto the chain inputs) so
-// every DIP is reported once. The blocking-clause buffer is allocated
-// once per enumeration and reused across models. With a context
-// attached the Solve calls run in conflict-budgeted slices sized from
-// the remaining deadline; on expiry the partially enumerated set is
-// returned with the context's error.
+// DIPs implements Extractor. On the default incremental path it runs an
+// assumption-driven enumeration session against the persistent engine:
+// the key assignment becomes assumption literals, found patterns are
+// excluded with scope-guarded blocking clauses that are retired when the
+// session ends, and nothing is re-encoded. On the legacy path it replays
+// the (memoized) fixed-key miter encoding into a fresh solver. Both
+// honor a context: on expiry the partially enumerated set is returned
+// with the context's error.
 func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
+	if e.legacy {
+		return e.dipsLegacy(assign)
+	}
+	eng, err := e.Engine()
+	if err != nil {
+		return nil, err
+	}
+	e.count++
+	e.tel.Counter("enum_extractions_total").Inc()
+	out, err := NewDIPSet(e.layout.N())
+	if err != nil {
+		return nil, err
+	}
+	sp := e.tel.StartSpan("extract")
+	sp.SetArg("engine", "sat-incremental")
+	var dup error
+	enumErr := eng.EnumerateDIPs(assign.A, assign.B, func(pat uint64) bool {
+		if out.Contains(pat) {
+			dup = fmt.Errorf("core: SAT enumeration returned duplicate pattern %b", pat)
+			return false
+		}
+		out.Add(pat)
+		return true
+	})
+	if e.tel != nil {
+		sp.SetArg("dips", strconv.FormatUint(out.Count(), 10))
+	}
+	sp.End()
+	if dup != nil {
+		return nil, dup
+	}
+	if enumErr != nil {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			return out, enumErr // partially enumerated: valid up to the cancel point
+		}
+		return nil, enumErr
+	}
+	return out, nil
+}
+
+// dipsLegacy is the pre-engine enumeration: compile (or LRU-replay) the
+// fixed-key miter for this assignment into a fresh solver and enumerate
+// models with permanent blocking clauses.
+func (e *SATExtractor) dipsLegacy(assign PairAssign) (*DIPSet, error) {
 	e.count++
 	e.tel.Counter("enum_extractions_total").Inc()
 	enc, err := e.compile(assign)

@@ -53,10 +53,12 @@ func TestNewDIPSetWidthSentinel(t *testing.T) {
 }
 
 // TestSATEncodingCacheAcrossHypotheses runs a full attack through the
-// SAT extractor and checks the miter encoding was reused: the attack
-// extracts under both Lemma-1 hypothesis assignments (and possibly a
-// calibration sweep), and every repeated visit to an assignment must
-// hit the cache instead of re-encoding.
+// legacy SAT-extractor path and checks the miter encoding was reused:
+// the attack extracts under both Lemma-1 hypothesis assignments (and
+// possibly a calibration sweep), and every repeated visit to an
+// assignment must hit the LRU instead of re-encoding. (The default
+// incremental-engine path never re-encodes at all — see
+// TestEngineEncodesOnceAcrossAttack.)
 func TestSATEncodingCacheAcrossHypotheses(t *testing.T) {
 	h := host(t, 10)
 	locked, inst, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("A-O-2A-O"), Seed: 7})
@@ -76,7 +78,8 @@ func TestSATEncodingCacheAcrossHypotheses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(Options{Locked: locked.Circuit, Oracle: orc, Extractor: ext, Telemetry: tel})
+	res, err := Run(Options{Locked: locked.Circuit, Oracle: orc, Extractor: ext,
+		Telemetry: tel, LegacyEncoding: true})
 	if err != nil {
 		t.Fatal(err)
 	}

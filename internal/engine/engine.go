@@ -1,0 +1,370 @@
+// Package engine hosts the persistent incremental-SAT layer of the
+// attack: the key-differential miter of the locked circuit is Tseitin
+// encoded exactly once into one long-lived CDCL instance, with the key
+// bits of both copies left as free variables. Every SAT phase of the
+// attack — the Lemma-1 hypothesis extractions, each blocking-clause
+// enumeration step, the calibration sweep's re-extractions, and the
+// pairwise candidate distinguishing of the verifier — is then an
+// assumption-driven query against that single solver, so learned clauses
+// and variable activity accumulated in one phase keep paying off in the
+// next instead of dying with a per-assignment re-encode.
+//
+// Enumeration sessions use blocking scopes (internal/sat): per-model
+// blocking clauses are guarded by an activation literal and retired as a
+// group when the session ends, which retracts them soundly (clauses are
+// never deleted, only permanently satisfied) and lets the next session
+// start from the unblocked formula. Retired scopes are compacted away
+// with Simplify once enough of them accumulate.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/cnf"
+	"repro/internal/miter"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+	"repro/internal/telemetry"
+)
+
+// compactThreshold is the number of retired blocking clauses that
+// triggers a Simplify pass over the clause database.
+const compactThreshold = 4096
+
+// Engine owns the persistent encoding and solver. It is not safe for
+// concurrent use; the attack drives it from one goroutine (service jobs
+// each build their own engine, so no state crosses job boundaries).
+type Engine struct {
+	locked   *netlist.Circuit
+	blockPos []int
+
+	solver *sat.Solver
+	inc    *cnf.Incremental
+	keysA  []cnf.Lit // copy A's key bits, in the locked circuit's key order
+	keysB  []cnf.Lit // copy B's key bits
+	inputs []cnf.Lit // primary inputs, in the locked circuit's input order
+	block  []cnf.Lit // chain-input literals, in chain order
+	diff   cnf.Lit   // the miter's disagreement output
+	nKeys  int
+
+	ctx   context.Context     // nil = never cancelled
+	tel   *telemetry.Registry // nil = uninstrumented
+	phase string
+
+	bud        budgeter
+	phaseStats map[string]sat.Stats
+
+	sessions uint64 // completed solve sessions, for encodings-avoided accounting
+	retired  uint64 // blocking clauses retired since the last Simplify
+
+	assume   []cnf.Lit // scratch: assumption vector
+	blocking []cnf.Lit // scratch: per-model blocking clause
+}
+
+// New prepares an engine for the locked circuit; blockPos gives the
+// primary-input positions of the n chain inputs, in chain order (bit i
+// of a reported pattern is chain input i). The miter is built and
+// encoded lazily on first use, so constructing an engine that is never
+// queried costs nothing.
+func New(locked *netlist.Circuit, blockPos []int) (*Engine, error) {
+	if locked == nil {
+		return nil, fmt.Errorf("engine: locked circuit is required")
+	}
+	if locked.NumKeys() == 0 {
+		return nil, fmt.Errorf("engine: circuit %q has no key inputs", locked.Name)
+	}
+	for _, pos := range blockPos {
+		if pos < 0 || pos >= locked.NumInputs() {
+			return nil, fmt.Errorf("engine: block position %d outside %d inputs", pos, locked.NumInputs())
+		}
+	}
+	return &Engine{
+		locked:   locked,
+		blockPos: append([]int(nil), blockPos...),
+		nKeys:    locked.NumKeys(),
+		bud:      newBudgeter(),
+	}, nil
+}
+
+// SetContext bounds subsequent queries: enumeration slices its Solve
+// calls with conflict budgets sized from the remaining deadline and
+// checks cancellation between slices.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetTelemetry attaches a metrics registry: solver statistics fold into
+// the sat_* counters (continuing the legacy families) plus the engine_*
+// families, and solve sessions trace as spans on telemetry.EngineLane.
+func (e *Engine) SetTelemetry(r *telemetry.Registry) { e.tel = r }
+
+// SetPhase labels subsequent solver work for per-phase attribution and
+// resets the budgeter's per-phase spending cap, so a long phase cannot
+// starve its successors of the remaining deadline.
+func (e *Engine) SetPhase(name string) {
+	if name == e.phase {
+		return
+	}
+	e.phase = name
+	e.bud.enterPhase(e.ctx)
+}
+
+// NumKeys returns the key width of one miter copy.
+func (e *Engine) NumKeys() int { return e.nKeys }
+
+// BlockWidth returns the chain width n.
+func (e *Engine) BlockWidth() int { return len(e.blockPos) }
+
+// Stats returns the persistent solver's cumulative counters (zero before
+// the first query).
+func (e *Engine) Stats() sat.Stats {
+	if e.solver == nil {
+		return sat.Stats{}
+	}
+	return e.solver.Stats()
+}
+
+// PhaseStats returns a copy of the per-phase work attribution. Work done
+// before any SetPhase call is keyed under "unphased".
+func (e *Engine) PhaseStats() map[string]sat.Stats {
+	out := make(map[string]sat.Stats, len(e.phaseStats))
+	for k, v := range e.phaseStats {
+		out[k] = v
+	}
+	return out
+}
+
+// ensure builds the key-differential miter and encodes it into a fresh
+// persistent solver on first use.
+func (e *Engine) ensure() error {
+	if e.solver != nil {
+		return nil
+	}
+	sp := e.tel.StartSpanLane("engine_encode", telemetry.EngineLane)
+	defer sp.End()
+	kd, err := miter.NewKeyDiff(e.locked)
+	if err != nil {
+		return err
+	}
+	solver := sat.New()
+	inc := cnf.NewIncremental(solver)
+	enc, err := inc.Encode(kd.Circuit)
+	if err != nil {
+		return err
+	}
+	keyLits := enc.KeyLits(kd.Circuit)
+	e.solver = solver
+	e.inc = inc
+	e.keysA = keyLits[:kd.NKeys]
+	e.keysB = keyLits[kd.NKeys:]
+	e.inputs = enc.InputLits(kd.Circuit)
+	e.block = make([]cnf.Lit, len(e.blockPos))
+	for i, pos := range e.blockPos {
+		e.block[i] = e.inputs[pos]
+	}
+	e.diff = enc.OutputLits(kd.Circuit)[0]
+	sp.SetArg("vars", strconv.Itoa(solver.NumVars()))
+	sp.SetArg("clauses", strconv.Itoa(solver.NumClauses()))
+	e.tel.Counter("engine_encodings_total").Inc()
+	return nil
+}
+
+// phaseName returns the attribution key for the current phase.
+func (e *Engine) phaseName() string {
+	if e.phase == "" {
+		return "unphased"
+	}
+	return e.phase
+}
+
+// beginSession opens a traced solve session and snapshots the solver
+// counters; the returned func folds the interval into the per-phase map
+// and the telemetry counter families.
+func (e *Engine) beginSession(kind string) func() {
+	if e.sessions > 0 {
+		// Every session after the first would have been a miter build +
+		// re-encode (or at best an LRU replay) on the legacy path.
+		e.tel.Counter("engine_encodings_avoided_total").Inc()
+	}
+	e.sessions++
+	sp := e.tel.StartSpanLane(kind, telemetry.EngineLane)
+	sp.SetArg("phase", e.phaseName())
+	base := e.solver.Stats()
+	return func() {
+		d := e.solver.Stats().Diff(base)
+		name := e.phaseName()
+		if e.phaseStats == nil {
+			e.phaseStats = make(map[string]sat.Stats)
+		}
+		ps := e.phaseStats[name]
+		e.phaseStats[name] = sat.Stats{
+			Decisions:       ps.Decisions + d.Decisions,
+			Propagations:    ps.Propagations + d.Propagations,
+			Conflicts:       ps.Conflicts + d.Conflicts,
+			Restarts:        ps.Restarts + d.Restarts,
+			Learned:         ps.Learned + d.Learned,
+			Removed:         ps.Removed + d.Removed,
+			SolveCalls:      ps.SolveCalls + d.SolveCalls,
+			BlockingPushed:  ps.BlockingPushed + d.BlockingPushed,
+			BlockingRetired: ps.BlockingRetired + d.BlockingRetired,
+			Simplified:      ps.Simplified + d.Simplified,
+		}
+		if e.tel != nil {
+			e.tel.Counter("sat_conflicts_total").Add(d.Conflicts)
+			e.tel.Counter("sat_decisions_total").Add(d.Decisions)
+			e.tel.Counter("sat_propagations_total").Add(d.Propagations)
+			e.tel.Counter("sat_restarts_total").Add(d.Restarts)
+			e.tel.Counter("sat_solve_calls_total").Add(d.SolveCalls)
+			e.tel.Counter("engine_assumption_solves_total").Add(d.SolveCalls)
+			e.tel.Counter("engine_blocking_pushed_total").Add(d.BlockingPushed)
+			e.tel.Counter("engine_blocking_retired_total").Add(d.BlockingRetired)
+			e.tel.Counter(telemetry.Label("engine_phase_conflicts_total", "phase", name)).Add(d.Conflicts)
+			e.tel.Counter(telemetry.Label("engine_phase_solves_total", "phase", name)).Add(d.SolveCalls)
+			e.tel.Gauge("engine_clauses_retained").Set(int64(e.solver.NumClauses()))
+			e.tel.Gauge("engine_learnts_retained").Set(int64(e.solver.NumLearnts()))
+		}
+		sp.End()
+	}
+}
+
+// signLit orients a positive literal by a boolean.
+func signLit(l cnf.Lit, v bool) cnf.Lit {
+	if v {
+		return l
+	}
+	return l.Neg()
+}
+
+// keyAssumptions appends the assumption literals fixing copy A to a and
+// copy B to b.
+func (e *Engine) keyAssumptions(dst []cnf.Lit, a, b []bool) []cnf.Lit {
+	for i, v := range a {
+		dst = append(dst, signLit(e.keysA[i], v))
+	}
+	for i, v := range b {
+		dst = append(dst, signLit(e.keysB[i], v))
+	}
+	return dst
+}
+
+func (e *Engine) checkKeys(a, b []bool) error {
+	if len(a) != e.nKeys || len(b) != e.nKeys {
+		return fmt.Errorf("engine: key assignment lengths %d/%d, circuit has %d keys", len(a), len(b), e.nKeys)
+	}
+	return nil
+}
+
+// EnumerateDIPs enumerates every block-input pattern on which the locked
+// circuit under key A disagrees with the circuit under key B, invoking
+// visit once per pattern (bit i = chain input i, at most once per
+// pattern); visit returning false stops the enumeration early. The keys
+// are fixed purely by assumptions and found patterns are excluded with
+// scope-guarded blocking clauses, so the session leaves no trace in the
+// formula beyond (retractable, eventually compacted) satisfied clauses
+// and the learned clauses that speed up the next session.
+//
+// With a context attached, Solve calls run in conflict-budgeted slices
+// sized by the engine's per-phase budgeter; on expiry the enumeration
+// stops and the context's error is returned (patterns already visited
+// remain valid — the set is simply incomplete).
+func (e *Engine) EnumerateDIPs(A, B []bool, visit func(pat uint64) bool) error {
+	if err := e.ensure(); err != nil {
+		return err
+	}
+	if err := e.checkKeys(A, B); err != nil {
+		return err
+	}
+	flush := e.beginSession("engine_enumerate")
+	defer flush()
+	defer e.retireScope()
+	defer func() { e.solver.ConflictBudget = 0 }()
+
+	act := e.solver.BlockingLit()
+	assume := e.keyAssumptions(e.assume[:0], A, B)
+	assume = append(assume, act, e.diff)
+	e.assume = assume
+
+	for {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e.solver.ConflictBudget = e.bud.slice(e.ctx, e.solver.Stats().Conflicts)
+		switch e.solver.Solve(assume...) {
+		case sat.Unknown:
+			continue // budget slice exhausted: recheck the context
+		case sat.Unsat:
+			return nil
+		}
+		blocking := e.blocking[:0]
+		var pat uint64
+		for i, l := range e.block {
+			if e.solver.ModelValue(l) {
+				pat |= 1 << uint(i)
+				blocking = append(blocking, l.Neg())
+			} else {
+				blocking = append(blocking, l)
+			}
+		}
+		e.blocking = blocking
+		if !visit(pat) {
+			return nil
+		}
+		e.solver.PushBlocking(blocking...)
+	}
+}
+
+// Distinguish searches for a primary-input pattern on which the locked
+// circuit behaves differently under keyA and keyB: the same persistent
+// miter answers with KA/KB fixed by assumptions and the disagreement
+// output assumed true. It returns (witness, false, nil) with the full
+// input vector of a disagreement, or (nil, true, nil) when the keys are
+// proved equivalent — or when the conflict budget runs out first, which
+// callers must treat as "no difference found" exactly as with
+// miter.ProveEquivalentHashedBudget (safe when candidates are only ever
+// eliminated on concrete oracle disagreements). budget 0 is unbounded.
+func (e *Engine) Distinguish(keyA, keyB []bool, budget uint64) (witness []bool, equivalent bool, err error) {
+	if err := e.ensure(); err != nil {
+		return nil, false, err
+	}
+	if err := e.checkKeys(keyA, keyB); err != nil {
+		return nil, false, err
+	}
+	flush := e.beginSession("engine_distinguish")
+	defer flush()
+	defer func() { e.solver.ConflictBudget = 0 }()
+
+	assume := e.keyAssumptions(e.assume[:0], keyA, keyB)
+	assume = append(assume, e.diff)
+	e.assume = assume
+
+	e.solver.ConflictBudget = budget
+	switch e.solver.Solve(assume...) {
+	case sat.Unsat, sat.Unknown:
+		return nil, true, nil
+	}
+	w := make([]bool, len(e.inputs))
+	for i, l := range e.inputs {
+		w[i] = e.solver.ModelValue(l)
+	}
+	return w, false, nil
+}
+
+// retireScope closes the enumeration's blocking scope and compacts the
+// clause database once enough retired scopes have piled up.
+func (e *Engine) retireScope() {
+	before := e.solver.Stats().BlockingRetired
+	e.solver.ResetBlocking()
+	e.retired += e.solver.Stats().BlockingRetired - before
+	if e.retired < compactThreshold {
+		return
+	}
+	sp := e.tel.StartSpanLane("engine_compact", telemetry.EngineLane)
+	removedBefore := e.solver.Stats().Simplified
+	e.solver.Simplify()
+	e.retired = 0
+	e.tel.Counter("engine_simplify_runs_total").Inc()
+	e.tel.Counter("engine_simplify_removed_total").Add(e.solver.Stats().Simplified - removedBefore)
+	sp.End()
+}

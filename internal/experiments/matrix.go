@@ -106,6 +106,9 @@ type MatrixOptions struct {
 	// decorators' counters. Cells run concurrently; the registry is
 	// race-safe, so one registry aggregates the whole grid.
 	Telemetry *telemetry.Registry
+	// LegacyEncoding disables the persistent incremental-SAT engine in
+	// the DIP-learning cells (see core.Options.LegacyEncoding).
+	LegacyEncoding bool
 }
 
 // newOracle builds one cell's oracle: the clean simulator, optionally
@@ -259,7 +262,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 		return fail("bypass circuit incorrect")
 	case "DIP-learning":
 		if scheme == "M-CAS" {
-			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry})
+			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding})
 			if err != nil {
 				return fail("failed: " + trimErr(err))
 			}
@@ -270,7 +273,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 			}
 			return fail("wrong key")
 		}
-		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry})
+		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding})
 		if err != nil {
 			return fail("n/a: " + trimErr(err))
 		}

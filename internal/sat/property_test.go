@@ -111,6 +111,95 @@ func TestClauseOrderInvarianceProperty(t *testing.T) {
 	}
 }
 
+// Property: after Unsat under assumptions, FailedAssumptions is a valid
+// (minimal-ish) core — a subset of the assumptions that is Unsat on its
+// own, and whose negation flips the result back to Sat whenever the
+// formula itself is satisfiable. The engine's probe loop depends on this
+// contract, so each leg is checked differentially against brute force.
+func TestFailedAssumptionsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	cores := 0
+	for trial := 0; trial < 200; trial++ {
+		vars := 4 + rng.Intn(8)
+		form := randomFormula(rng, vars, 3+rng.Intn(20), 3)
+		nAssume := 1 + rng.Intn(vars)
+		seen := make(map[int]bool)
+		var assumptions []cnf.Lit
+		for len(assumptions) < nAssume {
+			v := 1 + rng.Intn(vars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := cnf.Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			assumptions = append(assumptions, l)
+		}
+		s := NewFromFormula(form)
+		if s.Solve(assumptions...) != Unsat {
+			continue
+		}
+		failed := s.FailedAssumptions()
+		if !s.Okay() {
+			// Unsat was derived at level 0: the formula alone is
+			// unsatisfiable and the core is allowed to be empty.
+			if CountModels(form) != 0 {
+				t.Fatalf("trial %d: solver died at level 0 on a satisfiable formula", trial)
+			}
+			continue
+		}
+		cores++
+		// Subset: every core literal is one of the assumptions, sign
+		// included.
+		inAssumptions := make(map[cnf.Lit]bool, len(assumptions))
+		for _, a := range assumptions {
+			inAssumptions[a] = true
+		}
+		if len(failed) == 0 {
+			t.Fatalf("trial %d: Unsat under assumptions but empty core while Okay()", trial)
+		}
+		for _, l := range failed {
+			if !inAssumptions[l] {
+				t.Fatalf("trial %d: core literal %d is not an assumption", trial, l)
+			}
+		}
+		// Validity: the core alone is already unsatisfiable — checked by
+		// brute force and by a fresh solver.
+		cored := form.Clone()
+		for _, l := range failed {
+			cored.Add(l)
+		}
+		if CountModels(cored) != 0 {
+			t.Fatalf("trial %d: core %v is satisfiable with the formula (not a valid core)", trial, failed)
+		}
+		if NewFromFormula(form).Solve(failed...) != Unsat {
+			t.Fatalf("trial %d: fresh solver accepts the core %v", trial, failed)
+		}
+		// Negation flips the result: every model of the formula falsifies
+		// some core literal, so adding the core's negation (as a clause)
+		// preserves exactly the formula's models.
+		if CountModels(form) > 0 {
+			flipped := form.Clone()
+			neg := make([]cnf.Lit, len(failed))
+			for i, l := range failed {
+				neg[i] = -l
+			}
+			flipped.Add(neg...)
+			if CountModels(flipped) != CountModels(form) {
+				t.Fatalf("trial %d: negated core changed the model count", trial)
+			}
+			if NewFromFormula(flipped).Solve() != Sat {
+				t.Fatalf("trial %d: negated core did not flip the result to Sat", trial)
+			}
+		}
+	}
+	if cores < 20 {
+		t.Fatalf("only %d trials produced assumption cores — test exercised too little", cores)
+	}
+}
+
 // TestReduceDBKeepsSoundness drives the solver far enough to trigger
 // learned-clause reduction and checks the answer is still right.
 func TestReduceDBKeepsSoundness(t *testing.T) {

@@ -38,6 +38,30 @@ type Stats struct {
 	Learned      uint64
 	Removed      uint64
 	SolveCalls   uint64
+	// BlockingPushed/BlockingRetired count blocking clauses added through
+	// PushBlocking and permanently disabled through ResetBlocking.
+	BlockingPushed  uint64
+	BlockingRetired uint64
+	// Simplified counts clauses removed by Simplify (satisfied at level 0).
+	Simplified uint64
+}
+
+// Diff returns the counter-wise difference s - prev; with prev a snapshot
+// taken earlier on the same solver it attributes work to the interval
+// (the engine uses it for per-phase accounting).
+func (s Stats) Diff(prev Stats) Stats {
+	return Stats{
+		Decisions:       s.Decisions - prev.Decisions,
+		Propagations:    s.Propagations - prev.Propagations,
+		Conflicts:       s.Conflicts - prev.Conflicts,
+		Restarts:        s.Restarts - prev.Restarts,
+		Learned:         s.Learned - prev.Learned,
+		Removed:         s.Removed - prev.Removed,
+		SolveCalls:      s.SolveCalls - prev.SolveCalls,
+		BlockingPushed:  s.BlockingPushed - prev.BlockingPushed,
+		BlockingRetired: s.BlockingRetired - prev.BlockingRetired,
+		Simplified:      s.Simplified - prev.Simplified,
+	}
 }
 
 type clause struct {
@@ -83,6 +107,9 @@ type Solver struct {
 
 	assumptions []lit
 	conflictSet []lit // failed assumptions from the last Unsat-under-assumptions
+
+	blockingAct   cnf.Lit // open blocking scope's activation literal (0 = none)
+	blockingCount uint64  // clauses pushed into the open scope
 
 	maxLearnts float64
 	model      []lbool

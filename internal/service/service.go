@@ -73,6 +73,12 @@ type AttackRequest struct {
 	Retries int `json:"retries,omitempty"`
 	// SATWidthLimit overrides the SAT/simulation engine crossover.
 	SATWidthLimit int `json:"sat_width_limit,omitempty"`
+	// LegacyEncoding disables the persistent incremental-SAT engine for
+	// this job (the per-assignment re-encode escape hatch). Part of the
+	// cache key: although results are identical, the escape hatch exists
+	// precisely for suspected engine misbehavior, so a legacy run must
+	// not be answered from an engine-path cache entry.
+	LegacyEncoding bool `json:"legacy_encoding,omitempty"`
 	// TimeoutMS bounds the attack; expiry yields a partial outcome.
 	// Not part of the cache key (a budget, not a problem statement).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -335,8 +341,8 @@ func hashRequest(p *parsedRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	opts := fmt.Sprintf("v1 mcas=%t seed=%d retries=%d satwidth=%d",
-		p.req.MCAS, p.req.Seed, p.req.Retries, p.req.SATWidthLimit)
+	opts := fmt.Sprintf("v2 mcas=%t seed=%d retries=%d satwidth=%d legacy=%t",
+		p.req.MCAS, p.req.Seed, p.req.Retries, p.req.SATWidthLimit, p.req.LegacyEncoding)
 	return cache.SumParts(lockedBytes, origBytes, []byte(opts)), nil
 }
 
@@ -731,6 +737,7 @@ func (s *Service) runProtected(exec *execution) (out *outcome) {
 		Seed:            req.Seed,
 		MismatchRetries: req.Retries,
 		SATWidthLimit:   req.SATWidthLimit,
+		LegacyEncoding:  req.LegacyEncoding,
 		Workers:         req.Workers,
 		Telemetry:       exec.tel,
 	}

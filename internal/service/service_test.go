@@ -439,4 +439,9 @@ func TestHashExcludesBudgetKnobs(t *testing.T) {
 	if h(retried) == want {
 		t.Error("retry change did not change the content address")
 	}
+	legacy := base
+	legacy.LegacyEncoding = true
+	if h(legacy) == want {
+		t.Error("legacy-encoding change did not change the content address")
+	}
 }

@@ -44,6 +44,23 @@ func (r *Registry) StartSpan(name string) *Span {
 	return &Span{reg: r, id: r.nextID.Add(1), name: name, start: time.Now()}
 }
 
+// StartSpanLane opens a root span on an explicit lane — long-lived
+// subsystems (the incremental SAT engine uses EngineLane) get their own
+// trace row so their activity renders beside the attack pipeline instead
+// of interleaved with it. Returns nil on a nil registry.
+func (r *Registry) StartSpanLane(name string, lane int) *Span {
+	s := r.StartSpan(name)
+	if s != nil {
+		s.lane = lane
+	}
+	return s
+}
+
+// EngineLane is the trace lane reserved for the incremental SAT engine's
+// solve-session spans. Shard workers use lanes 1..w; the engine sits far
+// above any realistic worker count so the rows never collide.
+const EngineLane = 900
+
 // Child opens a nested span inheriting the receiver's lane. Returns nil
 // on a nil span.
 func (s *Span) Child(name string) *Span {
