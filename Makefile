@@ -7,7 +7,9 @@
 #                    concurrent; data races are correctness bugs here)
 #   make vet         go vet
 #   make fmt-check   fail if any file needs gofmt
-#   make fuzz-smoke  short coverage-guided fuzz of the bench parser
+#   make fuzz-smoke  short coverage-guided fuzz of the bench parser and
+#                    of the compiled gate program vs the interpreted
+#                    evaluator
 #   make trace-smoke end-to-end telemetry check: lock a seed circuit,
 #                    attack it with -trace, and validate the Chrome
 #                    trace (all five phase spans, wall-clock coverage)
@@ -22,7 +24,8 @@
 #                    -legacy-encoding and assert byte-identical keys
 #   make govulncheck govulncheck ./... when the tool is installed
 #                    (skips with a notice otherwise — no network
-#                    installs in CI)
+#                    installs in CI; set GOVULNCHECK_REQUIRED=1 to turn
+#                    the skip into a failure on runners that ship it)
 #   make ci          build + vet + fmt-check + test + test-race +
 #                    fuzz-smoke + trace-smoke + serve-smoke +
 #                    signal-smoke + engine-smoke + govulncheck
@@ -64,6 +67,7 @@ fmt-check:
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBenchRead -fuzztime $(FUZZTIME) ./internal/bench/
+	$(GO) test -run '^$$' -fuzz FuzzProgramVsEval64 -fuzztime $(FUZZTIME) ./internal/netlist/
 
 trace-smoke:
 	@rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
@@ -85,10 +89,14 @@ engine-smoke:
 
 # Vulnerability scan, gated: the CI container has no network, so the
 # tool cannot be installed on the fly. Runs when present, else skips
-# loudly enough to notice.
+# loudly enough to notice — unless GOVULNCHECK_REQUIRED=1, which makes
+# the absence itself a CI failure (for runners that are supposed to
+# ship the tool).
 govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
+	elif [ "$(GOVULNCHECK_REQUIRED)" = "1" ]; then \
+		echo "govulncheck required (GOVULNCHECK_REQUIRED=1) but not installed" >&2; exit 1; \
 	else \
 		echo "govulncheck not installed; skipping vulnerability scan"; \
 	fi

@@ -15,6 +15,8 @@ package repro
 //	BenchmarkCASUnlock           — CAS-Unlock baseline (fails on real instances)
 //	BenchmarkMCASAttack          — M-CAS pipeline (SPS removal + inner attack)
 //	BenchmarkAttackScaling       — O(m) cost sweep over growing DIP sets
+//	BenchmarkRunWidths           — compiled gate-program kernel at 64/256/512
+//	                               lanes on ISCAS85-profile netlists
 //
 // Reported custom metrics: DIPs (measured |I_l|), oracle_queries, and for
 // the SAT attack the DIP-loop iteration count.
@@ -477,4 +479,50 @@ func BenchmarkSFLLLeakage(b *testing.B) {
 		learned = res.LearnedH
 	}
 	b.ReportMetric(float64(learned), "learned_h")
+}
+
+// BenchmarkRunWidths measures the compiled gate-program kernel at 64,
+// 256, and 512 bit-parallel lanes on ISCAS85-profile synthetic
+// netlists. ns/pattern is the cross-width comparable metric; the wide
+// variants should show a clear per-pattern win on the larger circuit.
+func BenchmarkRunWidths(b *testing.B) {
+	for _, name := range []string{"c432", "c7552"} {
+		prof, err := synth.ProfileByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := synth.Generate(synth.FromProfile(prof, 17))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := netlist.NewSimulator(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nIn := c.NumInputs()
+		in1 := make([]uint64, nIn)
+		in4 := make([][4]uint64, nIn)
+		in8 := make([][8]uint64, nIn)
+		for i := 0; i < nIn; i++ {
+			for j := 0; j < 8; j++ {
+				in8[i][j] = 0x9e3779b97f4a7c15 * uint64(i*8+j+1)
+			}
+			copy(in4[i][:], in8[i][:4])
+			in1[i] = in8[i][0]
+		}
+		run := func(patterns int, fn func() error) func(b *testing.B) {
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(patterns), "ns/pattern")
+			}
+		}
+		b.Run(name+"/w64", run(64, func() error { _, err := sim.Run64(in1, nil); return err }))
+		b.Run(name+"/w256", run(256, func() error { _, err := sim.Run256(in4, nil); return err }))
+		b.Run(name+"/w512", run(512, func() error { _, err := sim.Run512(in8, nil); return err }))
+	}
 }

@@ -8,10 +8,10 @@
 // When a baseline report is available (the previous committed
 // BENCH_core.json — by default the output path's existing content, or
 // an explicit -baseline), the new report carries a "delta" section
-// comparing every shared workload and the aggregate SAT solve time.
-// With -max-regress set, a SAT-time regression beyond that fraction
-// exits nonzero — `make bench-compare` uses this to fail loudly on
-// >20% regressions.
+// comparing every shared workload and the aggregate SAT and simulation
+// times. With -max-regress set, a SAT- or sim-time regression beyond
+// that fraction exits nonzero — `make bench-compare` uses this to fail
+// loudly on >20% regressions in either engine.
 //
 //	benchjson -baseline BENCH_core.json -max-regress 0.20
 package main
@@ -27,9 +27,12 @@ import (
 	"testing"
 	"time"
 
+	"math/rand"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lock"
+	"repro/internal/netlist"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
@@ -74,13 +77,17 @@ type DeltaEntry struct {
 
 // DeltaReport is the "delta" section: per-workload ns/op changes for
 // every workload present in both reports, plus the aggregate SAT solve
-// time (the sum of ns/op over sat_* workloads), which bench-compare
-// gates on.
+// time (the sum of ns/op over sat_* workloads) and the aggregate
+// simulation time (sim_* workloads), both of which bench-compare gates
+// on.
 type DeltaReport struct {
 	BaselineTimestamp string       `json:"baseline_timestamp"`
 	SATNsBefore       int64        `json:"sat_ns_before"`
 	SATNsAfter        int64        `json:"sat_ns_after"`
 	SATTimeChange     float64      `json:"sat_time_change"`
+	SimNsBefore       int64        `json:"sim_ns_before"`
+	SimNsAfter        int64        `json:"sim_ns_after"`
+	SimTimeChange     float64      `json:"sim_time_change"`
 	Results           []DeltaEntry `json:"results,omitempty"`
 }
 
@@ -109,9 +116,16 @@ func computeDelta(base, rep *Report) *DeltaReport {
 			d.SATNsBefore += before
 			d.SATNsAfter += r.NsPerOp
 		}
+		if strings.HasPrefix(r.Name, "sim_") {
+			d.SimNsBefore += before
+			d.SimNsAfter += r.NsPerOp
+		}
 	}
 	if d.SATNsBefore > 0 {
 		d.SATTimeChange = float64(d.SATNsAfter-d.SATNsBefore) / float64(d.SATNsBefore)
+	}
+	if d.SimNsBefore > 0 {
+		d.SimTimeChange = float64(d.SimNsAfter-d.SimNsBefore) / float64(d.SimNsBefore)
 	}
 	return d
 }
@@ -142,6 +156,10 @@ type TelemetrySummary struct {
 	SATConflicts  uint64             `json:"sat_conflicts"`
 	SATSolveCalls uint64             `json:"sat_solve_calls"`
 	Extractions   uint64             `json:"extractions"`
+	// Crossover records the crossover_* family verbatim (probe counts,
+	// which engine the self-tuning boundary picked, probe costs in ns),
+	// so the trajectory shows calibration drift alongside raw timings.
+	Crossover map[string]int64 `json:"crossover,omitempty"`
 }
 
 // summarize extracts the summary fields from a registry snapshot. Phase
@@ -164,6 +182,21 @@ func summarize(tel *telemetry.Registry) *TelemetrySummary {
 			ts.PhaseSeconds = make(map[string]float64)
 		}
 		ts.PhaseSeconds[phase] = h.Sum
+	}
+	cross := func(name string, v int64) {
+		if !strings.HasPrefix(name, "crossover_") {
+			return
+		}
+		if ts.Crossover == nil {
+			ts.Crossover = make(map[string]int64)
+		}
+		ts.Crossover[name] = v
+	}
+	for name, v := range snap.Counters {
+		cross(name, int64(v))
+	}
+	for name, v := range snap.Gauges {
+		cross(name, v)
 	}
 	return ts
 }
@@ -235,6 +268,46 @@ func main() {
 		rep.SpeedupParallel = float64(ns1) / float64(nsMax)
 	}
 
+	// Lane-width pair: the same single-worker extraction pinned to the
+	// 64-lane scalar kernel and to the 512-lane wide kernel, so the
+	// trajectory records the bit-slicing win in isolation from sharding.
+	// The wide entry's extra metric is its speedup over the 64-lane run.
+	ext.SetWorkers(1)
+	var nsLanes64 int64
+	for _, lw := range []struct {
+		lanes int
+		name  string
+	}{{64, "sim_extract_lanes64"}, {512, "sim_extract_wide"}} {
+		fatalIf(ext.SetLaneWidth(lw.lanes))
+		var dips *core.DIPSet
+		r := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				dips, err = ext.DIPs(assign)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if dips.Count() != wantDIPs {
+			fatalIf(fmt.Errorf("%s produced %d DIPs, want %d", lw.name, dips.Count(), wantDIPs))
+		}
+		res := toResult(lw.name, r)
+		if lw.lanes == 64 {
+			nsLanes64 = res.NsPerOp
+		} else if res.NsPerOp > 0 {
+			res.Extra, res.ExtraName = float64(nsLanes64)/float64(res.NsPerOp), "speedup_vs_64"
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	fatalIf(ext.SetLaneWidth(0))
+
+	// Raw compiled-kernel micro entries on a c7552-profile netlist: one
+	// Run at each lane width, no extraction logic around it.
+	simRes, err := simRunWorkloads()
+	fatalIf(err)
+	rep.Results = append(rep.Results, simRes...)
+
 	ext.SetWorkers(0)
 	r = bench(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -284,15 +357,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (NumCPU=%d, speedup=%.2fx)\n",
 		len(rep.Results), *out, rep.NumCPU, rep.SpeedupParallel)
 	if rep.Delta != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: delta vs %s (%s): SAT time %s\n",
-			basePath, rep.Delta.BaselineTimestamp, pct(rep.Delta.SATTimeChange))
+		fmt.Fprintf(os.Stderr, "benchjson: delta vs %s (%s): SAT time %s, sim time %s\n",
+			basePath, rep.Delta.BaselineTimestamp, pct(rep.Delta.SATTimeChange), pct(rep.Delta.SimTimeChange))
 		for _, d := range rep.Delta.Results {
 			fmt.Fprintf(os.Stderr, "benchjson:   %-28s %12d -> %12d ns/op (%s)\n",
 				d.Name, d.NsBefore, d.NsAfter, pct(d.Change))
 		}
+		failed := false
 		if *maxRegress > 0 && rep.Delta.SATTimeChange > *maxRegress {
 			fmt.Fprintf(os.Stderr, "benchjson: FAIL: SAT time regressed %s against %s (limit %s)\n",
 				pct(rep.Delta.SATTimeChange), basePath, pct(*maxRegress))
+			failed = true
+		}
+		if *maxRegress > 0 && rep.Delta.SimTimeChange > *maxRegress {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: sim time regressed %s against %s (limit %s)\n",
+				pct(rep.Delta.SimTimeChange), basePath, pct(*maxRegress))
+			failed = true
+		}
+		if failed {
 			os.Exit(1)
 		}
 	} else if *maxRegress > 0 {
@@ -391,6 +473,57 @@ func extractionWorkload(n int) (*core.SimExtractor, core.PairAssign, error) {
 		assign.A[pos] = true
 	}
 	return ext, assign, nil
+}
+
+// simRunWorkloads benchmarks the compiled gate program on a
+// c7552-profile synthetic netlist at all three lane widths (one Run64 /
+// Run256 / Run512 call per op), the purest view of the bit-sliced
+// kernel's throughput.
+func simRunWorkloads() ([]Result, error) {
+	prof, err := synth.ProfileByName("c7552")
+	if err != nil {
+		return nil, err
+	}
+	c, err := synth.Generate(synth.FromProfile(prof, 9))
+	if err != nil {
+		return nil, err
+	}
+	sim, err := netlist.NewSimulator(c)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(10))
+	nIn := c.NumInputs()
+	in1 := make([]uint64, nIn)
+	in4 := make([][4]uint64, nIn)
+	in8 := make([][8]uint64, nIn)
+	for i := 0; i < nIn; i++ {
+		for j := 0; j < 8; j++ {
+			in8[i][j] = rng.Uint64()
+		}
+		copy(in4[i][:], in8[i][:4])
+		in1[i] = in8[i][0]
+	}
+	var out []Result
+	for _, w := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"sim_run_c7552_w64", func() error { _, err := sim.Run64(in1, nil); return err }},
+		{"sim_run_c7552_w256", func() error { _, err := sim.Run256(in4, nil); return err }},
+		{"sim_run_c7552_w512", func() error { _, err := sim.Run512(in8, nil); return err }},
+	} {
+		w := w
+		r := bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := w.fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, toResult(w.name, r))
+	}
+	return out, nil
 }
 
 // satWorkload mirrors BenchmarkDIPExtraction/sat_n8, instrumented so

@@ -50,6 +50,7 @@ func main() {
 		prove      = flag.Bool("prove", true, "SAT-prove the recovered key against the oracle netlist")
 		timeout    = flag.Duration("timeout", 0, "attack deadline (0 = none); on expiry the partial structure is printed and the exit code is 3")
 		legacyEnc  = flag.Bool("legacy-encoding", false, "disable the persistent incremental-SAT engine (re-encode the miter per key assignment)")
+		satWidth   = flag.Int("sat-width-limit", 0, "largest block width attacked with the SAT engine (0 = auto-calibrate per instance; a positive value pins the fixed rule)")
 		retries    = flag.Int("retries", 0, "transient-failure retry budget and per-mismatch re-query count (0 = defaults)")
 		noise      = flag.Float64("noise", 0, "inject this per-output-bit flip rate into the oracle (demo; arms majority voting)")
 		votes      = flag.Int("votes", 0, "majority-vote repeats per oracle query (0 = auto: 5 when -noise > 0, else 1)")
@@ -58,7 +59,7 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (e.g. :6060)")
 	)
 	flag.Parse()
-	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 {
+	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -108,6 +109,7 @@ func main() {
 		Seed:            *seed,
 		MismatchRetries: *retries,
 		LegacyEncoding:  *legacyEnc,
+		SATWidthLimit:   *satWidth,
 		Telemetry:       tel,
 	}
 

@@ -37,13 +37,14 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole grid (0 = none)")
 		retries   = flag.Int("retries", 0, "oracle transient-retry budget and attack mismatch re-query count (0 = defaults)")
 		legacyEnc = flag.Bool("legacy-encoding", false, "disable the persistent incremental-SAT engine in the DIP-learning cells")
+		satWidth  = flag.Int("sat-width-limit", 0, "largest block width attacked with the SAT engine in the DIP-learning cells (0 = auto-calibrate per instance)")
 		noise     = flag.Float64("noise", 0, "per-output-bit oracle flip rate injected into every cell (arms majority voting)")
 		trace     = flag.String("trace", "", "write a Chrome-trace JSON of the grid's attack spans here (open in Perfetto)")
 		metrics   = flag.String("metrics-out", "", "write a metrics snapshot on exit (.json = JSON snapshot, anything else = Prometheus text)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (e.g. :6060)")
 	)
 	flag.Parse()
-	if *noise < 0 || *noise >= 1 || *timeout < 0 {
+	if *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -105,6 +106,7 @@ func main() {
 		Retries:        *retries,
 		Telemetry:      tel,
 		LegacyEncoding: *legacyEnc,
+		SATWidthLimit:  *satWidth,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)

@@ -10,7 +10,10 @@
 // Coverage: for each "attack" span, the durations of the other required
 // spans that fall inside its window must sum to at least
 // attackDur − max(tolerance·attackDur, slack). Nested re-decodes can
-// push the sum past 100%; the check is a lower bound only.
+// push the sum past 100%; the check is a lower bound only. Names in
+// -coverage-extra (default "calibrate") also count toward the sum when
+// present, but are not required — they only appear on configurations
+// that run those phases.
 //
 // Exit codes: 0 — trace valid; 1 — validation failed; 2 — usage error.
 package main
@@ -39,6 +42,7 @@ func main() {
 	var (
 		in        = flag.String("in", "", "Chrome-trace JSON file to validate")
 		require   = flag.String("require", "attack,enumerate,decode,algo1,algo2,verify", "comma-separated span names that must appear")
+		extra     = flag.String("coverage-extra", "calibrate", "comma-separated span names that count toward attack coverage when present but are not required (conditional phases like the crossover calibration probe)")
 		tolerance = flag.Float64("tolerance", 0.05, "allowed uncovered fraction of each attack span")
 		slack     = flag.Duration("slack", 25*time.Millisecond, "absolute floor of the coverage allowance (dominates on fast attacks)")
 	)
@@ -73,6 +77,10 @@ func main() {
 
 	// Coverage: only meaningful when the root "attack" span is among the
 	// required names; the remaining required names are its phases.
+	// Coverage-extra names join the phase set without being required —
+	// they only run on some configurations (e.g. "calibrate" appears only
+	// when the SAT/sim crossover auto-calibrates), but when present their
+	// time is attack time and must count.
 	phases := make(map[string]bool)
 	var wantAttack bool
 	for _, name := range required {
@@ -81,6 +89,11 @@ func main() {
 		case "attack":
 			wantAttack = true
 		default:
+			phases[name] = true
+		}
+	}
+	for _, name := range strings.Split(*extra, ",") {
+		if name = strings.TrimSpace(name); name != "" && name != "attack" {
 			phases[name] = true
 		}
 	}

@@ -171,15 +171,19 @@ func checkMuting(locked *netlist.Circuit, sim *netlist.Simulator, pat []bool, bi
 	alive := make([]bool, no)
 	base0 := make([]bool, no)
 	base1 := make([]bool, no)
+	g0 := make([]bool, no)
 	for s := 0; s < opts.MuteSamples; s++ {
 		for i := range key {
 			key[i] = rng.Intn(2) == 1
 		}
 		key[bit] = false
-		g0, err := sim.Run(pat, key)
+		r0, err := sim.Run(pat, key)
 		if err != nil {
 			return 0, false, false, false, err
 		}
+		// Copy: the simulator owns its output buffer, so r0 would alias
+		// the second Run's result below.
+		copy(g0, r0)
 		key[bit] = true
 		g1, err := sim.Run(pat, key)
 		if err != nil {

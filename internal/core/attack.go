@@ -25,12 +25,17 @@ type Options struct {
 	Oracle oracle.Oracle
 	// Layout is the key-port layout; nil runs DiscoverLayout.
 	Layout *BlockLayout
-	// Extractor overrides the DIP-set engine; nil picks the SAT engine
-	// for blocks up to SATWidthLimit inputs and the exhaustive
-	// simulation engine above.
+	// Extractor overrides the DIP-set engine; nil picks between the SAT
+	// engine and the exhaustive simulation engine per SATWidthLimit.
 	Extractor Extractor
-	// SATWidthLimit is the largest block width attacked with the SAT
-	// engine when Extractor is nil (default 12).
+	// SATWidthLimit controls the SAT/sim regime boundary when Extractor
+	// is nil. 0 — the default — runs a per-instance calibration probe
+	// (timed simulation batches vs. a deadline-budgeted engine probe)
+	// and picks the cheaper engine empirically; a positive value pins
+	// the historical rule: SAT for blocks up to that many inputs,
+	// simulation above. LegacyEncoding also pins the rule (at width 12),
+	// since probe timings against the persistent engine would not
+	// transfer to the re-encode path.
 	SATWidthLimit int
 	// LegacyEncoding disables the persistent incremental-SAT engine and
 	// restores the per-assignment re-encode path: each SAT extraction
@@ -113,9 +118,6 @@ func Run(opts Options) (*Result, error) {
 	if opts.Locked == nil || opts.Oracle == nil {
 		return nil, fmt.Errorf("core: Locked and Oracle are required")
 	}
-	if opts.SATWidthLimit == 0 {
-		opts.SATWidthLimit = 12
-	}
 	if opts.MaxCalibrations == 0 {
 		opts.MaxCalibrations = 1 << 20
 	}
@@ -136,31 +138,27 @@ func Run(opts Options) (*Result, error) {
 	if layout.N()*2 != opts.Locked.NumKeys() {
 		return nil, fmt.Errorf("core: layout covers %d key bits, circuit has %d", layout.N()*2, opts.Locked.NumKeys())
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	root := opts.Telemetry.StartSpan("attack")
+	defer root.End()
+
 	ext := opts.Extractor
 	if ext == nil {
 		var err error
-		if layout.N() <= opts.SATWidthLimit {
-			ext, err = NewSATExtractor(opts.Locked, layout)
-		} else {
-			var se *SimExtractor
-			se, err = NewSimExtractor(opts.Locked, layout, opts.Seed)
-			if se != nil {
-				se.SetWorkers(opts.Workers)
-				ext = se
-			}
-		}
+		ext, err = chooseExtractor(ctx, &opts, layout, root)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	// Extractors that understand cancellation get the attack's context;
 	// a caller-supplied extractor may opt in by implementing the same
-	// SetContext method. Telemetry is wired the same way.
+	// SetContext method. Telemetry is wired the same way. (For an
+	// extractor the calibration probe selected this also replaces the
+	// probe's deadline context with the attack's.)
 	if ca, ok := ext.(interface{ SetContext(context.Context) }); ok {
 		ca.SetContext(ctx)
 	}
@@ -170,9 +168,6 @@ func Run(opts Options) (*Result, error) {
 	if la, ok := ext.(interface{ SetLegacyEncoding(bool) }); ok {
 		la.SetLegacyEncoding(opts.LegacyEncoding)
 	}
-
-	root := opts.Telemetry.StartSpan("attack")
-	defer root.End()
 	a := &attack{opts: opts, layout: layout, ext: ext, ctx: ctx,
 		tel: opts.Telemetry, root: root,
 		rng: rand.New(rand.NewSource(opts.Seed ^ 0x5eed))}
@@ -1145,61 +1140,48 @@ func (a *attack) embedBlockPattern(block uint64) []bool {
 }
 
 // verifyKeyOnDIPs replays every extracted DIP against the oracle under
-// the candidate key, in 64-pattern batches — the O(m) final check.
+// the candidate key — the O(m) final check. Batches of 64 patterns are
+// buffered eight at a time: the oracle side drains a whole group through
+// BatchOracle.EvalMany when the oracle offers it, and the locked-netlist
+// side replays the group in one 512-lane simulator pass.
 func (a *attack) verifyKeyOnDIPs(key []bool, st *structured) error {
 	sim, err := netlist.NewSimulator(a.opts.Locked)
 	if err != nil {
 		return err
 	}
 	nIn := a.opts.Locked.NumInputs()
-	keyWords := make([]uint64, len(key))
+	key8 := make([][8]uint64, len(key))
 	for i, b := range key {
 		if b {
-			keyWords[i] = ^uint64(0)
+			for j := range key8[i] {
+				key8[i][j] = ^uint64(0)
+			}
 		}
 	}
 	all := st.dips.Elements()
-	in := make([]uint64, nIn)
-	for base := 0; base < len(all); base += 64 {
-		if err := a.ctxErr(); err != nil {
-			return err
-		}
-		end := base + 64
-		if end > len(all) {
-			end = len(all)
-		}
-		chunk := all[base:end]
-		for i := range in {
-			in[i] = a.rng.Uint64()
-		}
-		for i, pos := range a.layout.InputPos {
-			var w uint64
-			for l, p := range chunk {
-				if p&(1<<uint(i)) != 0 {
-					w |= 1 << uint(l)
-				}
-			}
-			in[pos] = w
-		}
-		want, err := a.opts.Oracle.Query64(in)
-		if err != nil {
-			return err
-		}
-		a.countQueries(uint64(len(chunk)))
-		got, err := sim.Run64(in, keyWords)
-		if err != nil {
-			return err
-		}
+
+	const group = 8
+	ins := make([][]uint64, group)
+	for g := range ins {
+		ins[g] = make([]uint64, nIn)
+	}
+	lens := make([]int, group)
+	in8 := make([][8]uint64, nIn)
+	batchOrc, _ := a.opts.Oracle.(oracle.BatchOracle)
+
+	// checkBatch compares one 64-pattern batch, falling back to the
+	// targeted per-lane re-query protocol on mismatch.
+	checkBatch := func(in, want []uint64, got func(o int) uint64, lanes int) error {
 		laneMask := ^uint64(0)
-		if len(chunk) < 64 {
-			laneMask = (uint64(1) << uint(len(chunk))) - 1
+		if lanes < 64 {
+			laneMask = (uint64(1) << uint(lanes)) - 1
 		}
 		var badLanes uint64
 		for i := range want {
-			badLanes |= (want[i] ^ got[i]) & laneMask
+			badLanes |= (want[i] ^ got(i)) & laneMask
 		}
 		if badLanes == 0 {
-			continue
+			return nil
 		}
 		if a.opts.MismatchRetries <= 0 {
 			return fmt.Errorf("core: candidate key disagrees with the oracle on an extracted DIP")
@@ -1221,8 +1203,103 @@ func (a *attack) verifyKeyOnDIPs(key []bool, st *structured) error {
 				return fmt.Errorf("core: candidate key disagrees with the oracle on an extracted DIP")
 			}
 		}
+		return nil
 	}
-	return nil
+
+	flush := func(gN int) error {
+		if gN == 0 {
+			return nil
+		}
+		// Oracle side: one EvalMany for the whole group when available.
+		var wants [][]uint64
+		if batchOrc != nil && gN > 1 {
+			var err error
+			wants, err = batchOrc.EvalMany(ins[:gN])
+			if err != nil {
+				return err
+			}
+		} else {
+			wants = make([][]uint64, gN)
+			for g := 0; g < gN; g++ {
+				w, err := a.opts.Oracle.Query64(ins[g])
+				if err != nil {
+					return err
+				}
+				wants[g] = append([]uint64(nil), w...)
+			}
+		}
+		for g := 0; g < gN; g++ {
+			a.countQueries(uint64(lens[g]))
+		}
+		// Candidate side: a full group replays through the 512-lane
+		// kernel; a short tail group runs batch by batch.
+		if gN == group {
+			for i := 0; i < nIn; i++ {
+				for g := 0; g < group; g++ {
+					in8[i][g] = ins[g][i]
+				}
+			}
+			got8, err := sim.Run512(in8, key8)
+			if err != nil {
+				return err
+			}
+			for g := 0; g < group; g++ {
+				g := g
+				if err := checkBatch(ins[g], wants[g], func(o int) uint64 { return got8[o][g] }, lens[g]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		keyWords := make([]uint64, len(key))
+		for i := range key8 {
+			keyWords[i] = key8[i][0]
+		}
+		for g := 0; g < gN; g++ {
+			got, err := sim.Run64(ins[g], keyWords)
+			if err != nil {
+				return err
+			}
+			if err := checkBatch(ins[g], wants[g], func(o int) uint64 { return got[o] }, lens[g]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	gN := 0
+	for base := 0; base < len(all); base += 64 {
+		if err := a.ctxErr(); err != nil {
+			return err
+		}
+		end := base + 64
+		if end > len(all) {
+			end = len(all)
+		}
+		chunk := all[base:end]
+		in := ins[gN]
+		for i := range in {
+			in[i] = a.rng.Uint64()
+		}
+		for i, pos := range a.layout.InputPos {
+			var w uint64
+			for l, p := range chunk {
+				if p&(1<<uint(i)) != 0 {
+					w |= 1 << uint(l)
+				}
+			}
+			in[pos] = w
+		}
+		lens[gN] = len(chunk)
+		gN++
+		if gN == group {
+			if err := flush(group); err != nil {
+				return err
+			}
+			gN = 0
+		}
+	}
+	return flush(gN)
 }
 
 func (a *attack) report(active int, calib uint64, st *structured, aActive, aCalib uint64, key []bool) *Result {

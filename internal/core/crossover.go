@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/telemetry"
+)
+
+// This file implements the self-tuning SAT/sim regime boundary. The
+// attack has two exact DIP-set extractors — the paper's SAT enumeration
+// and exhaustive bit-parallel simulation — whose relative cost depends
+// on block width, netlist structure, and how much the persistent engine
+// benefits from incremental solving. A fixed width cutoff (the old
+// SATWidthLimit = 12 rule) is mis-calibrated in both directions, so when
+// the caller does not pin a limit we measure: a few timed wide-kernel
+// simulation batches extrapolate to the exhaustive-walk cost, and a
+// conflict-budgeted engine probe (deadline-sliced via the engine's EWMA
+// budgeter) tries to beat that estimate on the real first-hypothesis
+// assignment. Whichever side wins the probe runs the attack; the probe's
+// engine work is not wasted, since the winning SAT engine keeps its
+// learned clauses for the attack proper.
+
+const (
+	// legacySATWidthLimit is the historical fixed crossover, applied when
+	// the caller pins SATWidthLimit (any value > 0 replaces it) or runs
+	// the legacy encoding path, where probe timings would not transfer.
+	legacySATWidthLimit = 12
+
+	// crossoverSimProbeBatches is how many 64-pattern batches the sim
+	// probe times (a multiple of the widest lane group).
+	crossoverSimProbeBatches = 64
+
+	// crossoverSimFloor short-circuits the SAT probe: when the full
+	// exhaustive walk is estimated below this, simulation is already
+	// cheaper than setting up an engine probe.
+	crossoverSimFloor = 2 * time.Millisecond
+
+	// crossoverProbeCap bounds the SAT probe's deadline regardless of how
+	// slow simulation is predicted to be, so calibration stays a small
+	// constant slice of the attack.
+	crossoverProbeCap = 250 * time.Millisecond
+
+	// crossoverMaxProbeDIPs bails the SAT probe once this many DIPs have
+	// been enumerated: per-DIP blocking work scales linearly, so a set
+	// this large is decided on the count, not the clock.
+	crossoverMaxProbeDIPs = 1 << 16
+)
+
+// lemma1Assign is the attack's first-hypothesis pair assignment (copy A
+// carries key 1 on block 1, copy B all zeros) — the probe measures the
+// exact workload the enumerate phase runs first.
+func lemma1Assign(locked *netlist.Circuit, layout *BlockLayout) PairAssign {
+	a := PairAssign{A: make([]bool, locked.NumKeys()), B: make([]bool, locked.NumKeys())}
+	for _, pos := range layout.Key1Pos {
+		a.A[pos] = true
+	}
+	return a
+}
+
+// newCalibratedSim builds the simulation extractor configured per opts.
+func newCalibratedSim(opts *Options, layout *BlockLayout) (*SimExtractor, error) {
+	se, err := NewSimExtractor(opts.Locked, layout, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	se.SetWorkers(opts.Workers)
+	return se, nil
+}
+
+// chooseExtractor resolves the DIP-set engine when Options.Extractor is
+// nil. A pinned SATWidthLimit (> 0) or the legacy encoding path keeps
+// the historical fixed-width rule; otherwise a per-instance calibration
+// probe picks the cheaper engine empirically. The decision, both probe
+// costs, and the block width land in crossover_* metrics, and the
+// probe runs under a "calibrate" child span of root.
+func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, root *telemetry.Span) (Extractor, error) {
+	tel := opts.Telemetry
+	n := layout.N()
+	if opts.SATWidthLimit > 0 || opts.LegacyEncoding {
+		tel.Counter("crossover_pinned_total").Inc()
+		limit := opts.SATWidthLimit
+		if limit <= 0 {
+			limit = legacySATWidthLimit
+		}
+		if n <= limit {
+			return NewSATExtractor(opts.Locked, layout)
+		}
+		return newCalibratedSim(opts, layout)
+	}
+
+	tel.Counter("crossover_probes_total").Inc()
+	tel.Gauge("crossover_block_width").Set(int64(n))
+	sp := root.Child("calibrate")
+	defer func() {
+		d := sp.End()
+		tel.Histogram(telemetry.Label("attack_phase_seconds", "phase", "calibrate"),
+			telemetry.DurationBuckets).Observe(d.Seconds())
+	}()
+	pick := func(engine, reason string, ext Extractor) Extractor {
+		sp.SetArg("engine", engine)
+		sp.SetArg("reason", reason)
+		tel.Counter(telemetry.Label("crossover_selected_total", "engine", engine)).Inc()
+		return ext
+	}
+
+	se, simErr := newCalibratedSim(opts, layout)
+	if simErr != nil {
+		if n > 30 {
+			// Neither engine can take the instance (the SAT extractor caps
+			// at 30 chain inputs).
+			return nil, simErr
+		}
+		satExt, err := NewSATExtractor(opts.Locked, layout)
+		if err != nil {
+			return nil, err
+		}
+		return pick("sat", "sim-unavailable", satExt), nil
+	}
+	if n > 30 {
+		return pick("sim", "beyond-sat-cap", se), nil
+	}
+
+	// Sim probe: time a few wide batches of the first-hypothesis
+	// enumeration and extrapolate to the full exhaustive walk, divided
+	// across the shard workers the real run would use.
+	assign := lemma1Assign(opts.Locked, layout)
+	p, err := se.prepare(assign)
+	if err != nil {
+		return nil, err
+	}
+	nBatches := p.numBatches()
+	probeB := uint64(crossoverSimProbeBatches)
+	if probeB > nBatches {
+		probeB = nBatches
+	}
+	simStart := time.Now()
+	if err := p.enumerateShard(nil, 0, probeB, func(uint64, []uint64) {}); err != nil {
+		return nil, err
+	}
+	perBatch := time.Since(simStart) / time.Duration(probeB)
+	if perBatch <= 0 {
+		perBatch = 1
+	}
+	simEst := perBatch * time.Duration(nBatches) / time.Duration(se.shardPlan(nBatches))
+	tel.Gauge("crossover_sim_probe_ns").Set(int64(simEst))
+	sp.SetArg("sim_est_ns", strconv.FormatInt(int64(simEst), 10))
+	if simEst <= crossoverSimFloor {
+		return pick("sim", "sim-floor", se), nil
+	}
+
+	// SAT probe: give the persistent engine a deadline equal to the sim
+	// estimate (capped) and let it race the same enumeration. The
+	// engine's budgeter slices its Solve calls against that deadline.
+	satExt, err := NewSATExtractor(opts.Locked, layout)
+	if err != nil {
+		return pick("sim", "sat-unavailable", se), nil
+	}
+	budget := simEst
+	if budget > crossoverProbeCap {
+		budget = crossoverProbeCap
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	satExt.SetContext(probeCtx)
+	satExt.SetTelemetry(tel)
+	satExt.SetPhase("calibrate")
+	eng, err := satExt.Engine()
+	if err != nil || eng == nil {
+		return pick("sim", "engine-unavailable", se), nil
+	}
+	satStart := time.Now()
+	var dips uint64
+	overflow := false
+	enumErr := eng.EnumerateDIPs(assign.A, assign.B, func(uint64) bool {
+		dips++
+		if dips >= crossoverMaxProbeDIPs {
+			overflow = true
+			return false
+		}
+		return true
+	})
+	satNs := time.Since(satStart)
+	tel.Gauge("crossover_sat_probe_ns").Set(int64(satNs))
+	sp.SetArg("sat_probe_ns", strconv.FormatInt(int64(satNs), 10))
+	sp.SetArg("sat_probe_dips", strconv.FormatUint(dips, 10))
+	if enumErr == nil && !overflow {
+		// The engine finished the first hypothesis' full enumeration
+		// inside the sim estimate; it keeps the learned clauses, so the
+		// attack's own extraction replays at assumption-switch cost.
+		return pick("sat", "probe-won", satExt), nil
+	}
+	reason := "probe-timeout"
+	if overflow {
+		reason = "probe-dip-overflow"
+	}
+	return pick("sim", reason, se), nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/netlist"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// widthInstance locks a CAS instance with an n-input chain over a small
+// random host (the shape parallelBenchInstance uses, parameterized by
+// width) and returns the locked circuit with its discovered layout.
+func widthInstance(t *testing.T, n int, seed int64) (*netlist.Circuit, *BlockLayout) {
+	t.Helper()
+	host, err := synth.Generate(synth.Config{Name: "h", Inputs: n + 4, Outputs: 3, Gates: 60, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := make(lock.ChainConfig, n-1)
+	for i := range chain {
+		if i%4 == 2 {
+			chain[i] = lock.ChainOr
+		}
+	}
+	chain[n-2] = lock.ChainAnd
+	locked, _, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := DiscoverLayout(locked.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return locked.Circuit, layout
+}
+
+// TestSimExtractorLaneWidthsBitIdentical is the wide-kernel acceptance
+// property at the extractor level: every lane width × worker count
+// produces the same DIP set, across widths that exercise the partial
+// single-batch space (n < 6), the scalar-only edge (too few batches for
+// a wide group), exactly one 512-lane group, and a long wide walk with
+// remainder tail. The SAT extractor must agree on the same assignments.
+func TestSimExtractorLaneWidthsBitIdentical(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 9, 13} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			lockedC, layout := widthInstance(t, n, int64(100+n))
+			assign := lemma1Assign(lockedC, layout)
+
+			var want *DIPSet
+			for _, lanes := range []int{64, 256, 512, 0} {
+				for _, workers := range []int{1, 2, 3} {
+					ext, err := NewSimExtractor(lockedC, layout, 7)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ext.SetLaneWidth(lanes); err != nil {
+						t.Fatal(err)
+					}
+					ext.SetWorkers(workers)
+					dips, err := ext.DIPs(assign)
+					if err != nil {
+						t.Fatalf("lanes=%d workers=%d: %v", lanes, workers, err)
+					}
+					if want == nil {
+						want = dips
+						continue
+					}
+					if !dips.Equal(want) {
+						t.Fatalf("lanes=%d workers=%d: DIP set differs (%d vs %d DIPs)",
+							lanes, workers, dips.Count(), want.Count())
+					}
+				}
+			}
+
+			satExt, err := NewSATExtractor(lockedC, layout)
+			if err != nil {
+				t.Fatal(err)
+			}
+			satDips, err := satExt.DIPs(assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !satDips.Equal(want) {
+				t.Fatalf("SAT extractor disagrees with simulation (%d vs %d DIPs)",
+					satDips.Count(), want.Count())
+			}
+		})
+	}
+}
+
+func TestSetLaneWidthValidation(t *testing.T) {
+	lockedC, layout := widthInstance(t, 5, 1)
+	ext, err := NewSimExtractor(lockedC, layout, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 1, 63, 128, 1024} {
+		if err := ext.SetLaneWidth(bad); err == nil {
+			t.Errorf("SetLaneWidth(%d) accepted", bad)
+		}
+	}
+	if err := ext.SetLaneWidth(256); err != nil {
+		t.Fatal(err)
+	}
+	if got := ext.LaneWidth(); got != 256 {
+		t.Errorf("LaneWidth = %d, want 256", got)
+	}
+	if err := ext.SetLaneWidth(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ext.LaneWidth(); got != 0 {
+		t.Errorf("LaneWidth after reset = %d, want 0 (auto)", got)
+	}
+}
+
+// TestCrossoverAutoCalibration runs the full attack with SATWidthLimit
+// left at 0 and asserts both that the recovered key is correct and that
+// the calibration probe is visible in the crossover_* telemetry family.
+func TestCrossoverAutoCalibration(t *testing.T) {
+	lockedC, inst, h := lockedInstance(t, "2A-O-A", 21)
+	tel := telemetry.New()
+	res, err := Run(Options{
+		Locked: lockedC, Oracle: oracle.MustNewSim(h), Seed: 22, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IsCorrectCASKey(res.Key) {
+		t.Fatal("auto-calibrated attack recovered a wrong key")
+	}
+	if got := tel.Counter("crossover_probes_total").Value(); got != 1 {
+		t.Errorf("crossover_probes_total = %d, want 1", got)
+	}
+	if got := tel.Counter("crossover_pinned_total").Value(); got != 0 {
+		t.Errorf("crossover_pinned_total = %d, want 0", got)
+	}
+	selected := tel.Counter(telemetry.Label("crossover_selected_total", "engine", "sim")).Value() +
+		tel.Counter(telemetry.Label("crossover_selected_total", "engine", "sat")).Value()
+	if selected != 1 {
+		t.Errorf("crossover_selected_total across engines = %d, want 1", selected)
+	}
+	if got := tel.Gauge("crossover_block_width").Value(); got != 5 {
+		t.Errorf("crossover_block_width = %d, want 5", got)
+	}
+}
+
+// TestCrossoverPinned asserts a positive SATWidthLimit (and the legacy
+// encoding path) bypass the probe and keep the historical fixed rule.
+func TestCrossoverPinned(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts func(o *Options)
+	}{
+		{"width-limit", func(o *Options) { o.SATWidthLimit = 12 }},
+		{"legacy-encoding", func(o *Options) { o.LegacyEncoding = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lockedC, inst, h := lockedInstance(t, "2A-O-A", 31)
+			tel := telemetry.New()
+			opts := Options{Locked: lockedC, Oracle: oracle.MustNewSim(h), Seed: 32, Telemetry: tel}
+			tc.opts(&opts)
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !inst.IsCorrectCASKey(res.Key) {
+				t.Fatal("pinned attack recovered a wrong key")
+			}
+			if got := tel.Counter("crossover_pinned_total").Value(); got != 1 {
+				t.Errorf("crossover_pinned_total = %d, want 1", got)
+			}
+			if got := tel.Counter("crossover_probes_total").Value(); got != 0 {
+				t.Errorf("crossover_probes_total = %d, want 0", got)
+			}
+		})
+	}
+}

@@ -78,6 +78,14 @@ func (s *DIPSet) setWord(b uint64, w uint64) {
 	s.words[b] = w
 }
 
+// setWords deposits a word-aligned run of 64-pattern membership masks
+// starting at word index b — the wide-lane (256/512) counterpart of
+// setWord, landing a whole simulation group in one copy. The same
+// disjoint-ownership rule applies per word.
+func (s *DIPSet) setWords(b uint64, ws []uint64) {
+	copy(s.words[b:], ws)
+}
+
 // word returns the membership mask of word index b.
 func (s *DIPSet) word(b uint64) uint64 { return s.words[b] }
 

@@ -98,7 +98,9 @@ func TestEngineEncodesOnceAcrossAttack(t *testing.T) {
 		t.Fatal(err)
 	}
 	tel := telemetry.New()
-	res, err := Run(Options{Locked: locked.Circuit, Oracle: orc, Telemetry: tel})
+	// SATWidthLimit pins the SAT regime: the engine contract under test
+	// only applies when the SAT extractor runs the attack.
+	res, err := Run(Options{Locked: locked.Circuit, Oracle: orc, Telemetry: tel, SATWidthLimit: 12})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -447,16 +447,17 @@ type simOp struct {
 // owns, so the merge is free and the result is bit-identical for every
 // worker count.
 type SimExtractor struct {
-	layout  *BlockLayout
-	n       int
-	nKeys   int
-	ops     []simOp
-	outRegs []int
-	regs    int // register count of the compiled cone (excluding copies)
-	count   int
-	workers int                 // 0 = GOMAXPROCS
-	ctx     context.Context     // nil = never cancelled
-	tel     *telemetry.Registry // nil = uninstrumented
+	layout    *BlockLayout
+	n         int
+	nKeys     int
+	ops       []simOp
+	outRegs   []int
+	regs      int // register count of the compiled cone (excluding copies)
+	count     int
+	workers   int                 // 0 = GOMAXPROCS
+	laneWords int                 // words per batch group: 0 = auto (8), 1/4/8 = 64/256/512 lanes
+	ctx       context.Context     // nil = never cancelled
+	tel       *telemetry.Registry // nil = uninstrumented
 }
 
 // NewSimExtractor compiles the key cone of the locked circuit and
@@ -536,6 +537,44 @@ func (e *SimExtractor) Extractions() int { return e.count }
 // the worker count.
 func (e *SimExtractor) SetWorkers(k int) { e.workers = k }
 
+// SetLaneWidth pins the bit-parallel lane width of subsequent
+// enumerations: 64 (one word per batch), 256, or 512 (stride-4/8
+// register banks executing 4/8 batches per program pass). 0 — the
+// default — auto-selects the widest kernel (512). The result is
+// bit-identical for every width.
+func (e *SimExtractor) SetLaneWidth(lanes int) error {
+	switch lanes {
+	case 0:
+		e.laneWords = 0
+	case 64:
+		e.laneWords = 1
+	case 256:
+		e.laneWords = 4
+	case 512:
+		e.laneWords = 8
+	default:
+		return fmt.Errorf("core: lane width %d not one of 0 (auto), 64, 256, 512", lanes)
+	}
+	return nil
+}
+
+// LaneWidth reports the configured lane width in bit-parallel patterns
+// (0 = auto, currently 512).
+func (e *SimExtractor) LaneWidth() int {
+	if e.laneWords == 0 {
+		return 0
+	}
+	return e.laneWords * 64
+}
+
+// resolveLaneWords maps the configured lane width to words per group.
+func (e *SimExtractor) resolveLaneWords() int {
+	if e.laneWords == 0 {
+		return 8
+	}
+	return e.laneWords
+}
+
 // Workers reports the configured worker count (0 = GOMAXPROCS).
 func (e *SimExtractor) Workers() int { return e.workers }
 
@@ -573,48 +612,53 @@ func (e *SimExtractor) shardPlan(nBatches uint64) int {
 	return w
 }
 
-// Opcode space of the prepared program's hot loop.
-const (
-	pAnd uint8 = iota
-	pNand
-	pOr
-	pNor
-	pXor
-	pXnor
-	pNot
-	pBuf
-	pWide // fanin > 2: evaluated generically via wide list
-)
-
-type pop struct {
-	code uint8
-	typ  netlist.GateType // for pWide
-	a, b int32
-	dst  int32
-	wide []int32
-}
-
 // prepared is a per-assignment compiled program: registers carry the key
 // constants of copy A (and, for keys whose two copies differ, a second
 // register with copy B's value); gates untouched by differing keys are
-// evaluated once and shared, the rest are duplicated.
+// evaluated once and shared, the rest are duplicated. The instruction
+// stream is a netlist.Program, so the same compiled assignment executes
+// at 64, 256, or 512 lanes (see enumerateShard).
 //
-// ops and outs are immutable after prepare; regs is the mutable register
-// bank the hot loop writes, so a prepared program serves ONE goroutine —
-// shard workers run on clones (see clone).
+// prog and outs are immutable after prepare; regs (and the lazily built
+// wide bank) are the mutable register files the hot loop writes, so a
+// prepared program serves ONE goroutine — shard workers run on clones
+// (see clone).
 type prepared struct {
-	n    int
-	ops  []pop
-	regs []uint64   // template: key constants baked in, inputs written per batch
-	outs [][2]int32 // (A,B) register pairs whose XOR is the disagreement
+	n     int
+	width int // words per batch group (1, 4, or 8)
+	prog  *netlist.Program
+	regs  []uint64   // width-1 template: key constants baked in, inputs written per batch
+	outs  [][2]int32 // (A,B) register pairs whose XOR is the disagreement
+	wide  []uint64   // stride-`width` bank, materialized from regs on first wide use
 }
 
-// clone returns a copy with a private register bank; the compiled ops
-// and output pairs are shared read-only.
+// clone returns a copy with a private register bank; the compiled
+// program and output pairs are shared read-only.
 func (p *prepared) clone() *prepared {
 	q := *p
 	q.regs = append([]uint64(nil), p.regs...)
+	q.wide = nil
 	return &q
+}
+
+// bank returns the stride-`width` register bank, replicating the
+// width-1 template (key constants, zero register) into every word slot
+// on first use. Chain-input registers are overwritten per group by the
+// enumeration loop.
+func (p *prepared) bank() []uint64 {
+	if p.wide == nil {
+		w := p.width
+		p.wide = make([]uint64, len(p.regs)*w)
+		for r, v := range p.regs {
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < w; j++ {
+				p.wide[r*w+j] = v
+			}
+		}
+	}
+	return p.wide
 }
 
 // prepare compiles the cone for one key-pair assignment.
@@ -644,45 +688,7 @@ func (e *SimExtractor) prepare(assign PairAssign) (*prepared, error) {
 			keyVals = append(keyVals, kv{bReg[r], assign.B[i]})
 		}
 	}
-	p := &prepared{n: e.n}
-	emit := func(typ netlist.GateType, dst int32, args []int32) {
-		op := pop{dst: dst}
-		switch typ {
-		case netlist.And:
-			op.code = pAnd
-		case netlist.Nand:
-			op.code = pNand
-		case netlist.Or:
-			op.code = pOr
-		case netlist.Nor:
-			op.code = pNor
-		case netlist.Xor:
-			op.code = pXor
-		case netlist.Xnor:
-			op.code = pXnor
-		case netlist.Not:
-			op.code = pNot
-		case netlist.Buf:
-			op.code = pBuf
-		}
-		if len(args) > 2 {
-			op.code = pWide
-			op.typ = typ
-			op.wide = args
-		} else {
-			op.a = args[0]
-			if len(args) > 1 {
-				op.b = args[1]
-			} else {
-				op.b = args[0]
-			}
-			switch typ {
-			case netlist.Not, netlist.Buf:
-				op.b = op.a
-			}
-		}
-		p.ops = append(p.ops, op)
-	}
+	p := &prepared{n: e.n, width: e.resolveLaneWords(), prog: netlist.NewProgram(0)}
 	for _, op := range e.ops {
 		isDyn := false
 		argsA := make([]int32, len(op.args))
@@ -696,7 +702,9 @@ func (e *SimExtractor) prepare(assign PairAssign) (*prepared, error) {
 				isDyn = true
 			}
 		}
-		emit(op.typ, int32(op.dst), argsA)
+		if err := p.prog.Emit(op.typ, int32(op.dst), argsA); err != nil {
+			return nil, err
+		}
 		if isDyn {
 			dyn[op.dst] = true
 			bReg[op.dst] = int32(next)
@@ -709,7 +717,9 @@ func (e *SimExtractor) prepare(assign PairAssign) (*prepared, error) {
 					argsB[i] = bReg[a]
 				}
 			}
-			emit(op.typ, bReg[op.dst], argsB)
+			if err := p.prog.Emit(op.typ, bReg[op.dst], argsB); err != nil {
+				return nil, err
+			}
 		}
 	}
 	p.regs = make([]uint64, next)
@@ -727,40 +737,12 @@ func (e *SimExtractor) prepare(assign PairAssign) (*prepared, error) {
 }
 
 // diff evaluates 64 packed block patterns and returns the per-lane
-// disagreement mask. This is the extraction hot loop.
+// disagreement mask: the width-1 execution of the compiled program,
+// used by the sampling/self-check paths and the wide loop's tail.
 func (p *prepared) diff(block []uint64) uint64 {
 	regs := p.regs
-	for i := 0; i < p.n; i++ {
-		regs[i] = block[i]
-	}
-	for i := range p.ops {
-		op := &p.ops[i]
-		switch op.code {
-		case pAnd:
-			regs[op.dst] = regs[op.a] & regs[op.b]
-		case pNand:
-			regs[op.dst] = ^(regs[op.a] & regs[op.b])
-		case pOr:
-			regs[op.dst] = regs[op.a] | regs[op.b]
-		case pNor:
-			regs[op.dst] = ^(regs[op.a] | regs[op.b])
-		case pXor:
-			regs[op.dst] = regs[op.a] ^ regs[op.b]
-		case pXnor:
-			regs[op.dst] = ^(regs[op.a] ^ regs[op.b])
-		case pNot:
-			regs[op.dst] = ^regs[op.a]
-		case pBuf:
-			regs[op.dst] = regs[op.a]
-		default:
-			var fanin [8]uint64
-			in := fanin[:0]
-			for _, a := range op.wide {
-				in = append(in, regs[a])
-			}
-			regs[op.dst] = op.typ.Eval64(in)
-		}
-	}
+	copy(regs[:p.n], block)
+	p.prog.Exec(regs)
 	var d uint64
 	for _, o := range p.outs {
 		d |= regs[o[0]] ^ regs[o[1]]
@@ -793,19 +775,73 @@ func (p *prepared) numBatches() uint64 {
 const ctxPollMask = 255
 
 // enumerateShard walks batches [startB, endB) of the block space,
-// invoking visit with the base pattern and the (lane-masked)
-// disagreement mask of each 64-pattern batch. A non-nil ctx is polled
-// every ctxPollMask+1 batches; on expiry the walk stops early and the
+// invoking visit with a starting batch index b and the (lane-masked)
+// disagreement masks of the batches b, b+1, …, b+len(diffs)-1 — batch b
+// covers patterns [b·64, b·64+64). With a wide lane width the main loop
+// executes the compiled program once per 4/8-batch group over a strided
+// register bank, so visit receives word-aligned runs ready for direct
+// bitset deposit; the remainder (and every width-64 walk) runs the
+// scalar kernel one batch at a time. A non-nil ctx is polled every
+// ctxPollMask+1 batches; on expiry the walk stops early and the
 // context's error is returned. Callers running shards concurrently must
 // give each shard its own prepared clone.
-func (p *prepared) enumerateShard(ctx context.Context, startB, endB uint64, visit func(base, diff uint64)) error {
+func (p *prepared) enumerateShard(ctx context.Context, startB, endB uint64, visit func(b uint64, diffs []uint64)) error {
 	n := p.n
+	b := startB
+	if w := uint64(p.width); w > 1 && n > 6 && b+w <= endB {
+		bank := p.bank()
+		W := p.width
+		for i := 0; i < 6; i++ {
+			pat := lanePattern(i)
+			for j := 0; j < W; j++ {
+				bank[i*W+j] = pat
+			}
+		}
+		diffs := make([]uint64, W)
+		for ; b+w <= endB; b += w {
+			if ctx != nil && b&ctxPollMask < w {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			for i := 6; i < n; i++ {
+				bit := uint64(1) << uint(i-6)
+				row := bank[i*W : i*W+W]
+				for j := range row {
+					if (b+uint64(j))&bit != 0 {
+						row[j] = ^uint64(0)
+					} else {
+						row[j] = 0
+					}
+				}
+			}
+			if W == 8 {
+				p.prog.Exec512(bank)
+			} else {
+				p.prog.Exec256(bank)
+			}
+			for j := range diffs {
+				diffs[j] = 0
+			}
+			for _, o := range p.outs {
+				oa := bank[int(o[0])*W : int(o[0])*W+W]
+				ob := bank[int(o[1])*W : int(o[1])*W+W]
+				for j := 0; j < W; j++ {
+					diffs[j] |= oa[j] ^ ob[j]
+				}
+			}
+			visit(b, diffs)
+		}
+	}
+	// Scalar kernel: width-64 walks, n ≤ 6 single-batch spaces, and the
+	// tail of a wide walk.
 	mask := p.laneMask()
 	block := make([]uint64, n)
 	for i := 0; i < n && i < 6; i++ {
 		block[i] = lanePattern(i)
 	}
-	for b := startB; b < endB; b++ {
+	var one [1]uint64
+	for ; b < endB; b++ {
 		if ctx != nil && b&ctxPollMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -819,7 +855,8 @@ func (p *prepared) enumerateShard(ctx context.Context, startB, endB uint64, visi
 				block[i] = 0
 			}
 		}
-		visit(base, p.diff(block)&mask)
+		one[0] = p.diff(block) & mask
+		visit(b, one[:])
 	}
 	return nil
 }
@@ -907,8 +944,8 @@ func (e *SimExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	}
 	runSharded(p, nBatches, w, func(shard int, startB, endB uint64, pr *prepared) {
 		ssp := sp.ChildLane("shard", shard+1)
-		pr.enumerateShard(e.ctx, startB, endB, func(base, diff uint64) {
-			out.setWord(base>>6, diff)
+		pr.enumerateShard(e.ctx, startB, endB, func(b uint64, diffs []uint64) {
+			out.setWords(b, diffs)
 		})
 		if e.tel != nil {
 			ssp.SetArg("shard", strconv.Itoa(shard))
@@ -967,16 +1004,21 @@ func (e *SimExtractor) classesExact(p *prepared) (ClassSizes, error) {
 	nBatches := p.numBatches()
 	w := e.shardPlan(nBatches)
 	counts := make([][2]uint64, w) // per-shard accumulators: no sharing, no locks
+	topB := top >> 6               // batch-index form of the top bit for n > 6
 	runSharded(p, nBatches, w, func(shard int, startB, endB uint64, pr *prepared) {
 		var c0, c1 uint64
-		pr.enumerateShard(e.ctx, startB, endB, func(base, diff uint64) {
+		pr.enumerateShard(e.ctx, startB, endB, func(b uint64, diffs []uint64) {
 			if e.n <= 6 {
-				c1 += uint64(popcount64(diff & topMaskInWord))
-				c0 += uint64(popcount64(diff &^ topMaskInWord))
-			} else if base&top != 0 {
-				c1 += uint64(popcount64(diff))
-			} else {
-				c0 += uint64(popcount64(diff))
+				c1 += uint64(popcount64(diffs[0] & topMaskInWord))
+				c0 += uint64(popcount64(diffs[0] &^ topMaskInWord))
+				return
+			}
+			for j, d := range diffs {
+				if (b+uint64(j))&topB != 0 {
+					c1 += uint64(popcount64(d))
+				} else {
+					c0 += uint64(popcount64(d))
+				}
 			}
 		})
 		counts[shard] = [2]uint64{c0, c1}

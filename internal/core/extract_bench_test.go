@@ -41,7 +41,7 @@ func BenchmarkPreparedDiff(b *testing.B) {
 	for i := 0; i < 32 && i < 6; i++ {
 		block[i] = lanePattern(i)
 	}
-	b.ReportMetric(float64(len(p.ops)), "ops")
+	b.ReportMetric(float64(p.prog.Len()), "ops")
 	b.ResetTimer()
 	var sink uint64
 	for i := 0; i < b.N; i++ {

@@ -55,6 +55,18 @@ func MeasureCorruptibility(chainCfg string, samples int, seed int64) (*Corruptib
 	k1 := make([]bool, n)
 	k2 := make([]bool, n)
 	x := make([]uint64, n)
+	// Wide sweep state (n ≥ 9, where the word count is a multiple of 8):
+	// the 8-word banks of the low six inputs never change, so they are
+	// filled once outside the sample loop.
+	var x8 [][8]uint64
+	if n >= 9 {
+		x8 = make([][8]uint64, n)
+		for i := 0; i < 6; i++ {
+			for j := range x8[i] {
+				x8[i][j] = lanePatternWord(i)
+			}
+		}
+	}
 	for s := 0; s < samples; s++ {
 		// A uniformly random wrong key (rejection-sample out the 2^n
 		// correct ones, which are a 2^-n fraction).
@@ -68,24 +80,44 @@ func MeasureCorruptibility(chainCfg string, samples int, seed int64) (*Corruptib
 			}
 		}
 		corrupted := 0
-		for base := uint64(0); base < 1<<uint(n); base += 64 {
-			for i := 0; i < n; i++ {
-				if i < 6 {
-					x[i] = lanePatternWord(i)
-				} else if base&(1<<uint(i)) != 0 {
-					x[i] = ^uint64(0)
-				} else {
-					x[i] = 0
+		if n >= 9 {
+			nWords := uint64(1) << uint(n-6)
+			for w0 := uint64(0); w0 < nWords; w0 += 8 {
+				for i := 6; i < n; i++ {
+					bit := uint64(1) << uint(i-6)
+					for j := 0; j < 8; j++ {
+						if (w0+uint64(j))&bit != 0 {
+							x8[i][j] = ^uint64(0)
+						} else {
+							x8[i][j] = 0
+						}
+					}
+				}
+				g, gb := lock.EvalCASPair512(chain, kg1, kg2, k1, k2, x8)
+				for j := 0; j < 8; j++ {
+					corrupted += popcount(g[j] & gb[j])
 				}
 			}
-			g, gb := lock.EvalCASPair(chain, kg1, kg2, k1, k2, x)
-			flip := g & gb
-			if lim := (uint64(1) << uint(n)) - base; lim < 64 {
-				flip &= (uint64(1) << lim) - 1
-			}
-			corrupted += popcount(flip)
-			if uint64(1)<<uint(n) <= 64 {
-				break
+		} else {
+			for base := uint64(0); base < 1<<uint(n); base += 64 {
+				for i := 0; i < n; i++ {
+					if i < 6 {
+						x[i] = lanePatternWord(i)
+					} else if base&(1<<uint(i)) != 0 {
+						x[i] = ^uint64(0)
+					} else {
+						x[i] = 0
+					}
+				}
+				g, gb := lock.EvalCASPair(chain, kg1, kg2, k1, k2, x)
+				flip := g & gb
+				if lim := (uint64(1) << uint(n)) - base; lim < 64 {
+					flip &= (uint64(1) << lim) - 1
+				}
+				corrupted += popcount(flip)
+				if uint64(1)<<uint(n) <= 64 {
+					break
+				}
 			}
 		}
 		frac := float64(corrupted) / total

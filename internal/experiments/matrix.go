@@ -109,6 +109,10 @@ type MatrixOptions struct {
 	// LegacyEncoding disables the persistent incremental-SAT engine in
 	// the DIP-learning cells (see core.Options.LegacyEncoding).
 	LegacyEncoding bool
+	// SATWidthLimit pins the SAT/sim regime boundary in the DIP-learning
+	// cells; 0 auto-calibrates per instance (see
+	// core.Options.SATWidthLimit).
+	SATWidthLimit int
 }
 
 // newOracle builds one cell's oracle: the clean simulator, optionally
@@ -262,7 +266,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 		return fail("bypass circuit incorrect")
 	case "DIP-learning":
 		if scheme == "M-CAS" {
-			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding})
+			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit})
 			if err != nil {
 				return fail("failed: " + trimErr(err))
 			}
@@ -273,7 +277,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 			}
 			return fail("wrong key")
 		}
-		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding})
+		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit})
 		if err != nil {
 			return fail("n/a: " + trimErr(err))
 		}

@@ -3,26 +3,41 @@ package netlist
 import "fmt"
 
 // Simulator evaluates a circuit repeatedly while reusing internal buffers.
+// Construction compiles the circuit once into a flat instruction stream
+// (see Program); every run then executes the compiled program with no
+// per-gate dispatch or allocation, at 64, 256, or 512 bit-parallel lanes.
 // It is not safe for concurrent use; create one per goroutine.
 type Simulator struct {
-	c     *Circuit
-	order []ID
-	vals  []uint64 // bit-parallel node values
-	inBuf []uint64
+	c      *Circuit
+	prog   *Program
+	vals   []uint64 // width-1 register file, indexed by gate ID
+	outBuf []uint64 // Run64 output buffer (one word per primary output)
+
+	// Wide register banks, allocated on first use. Register i occupies
+	// words [i*stride, (i+1)*stride).
+	vals4 []uint64
+	out4  [][4]uint64
+	vals8 []uint64
+	out8  [][8]uint64
+
+	// Scalar Run pack/unpack scratch.
+	inW  []uint64
+	keyW []uint64
+	outB []bool
 }
 
 // NewSimulator prepares a simulator for the circuit. The circuit must be
 // acyclic; structural changes to the circuit after construction
 // invalidate the simulator.
 func NewSimulator(c *Circuit) (*Simulator, error) {
-	order, err := c.TopoOrder()
+	prog, err := CompileCircuit(c)
 	if err != nil {
 		return nil, err
 	}
 	return &Simulator{
-		c:     c,
-		order: order,
-		vals:  make([]uint64, c.NumGates()),
+		c:    c,
+		prog: prog,
+		vals: make([]uint64, c.NumGates()),
 	}, nil
 }
 
@@ -53,48 +68,113 @@ func (s *Simulator) Run64(in, key []uint64) ([]uint64, error) {
 	for i, id := range c.keys {
 		s.vals[id] = key[i]
 	}
-	var faninBuf [8]uint64
-	for _, id := range s.order {
-		g := &c.gates[id]
-		if g.Type == Input {
-			continue
-		}
-		fin := faninBuf[:0]
-		for _, f := range g.Fanin {
-			fin = append(fin, s.vals[f])
-		}
-		s.vals[id] = g.Type.Eval64(fin)
+	s.prog.Exec(s.vals)
+	if cap(s.outBuf) < c.NumOutputs() {
+		s.outBuf = make([]uint64, c.NumOutputs())
 	}
-	if cap(s.inBuf) < c.NumOutputs() {
-		s.inBuf = make([]uint64, c.NumOutputs())
-	}
-	out := s.inBuf[:c.NumOutputs()]
+	out := s.outBuf[:c.NumOutputs()]
 	for i, id := range c.outputs {
 		out[i] = s.vals[id]
 	}
 	return out, nil
 }
 
+// Run256 evaluates 256 packed patterns at once: element [j] of each
+// 4-word bank holds patterns 64j .. 64j+63. The returned slice holds one
+// bank per primary output and is owned by the simulator (valid until the
+// next Run256 call). NodeValue64 reflects only Run64/Run executions.
+func (s *Simulator) Run256(in, key [][4]uint64) ([][4]uint64, error) {
+	c := s.c
+	if len(in) != c.NumInputs() {
+		return nil, fmt.Errorf("netlist: Run256: got %d input banks, want %d", len(in), c.NumInputs())
+	}
+	if len(key) != c.NumKeys() {
+		return nil, fmt.Errorf("netlist: Run256: got %d key banks, want %d", len(key), c.NumKeys())
+	}
+	if s.vals4 == nil {
+		s.vals4 = make([]uint64, c.NumGates()*4)
+		s.out4 = make([][4]uint64, c.NumOutputs())
+	}
+	for i, id := range c.inputs {
+		copy(s.vals4[int(id)*4:], in[i][:])
+	}
+	for i, id := range c.keys {
+		copy(s.vals4[int(id)*4:], key[i][:])
+	}
+	s.prog.Exec256(s.vals4)
+	for i, id := range c.outputs {
+		copy(s.out4[i][:], s.vals4[int(id)*4:])
+	}
+	return s.out4, nil
+}
+
+// Run512 evaluates 512 packed patterns at once: element [j] of each
+// 8-word bank holds patterns 64j .. 64j+63. The returned slice holds one
+// bank per primary output and is owned by the simulator (valid until the
+// next Run512 call). NodeValue64 reflects only Run64/Run executions.
+func (s *Simulator) Run512(in, key [][8]uint64) ([][8]uint64, error) {
+	c := s.c
+	if len(in) != c.NumInputs() {
+		return nil, fmt.Errorf("netlist: Run512: got %d input banks, want %d", len(in), c.NumInputs())
+	}
+	if len(key) != c.NumKeys() {
+		return nil, fmt.Errorf("netlist: Run512: got %d key banks, want %d", len(key), c.NumKeys())
+	}
+	if s.vals8 == nil {
+		s.vals8 = make([]uint64, c.NumGates()*8)
+		s.out8 = make([][8]uint64, c.NumOutputs())
+	}
+	for i, id := range c.inputs {
+		copy(s.vals8[int(id)*8:], in[i][:])
+	}
+	for i, id := range c.keys {
+		copy(s.vals8[int(id)*8:], key[i][:])
+	}
+	s.prog.Exec512(s.vals8)
+	for i, id := range c.outputs {
+		copy(s.out8[i][:], s.vals8[int(id)*8:])
+	}
+	return s.out8, nil
+}
+
+// Program returns the simulator's compiled gate program. The register
+// file is indexed by gate ID; Input-type gates have no instructions.
+func (s *Simulator) Program() *Program { return s.prog }
+
 // Run evaluates a single pattern. The returned slice holds one bool per
-// primary output and is freshly allocated.
+// primary output and is owned by the simulator (valid until the next
+// Run call) — copy it before running the simulator again.
 func (s *Simulator) Run(in, key []bool) ([]bool, error) {
-	inW := make([]uint64, len(in))
-	keyW := make([]uint64, len(key))
+	if cap(s.inW) < len(in) {
+		s.inW = make([]uint64, len(in))
+	}
+	if cap(s.keyW) < len(key) {
+		s.keyW = make([]uint64, len(key))
+	}
+	inW := s.inW[:len(in)]
+	keyW := s.keyW[:len(key)]
 	for i, b := range in {
 		if b {
 			inW[i] = 1
+		} else {
+			inW[i] = 0
 		}
 	}
 	for i, b := range key {
 		if b {
 			keyW[i] = 1
+		} else {
+			keyW[i] = 0
 		}
 	}
 	w, err := s.Run64(inW, keyW)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]bool, len(w))
+	if cap(s.outB) < len(w) {
+		s.outB = make([]bool, len(w))
+	}
+	out := s.outB[:len(w)]
 	for i := range w {
 		out[i] = w[i]&1 != 0
 	}

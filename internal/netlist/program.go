@@ -1,0 +1,300 @@
+package netlist
+
+import "fmt"
+
+// This file implements compiled gate programs: a circuit's topological
+// order flattened into a flat instruction stream of fused two-input
+// operations over a dense register file. Compiling once removes the
+// per-gate dynamic dispatch (fanin gather + Eval64 type switch) from the
+// simulation hot loop, and the same program executes unchanged at word
+// widths 1, 4, and 8 (64/256/512 bit-parallel lanes) — the wide kernels
+// just stride the register file.
+
+// Program opcodes. Every op is at most two-input: n-ary gates are
+// decomposed at compile time into a chain of accumulating two-input ops
+// (see Emit), with the inverted variant fused into the final op.
+const (
+	opConst0 uint8 = iota
+	opConst1
+	opBuf
+	opNot
+	opAnd2
+	opNand2
+	opOr2
+	opNor2
+	opXor2
+	opXnor2
+)
+
+// progOp is one instruction: regs[dst] = code(regs[a], regs[b]).
+// Unary ops set b = a; constant ops set a = b = dst, so every operand of
+// every op is a valid register and the wide kernels can form their
+// array pointers unconditionally.
+type progOp struct {
+	code uint8
+	a    int32
+	b    int32
+	dst  int32
+}
+
+// Program is a compiled gate program. Build one with NewProgram + Emit
+// (in topological order), then execute it with Exec/Exec256/Exec512
+// over a caller-owned register file. Programs are immutable after
+// construction and safe for concurrent execution over distinct register
+// files.
+type Program struct {
+	ops  []progOp
+	regs int // register-file size in words (width 1)
+}
+
+// NewProgram returns an empty program whose register file holds at
+// least numRegs registers. Emit grows the file as needed.
+func NewProgram(numRegs int) *Program {
+	if numRegs < 0 {
+		numRegs = 0
+	}
+	return &Program{regs: numRegs}
+}
+
+// NumRegs returns the register-file size in registers. Exec needs a
+// slice of NumRegs() words; Exec256 and Exec512 need 4× and 8× that.
+func (p *Program) NumRegs() int { return p.regs }
+
+// Len returns the number of compiled instructions.
+func (p *Program) Len() int { return len(p.ops) }
+
+func (p *Program) grow(r int32) {
+	if int(r) >= p.regs {
+		p.regs = int(r) + 1
+	}
+}
+
+// Emit appends the instructions computing gate type t over the argument
+// registers into dst. n-ary gates decompose into an accumulate-into-dst
+// chain, which requires dst to not appear among args (always true when
+// compiling an acyclic circuit with fresh destination registers); Emit
+// rejects the aliasing rather than miscompute.
+func (p *Program) Emit(t GateType, dst int32, args []int32) error {
+	if dst < 0 {
+		return fmt.Errorf("netlist: Emit %s: negative dst register %d", t, dst)
+	}
+	for _, a := range args {
+		if a < 0 {
+			return fmt.Errorf("netlist: Emit %s: negative arg register %d", t, a)
+		}
+		if a == dst {
+			return fmt.Errorf("netlist: Emit %s: dst register %d aliases an argument", t, dst)
+		}
+		p.grow(a)
+	}
+	p.grow(dst)
+
+	switch t {
+	case Const0:
+		if len(args) != 0 {
+			return fmt.Errorf("netlist: Emit CONST0: got %d args, want 0", len(args))
+		}
+		p.ops = append(p.ops, progOp{code: opConst0, a: dst, b: dst, dst: dst})
+		return nil
+	case Const1:
+		if len(args) != 0 {
+			return fmt.Errorf("netlist: Emit CONST1: got %d args, want 0", len(args))
+		}
+		p.ops = append(p.ops, progOp{code: opConst1, a: dst, b: dst, dst: dst})
+		return nil
+	case Buf, Input:
+		if len(args) != 1 {
+			return fmt.Errorf("netlist: Emit %s: got %d args, want 1", t, len(args))
+		}
+		p.ops = append(p.ops, progOp{code: opBuf, a: args[0], b: args[0], dst: dst})
+		return nil
+	case Not:
+		if len(args) != 1 {
+			return fmt.Errorf("netlist: Emit NOT: got %d args, want 1", len(args))
+		}
+		p.ops = append(p.ops, progOp{code: opNot, a: args[0], b: args[0], dst: dst})
+		return nil
+	}
+
+	var base, inv uint8
+	switch t {
+	case And:
+		base, inv = opAnd2, opAnd2
+	case Nand:
+		base, inv = opAnd2, opNand2
+	case Or:
+		base, inv = opOr2, opOr2
+	case Nor:
+		base, inv = opOr2, opNor2
+	case Xor:
+		base, inv = opXor2, opXor2
+	case Xnor:
+		base, inv = opXor2, opXnor2
+	default:
+		return fmt.Errorf("netlist: Emit on invalid gate type %s", t)
+	}
+	if len(args) < 2 {
+		return fmt.Errorf("netlist: Emit %s: got %d args, want ≥ 2", t, len(args))
+	}
+	if len(args) == 2 {
+		// Fused two-input fast path: one op, inversion included.
+		p.ops = append(p.ops, progOp{code: inv, a: args[0], b: args[1], dst: dst})
+		return nil
+	}
+	// n-ary: accumulate into dst; the final op carries the inversion.
+	p.ops = append(p.ops, progOp{code: base, a: args[0], b: args[1], dst: dst})
+	for _, a := range args[2 : len(args)-1] {
+		p.ops = append(p.ops, progOp{code: base, a: dst, b: a, dst: dst})
+	}
+	p.ops = append(p.ops, progOp{code: inv, a: dst, b: args[len(args)-1], dst: dst})
+	return nil
+}
+
+// Exec runs the program over a width-1 register file (64 bit-parallel
+// lanes). len(regs) must be at least NumRegs().
+func (p *Program) Exec(regs []uint64) {
+	if p.regs == 0 {
+		return
+	}
+	regs = regs[:p.regs]
+	for i := range p.ops {
+		op := &p.ops[i]
+		switch op.code {
+		case opConst0:
+			regs[op.dst] = 0
+		case opConst1:
+			regs[op.dst] = ^uint64(0)
+		case opBuf:
+			regs[op.dst] = regs[op.a]
+		case opNot:
+			regs[op.dst] = ^regs[op.a]
+		case opAnd2:
+			regs[op.dst] = regs[op.a] & regs[op.b]
+		case opNand2:
+			regs[op.dst] = ^(regs[op.a] & regs[op.b])
+		case opOr2:
+			regs[op.dst] = regs[op.a] | regs[op.b]
+		case opNor2:
+			regs[op.dst] = ^(regs[op.a] | regs[op.b])
+		case opXor2:
+			regs[op.dst] = regs[op.a] ^ regs[op.b]
+		case opXnor2:
+			regs[op.dst] = ^(regs[op.a] ^ regs[op.b])
+		}
+	}
+}
+
+// Exec256 runs the program over a stride-4 register file (256 lanes):
+// register r occupies regs[4r : 4r+4]. len(regs) must be at least
+// 4 × NumRegs(). The per-op bodies are hand-unrolled over array
+// pointers so the compiler emits one bounds check per operand, not one
+// per word.
+func (p *Program) Exec256(regs []uint64) {
+	if p.regs == 0 {
+		return
+	}
+	regs = regs[:p.regs*4]
+	for i := range p.ops {
+		op := &p.ops[i]
+		a := (*[4]uint64)(regs[int(op.a)*4:])
+		b := (*[4]uint64)(regs[int(op.b)*4:])
+		d := (*[4]uint64)(regs[int(op.dst)*4:])
+		switch op.code {
+		case opConst0:
+			d[0], d[1], d[2], d[3] = 0, 0, 0, 0
+		case opConst1:
+			d[0], d[1], d[2], d[3] = ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)
+		case opBuf:
+			d[0], d[1], d[2], d[3] = a[0], a[1], a[2], a[3]
+		case opNot:
+			d[0], d[1], d[2], d[3] = ^a[0], ^a[1], ^a[2], ^a[3]
+		case opAnd2:
+			d[0], d[1], d[2], d[3] = a[0]&b[0], a[1]&b[1], a[2]&b[2], a[3]&b[3]
+		case opNand2:
+			d[0], d[1], d[2], d[3] = ^(a[0] & b[0]), ^(a[1] & b[1]), ^(a[2] & b[2]), ^(a[3] & b[3])
+		case opOr2:
+			d[0], d[1], d[2], d[3] = a[0]|b[0], a[1]|b[1], a[2]|b[2], a[3]|b[3]
+		case opNor2:
+			d[0], d[1], d[2], d[3] = ^(a[0] | b[0]), ^(a[1] | b[1]), ^(a[2] | b[2]), ^(a[3] | b[3])
+		case opXor2:
+			d[0], d[1], d[2], d[3] = a[0]^b[0], a[1]^b[1], a[2]^b[2], a[3]^b[3]
+		case opXnor2:
+			d[0], d[1], d[2], d[3] = ^(a[0] ^ b[0]), ^(a[1] ^ b[1]), ^(a[2] ^ b[2]), ^(a[3] ^ b[3])
+		}
+	}
+}
+
+// Exec512 runs the program over a stride-8 register file (512 lanes):
+// register r occupies regs[8r : 8r+8]. len(regs) must be at least
+// 8 × NumRegs().
+func (p *Program) Exec512(regs []uint64) {
+	if p.regs == 0 {
+		return
+	}
+	regs = regs[:p.regs*8]
+	for i := range p.ops {
+		op := &p.ops[i]
+		a := (*[8]uint64)(regs[int(op.a)*8:])
+		b := (*[8]uint64)(regs[int(op.b)*8:])
+		d := (*[8]uint64)(regs[int(op.dst)*8:])
+		switch op.code {
+		case opConst0:
+			d[0], d[1], d[2], d[3] = 0, 0, 0, 0
+			d[4], d[5], d[6], d[7] = 0, 0, 0, 0
+		case opConst1:
+			d[0], d[1], d[2], d[3] = ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)
+			d[4], d[5], d[6], d[7] = ^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)
+		case opBuf:
+			d[0], d[1], d[2], d[3] = a[0], a[1], a[2], a[3]
+			d[4], d[5], d[6], d[7] = a[4], a[5], a[6], a[7]
+		case opNot:
+			d[0], d[1], d[2], d[3] = ^a[0], ^a[1], ^a[2], ^a[3]
+			d[4], d[5], d[6], d[7] = ^a[4], ^a[5], ^a[6], ^a[7]
+		case opAnd2:
+			d[0], d[1], d[2], d[3] = a[0]&b[0], a[1]&b[1], a[2]&b[2], a[3]&b[3]
+			d[4], d[5], d[6], d[7] = a[4]&b[4], a[5]&b[5], a[6]&b[6], a[7]&b[7]
+		case opNand2:
+			d[0], d[1], d[2], d[3] = ^(a[0] & b[0]), ^(a[1] & b[1]), ^(a[2] & b[2]), ^(a[3] & b[3])
+			d[4], d[5], d[6], d[7] = ^(a[4] & b[4]), ^(a[5] & b[5]), ^(a[6] & b[6]), ^(a[7] & b[7])
+		case opOr2:
+			d[0], d[1], d[2], d[3] = a[0]|b[0], a[1]|b[1], a[2]|b[2], a[3]|b[3]
+			d[4], d[5], d[6], d[7] = a[4]|b[4], a[5]|b[5], a[6]|b[6], a[7]|b[7]
+		case opNor2:
+			d[0], d[1], d[2], d[3] = ^(a[0] | b[0]), ^(a[1] | b[1]), ^(a[2] | b[2]), ^(a[3] | b[3])
+			d[4], d[5], d[6], d[7] = ^(a[4] | b[4]), ^(a[5] | b[5]), ^(a[6] | b[6]), ^(a[7] | b[7])
+		case opXor2:
+			d[0], d[1], d[2], d[3] = a[0]^b[0], a[1]^b[1], a[2]^b[2], a[3]^b[3]
+			d[4], d[5], d[6], d[7] = a[4]^b[4], a[5]^b[5], a[6]^b[6], a[7]^b[7]
+		case opXnor2:
+			d[0], d[1], d[2], d[3] = ^(a[0] ^ b[0]), ^(a[1] ^ b[1]), ^(a[2] ^ b[2]), ^(a[3] ^ b[3])
+			d[4], d[5], d[6], d[7] = ^(a[4] ^ b[4]), ^(a[5] ^ b[5]), ^(a[6] ^ b[6]), ^(a[7] ^ b[7])
+		}
+	}
+}
+
+// CompileCircuit compiles the circuit's gate logic into a Program whose
+// register file is indexed by gate ID (register i holds gate i's
+// value). Input-type gates (primary inputs and keys) emit no
+// instructions — callers load their registers before executing.
+func CompileCircuit(c *Circuit) (*Program, error) {
+	order, err := c.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	p := NewProgram(c.NumGates())
+	var args []int32
+	for _, id := range order {
+		g := &c.gates[id]
+		if g.Type == Input {
+			continue
+		}
+		args = args[:0]
+		for _, f := range g.Fanin {
+			args = append(args, int32(f))
+		}
+		if err := p.Emit(g.Type, int32(id), args); err != nil {
+			return nil, fmt.Errorf("netlist: compiling gate %q: %w", g.Name, err)
+		}
+	}
+	return p, nil
+}

@@ -132,15 +132,44 @@ func (o *Sim) Query64(in []uint64) ([]uint64, error) {
 // EvalMany implements BatchOracle: every batch is evaluated on the
 // caller's goroutine with one pooled simulator, but because nothing here
 // locks, many goroutines can be inside EvalMany (or Query/Query64)
-// simultaneously — the pool hands each a distinct simulator.
+// simultaneously — the pool hands each a distinct simulator. Batches are
+// packed eight at a time through the simulator's 512-lane kernel; a
+// remainder of fewer than eight runs the 64-lane path.
 func (o *Sim) EvalMany(ins [][]uint64) ([][]uint64, error) {
 	o.queries.Add(64 * uint64(len(ins)))
 	o.calls.Add(uint64(len(ins)))
+	for _, in := range ins {
+		if len(in) != o.inputs {
+			return nil, fmt.Errorf("oracle: EvalMany: got %d input words, want %d", len(in), o.inputs)
+		}
+	}
 	sim := o.pool.Get().(*netlist.Simulator)
 	defer o.pool.Put(sim)
 	outs := make([][]uint64, len(ins))
-	for i, in := range ins {
-		out, err := sim.Run64(in, nil)
+	i := 0
+	if len(ins) >= 8 {
+		in8 := make([][8]uint64, o.inputs)
+		for ; i+8 <= len(ins); i += 8 {
+			for k := 0; k < o.inputs; k++ {
+				for j := 0; j < 8; j++ {
+					in8[k][j] = ins[i+j][k]
+				}
+			}
+			out8, err := sim.Run512(in8, nil)
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < 8; j++ {
+				out := make([]uint64, o.outputs)
+				for k := 0; k < o.outputs; k++ {
+					out[k] = out8[k][j]
+				}
+				outs[i+j] = out
+			}
+		}
+	}
+	for ; i < len(ins); i++ {
+		out, err := sim.Run64(ins[i], nil)
 		if err != nil {
 			return nil, err
 		}

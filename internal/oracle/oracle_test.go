@@ -1,6 +1,8 @@
 package oracle
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -175,4 +177,69 @@ func TestActivatePreservesOutputOrder(t *testing.T) {
 	if !out[0] || out[1] {
 		t.Error("output order scrambled by Activate")
 	}
+}
+
+// TestEvalManyMatchesQuery64 drives the grouped 512-lane batch path with
+// a batch count that is not a multiple of 8, so both the wide groups and
+// the Run64 tail execute, and checks every word against per-batch
+// Query64 on a second oracle.
+func TestEvalManyMatchesQuery64(t *testing.T) {
+	c := buildWide(t)
+	batch := MustNewSim(c)
+	single := MustNewSim(c)
+	rng := rand.New(rand.NewSource(5))
+	const nBatches = 19 // 2 full groups of 8 + a 3-batch tail
+	ins := make([][]uint64, nBatches)
+	for i := range ins {
+		ins[i] = make([]uint64, c.NumInputs())
+		for j := range ins[i] {
+			ins[i][j] = rng.Uint64()
+		}
+	}
+	outs, err := batch.EvalMany(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != nBatches {
+		t.Fatalf("got %d output batches, want %d", len(outs), nBatches)
+	}
+	for i := range ins {
+		want, err := single.Query64(ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range want {
+			if outs[i][o] != want[o] {
+				t.Errorf("batch %d out[%d] = %#x, want %#x", i, o, outs[i][o], want[o])
+			}
+		}
+	}
+	if batch.Queries() != nBatches*64 {
+		t.Errorf("Queries = %d, want %d", batch.Queries(), nBatches*64)
+	}
+	// A short row anywhere in the group must fail loudly, not crash the
+	// transpose.
+	bad := append(append([][]uint64(nil), ins[:3]...), []uint64{1})
+	if _, err := batch.EvalMany(bad); err == nil {
+		t.Error("EvalMany accepted a short input row")
+	}
+}
+
+// buildWide returns a multi-input multi-output circuit exercising more
+// than one word per port in the grouped transpose.
+func buildWide(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c := netlist.New("wide")
+	var ids []netlist.ID
+	for i := 0; i < 9; i++ {
+		ids = append(ids, c.MustAddInput(fmt.Sprintf("i%d", i)))
+	}
+	g1 := c.MustAddGate(netlist.And, "g1", ids[0], ids[1], ids[2])
+	g2 := c.MustAddGate(netlist.Xor, "g2", ids[3], ids[4])
+	g3 := c.MustAddGate(netlist.Nor, "g3", ids[5], ids[6], ids[7], ids[8])
+	g4 := c.MustAddGate(netlist.Xnor, "g4", g1, g2)
+	c.MustMarkOutput(g4)
+	c.MustMarkOutput(g3)
+	c.MustMarkOutput(g2)
+	return c
 }

@@ -445,3 +445,51 @@ func TestHashExcludesBudgetKnobs(t *testing.T) {
 		t.Error("legacy-encoding change did not change the content address")
 	}
 }
+
+// TestAutoCalibrationCacheKey pins the content-address contract of the
+// self-tuning crossover: an auto-calibrated request (SATWidthLimit = 0)
+// is keyed on the requested value, never on which engine the calibration
+// probe happened to pick — so a resubmission is a pure cache hit with no
+// second attack run, while pinning a width is a different address.
+func TestAutoCalibrationCacheKey(t *testing.T) {
+	f := makeFixture(t, 8, 4, 17)
+	s, reg := newTestService(t, Config{Workers: 1})
+	req := AttackRequest{Locked: f.locked, Oracle: f.orig, Seed: 5} // SATWidthLimit 0 = auto
+	j1, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j1); st.State != StateDone {
+		t.Fatalf("first auto-calibrated run: %s (%s)", st.State, st.Error)
+	}
+	runsBefore := reg.Counter("service_attack_runs_total").Value()
+
+	j2, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitJob(t, j2)
+	if !st2.Cached || st2.State != StateDone {
+		t.Fatalf("auto-calibrated resubmission not served from cache: cached=%t state=%s",
+			st2.Cached, st2.State)
+	}
+	if runs := reg.Counter("service_attack_runs_total").Value(); runs != runsBefore {
+		t.Errorf("resubmission re-ran the attack (%d → %d runs) — probe outcome leaked into the cache key", runsBefore, runs)
+	}
+	if j1.Hash() != j2.Hash() {
+		t.Fatalf("auto-calibrated hashes differ: %s vs %s", j1.Hash(), j2.Hash())
+	}
+
+	pinned := req
+	pinned.SATWidthLimit = 12
+	j3, err := s.Submit(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j3); st.State != StateDone {
+		t.Fatalf("pinned run: %s (%s)", st.State, st.Error)
+	}
+	if j3.Hash() == j1.Hash() {
+		t.Error("pinned SATWidthLimit shares the auto-calibrated content address")
+	}
+}
