@@ -7,9 +7,10 @@
 #                    concurrent; data races are correctness bugs here)
 #   make vet         go vet
 #   make fmt-check   fail if any file needs gofmt
-#   make fuzz-smoke  short coverage-guided fuzz of the bench parser and
-#                    of the compiled gate program vs the interpreted
-#                    evaluator
+#   make fuzz-smoke  short coverage-guided fuzz of the bench parser, the
+#                    compiled gate program vs the interpreted evaluator,
+#                    the checkpoint snapshot decoder, and the service's
+#                    WAL journal replay
 #   make trace-smoke end-to-end telemetry check: lock a seed circuit,
 #                    attack it with -trace, and validate the Chrome
 #                    trace (all five phase spans, wall-clock coverage)
@@ -22,13 +23,19 @@
 #   make engine-smoke differential end-to-end check: attack the same
 #                    32-bit-key instance with and without
 #                    -legacy-encoding and assert byte-identical keys
+#   make crash-smoke chaos harness: SIGKILL caslock-attack and
+#                    caslock-served mid-attack at seeded-random points,
+#                    restart/resume, and assert the resumed key is
+#                    bit-identical with strictly fewer chip queries and
+#                    the daemon's jobs survive the restart
 #   make govulncheck govulncheck ./... when the tool is installed
 #                    (skips with a notice otherwise — no network
 #                    installs in CI; set GOVULNCHECK_REQUIRED=1 to turn
 #                    the skip into a failure on runners that ship it)
 #   make ci          build + vet + fmt-check + test + test-race +
 #                    fuzz-smoke + trace-smoke + serve-smoke +
-#                    signal-smoke + engine-smoke + govulncheck
+#                    signal-smoke + engine-smoke + crash-smoke +
+#                    govulncheck (required automatically when installed)
 #   make bench       tier-1 benchmarks with allocation reporting
 #   make benchjson   refresh BENCH_core.json (the perf trajectory file);
 #                    diffs against the committed baseline into the
@@ -43,9 +50,13 @@ SMOKEDIR ?= .trace-smoke
 SERVEDIR ?= .serve-smoke
 SIGDIR ?= .signal-smoke
 ENGDIR ?= .engine-smoke
+CRASHDIR ?= .crash-smoke
 MAXREGRESS ?= 0.20
+# When the runner ships govulncheck, its absence elsewhere must not be
+# silently skippable: auto-promote the scan to required.
+GOVULNCHECK_REQUIRED ?= $(shell command -v govulncheck >/dev/null 2>&1 && echo 1)
 
-.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke govulncheck ci bench benchjson bench-compare
+.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke govulncheck ci bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -68,6 +79,8 @@ fmt-check:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBenchRead -fuzztime $(FUZZTIME) ./internal/bench/
 	$(GO) test -run '^$$' -fuzz FuzzProgramVsEval64 -fuzztime $(FUZZTIME) ./internal/netlist/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/service/
 
 trace-smoke:
 	@rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
@@ -87,6 +100,9 @@ signal-smoke:
 engine-smoke:
 	GO="$(GO)" sh scripts/engine_smoke.sh $(ENGDIR)
 
+crash-smoke:
+	GO="$(GO)" sh scripts/crash_smoke.sh $(CRASHDIR)
+
 # Vulnerability scan, gated: the CI container has no network, so the
 # tool cannot be installed on the fly. Runs when present, else skips
 # loudly enough to notice — unless GOVULNCHECK_REQUIRED=1, which makes
@@ -101,7 +117,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping vulnerability scan"; \
 	fi
 
-ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke govulncheck
+ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke govulncheck
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .

@@ -27,12 +27,15 @@ import (
 	"testing"
 	"time"
 
+	"math"
 	"math/rand"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lock"
 	"repro/internal/netlist"
+	"repro/internal/oracle"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
@@ -229,6 +232,14 @@ func main() {
 	// across PRs.
 	tel := telemetry.New()
 
+	// The checkpoint pair runs first, on a fresh heap: the armed variant
+	// allocates ~20% more per op (bank entries, snapshot builds), and a
+	// heap inflated by the earlier workloads amplifies that into GC time
+	// that the <5% gate would misattribute to checkpointing.
+	ckRes, ckChange, err := checkpointWorkloads()
+	fatalIf(err)
+	rep.Results = append(rep.Results, ckRes...)
+
 	ext, assign, err := extractionWorkload(22)
 	var r testing.BenchmarkResult
 	fatalIf(err)
@@ -356,6 +367,15 @@ func main() {
 	fatalIf(writeReport(*out, rep))
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (NumCPU=%d, speedup=%.2fx)\n",
 		len(rep.Results), *out, rep.NumCPU, rep.SpeedupParallel)
+	// The checkpoint gate compares within this report (armed vs unarmed
+	// twin of the same attack), not against the committed baseline —
+	// computeDelta's sat_*/sim_* aggregates never see checkpoint_*.
+	fmt.Fprintf(os.Stderr, "benchjson: checkpoint overhead %s (armed vs unarmed attack)\n", pct(ckChange))
+	if *maxRegress > 0 && ckChange > maxCheckpointOverhead {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: armed checkpointing costs %s over the unarmed attack (limit %s)\n",
+			pct(ckChange), pct(maxCheckpointOverhead))
+		os.Exit(1)
+	}
 	if rep.Delta != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: delta vs %s (%s): SAT time %s, sim time %s\n",
 			basePath, rep.Delta.BaselineTimestamp, pct(rep.Delta.SATTimeChange), pct(rep.Delta.SimTimeChange))
@@ -578,6 +598,144 @@ func satWorkload(tel *telemetry.Registry, legacy bool) (Result, error) {
 		name += "_legacy"
 	}
 	return toResult(name, r), nil
+}
+
+// maxCheckpointOverhead caps what an armed checkpoint writer may add to
+// a full attack's wall time: the hot-loop contract is two atomics per
+// progress event, so anything past 5% is a broken cadence path.
+const maxCheckpointOverhead = 0.05
+
+// checkpointWorkloads runs the same width-12 end-to-end attack without
+// and with a checkpoint writer armed, reporting both
+// (checkpoint_baseline_n12 / checkpoint_overhead_n12) plus the
+// armed-over-unarmed fraction. The gate is about the HOT-PATH cost of
+// arming — Tick per progress event, the banked oracle on every query,
+// milestone snapshot builds on the attack goroutine — so the workload
+// keeps the disk off the measured path the same way production does:
+// one writer shared across iterations (snapshot writes drain
+// asynchronously; Close and its final flush sit outside the timing),
+// a cadence pinned above the per-run event count so only milestone
+// snapshots fire, and the snapshot file on /dev/shm when available.
+// Disk durability itself is the crash-smoke harness's job; measured
+// here it would only gate this machine's fsync latency.
+//
+// The two variants are measured in PAIRED adjacent fixed-budget
+// blocks (unarmed then armed, repeated), and the gate takes the
+// armed/unarmed ratio of the best pair: adjacent blocks share the
+// machine's contention state, so the ratio survives load drift that
+// would swamp independently-measured minimums on a busy host.
+func checkpointWorkloads() ([]Result, float64, error) {
+	host, err := synth.Generate(synth.Config{Name: "ch", Inputs: 16, Outputs: 4, Gates: 220, Seed: 5})
+	if err != nil {
+		return nil, 0, err
+	}
+	const n = 12
+	chain := make(lock.ChainConfig, n-1)
+	for i := range chain {
+		if i%3 == 1 {
+			chain[i] = lock.ChainOr
+		}
+	}
+	locked, _, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: 6})
+	if err != nil {
+		return nil, 0, err
+	}
+	base := "/dev/shm"
+	if fi, err := os.Stat(base); err != nil || !fi.IsDir() {
+		base = "" // default temp dir
+	}
+	dir, err := os.MkdirTemp(base, "ckpt-bench-")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := checkpoint.NewWriter(checkpoint.WriterConfig{
+		Path:        filepath.Join(dir, "snap.ckpt"),
+		EveryEvents: 1 << 20, // cadence never due within one n12 run
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer w.Close()
+	attack := func(arm bool) error {
+		opts := core.Options{
+			Locked: locked.Circuit, Oracle: oracle.MustNewSim(host),
+			Seed: 3, Telemetry: telemetry.New(),
+		}
+		if arm {
+			opts.Checkpointer = w
+		}
+		_, err := core.Run(opts)
+		return err
+	}
+	// Warm both paths (kernel compilation, page faults, first snapshot).
+	if err := attack(false); err != nil {
+		return nil, 0, err
+	}
+	if err := attack(true); err != nil {
+		return nil, 0, err
+	}
+	var runErr error
+	block := func(arm bool) ckptSample {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		iters := 0
+		for time.Since(start) < 600*time.Millisecond {
+			if err := attack(arm); err != nil {
+				runErr = err
+				return ckptSample{}
+			}
+			iters++
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return ckptSample{
+			nsPerOp:     int64(elapsed) / int64(iters),
+			allocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+			bytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+			iters:       iters,
+		}
+	}
+	bestRatio := math.Inf(1)
+	var bestU, bestA ckptSample
+	for i := 0; i < 4 && runErr == nil; i++ {
+		u := block(false)
+		a := block(true)
+		if runErr != nil {
+			break
+		}
+		if r := float64(a.nsPerOp) / float64(u.nsPerOp); r < bestRatio {
+			bestRatio, bestU, bestA = r, u, a
+		}
+	}
+	if runErr != nil {
+		return nil, 0, runErr
+	}
+	return []Result{
+		bestU.result("checkpoint_baseline_n12"),
+		bestA.result("checkpoint_overhead_n12"),
+	}, bestRatio - 1, nil
+}
+
+// ckptSample is one fixed-budget measurement block of the checkpoint
+// workload pair (manual timing: testing.Benchmark's 1s calibration is
+// too coarse for a paired-ratio gate).
+type ckptSample struct {
+	nsPerOp     int64
+	allocsPerOp int64
+	bytesPerOp  int64
+	iters       int
+}
+
+func (s ckptSample) result(name string) Result {
+	return Result{
+		Name:        name,
+		Iterations:  s.iters,
+		NsPerOp:     s.nsPerOp,
+		AllocsPerOp: s.allocsPerOp,
+		BytesPerOp:  s.bytesPerOp,
+	}
 }
 
 func fatalIf(err error) {

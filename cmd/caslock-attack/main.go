@@ -6,6 +6,8 @@
 //	caslock-attack -locked mcas.bench -oracle orig.bench -mcas
 //	caslock-attack -locked locked.bench -oracle orig.bench -noise 1e-3 -retries 4
 //	caslock-attack -locked locked.bench -oracle orig.bench -timeout 30s
+//	caslock-attack -locked locked.bench -oracle orig.bench -checkpoint run.ckpt
+//	caslock-attack -locked locked.bench -oracle orig.bench -checkpoint run.ckpt -resume-from run.ckpt
 //
 // Exit codes: 0 — key recovered (and SAT-proven unless -prove=false);
 // 3 — deadline/budget hit, partial structure reported; 1 — attack ran
@@ -19,11 +21,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/miter"
@@ -41,6 +47,22 @@ var (
 	metricsOut string
 )
 
+// ckptWriter is the attack's checkpoint writer, nil unless -checkpoint
+// armed it. Every exit path closes it (via flushTelemetry) so the final
+// observed progress is flushed to disk before the process ends.
+var (
+	ckptWriter    *checkpoint.Writer
+	ckptCloseOnce sync.Once
+)
+
+func closeCheckpointer() {
+	ckptCloseOnce.Do(func() {
+		if ckptWriter != nil {
+			ckptWriter.Close()
+		}
+	})
+}
+
 func main() {
 	var (
 		lockedPath = flag.String("locked", "", "locked netlist (.bench, key inputs named keyinput*)")
@@ -57,10 +79,19 @@ func main() {
 		trace      = flag.String("trace", "", "write a Chrome-trace JSON of the attack's phase spans here (open in Perfetto / chrome://tracing)")
 		metrics    = flag.String("metrics-out", "", "write a metrics snapshot on exit (.json = JSON snapshot, anything else = Prometheus text)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (e.g. :6060)")
+		ckptPath   = flag.String("checkpoint", "", "write durable progress snapshots to this file (atomic replace; survives SIGKILL)")
+		ckptEvery  = flag.String("checkpoint-every", "", "snapshot cadence: an event count (\"2000\") or a duration (\"2s\"); default 4096 events / 2s, whichever first")
+		resumePath = flag.String("resume-from", "", "resume the attack from this snapshot file (refused unless netlist, oracle and options match)")
+		oracleLat  = flag.Duration("oracle-latency", 0, "add this artificial latency to every oracle call (models a slow activated chip)")
+		progress   = flag.Bool("progress", false, "log attack progress (stage boundaries, resume activity) to stderr")
 	)
 	flag.Parse()
-	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 {
+	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 || *oracleLat < 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *ckptEvery != "" && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "caslock-attack: -checkpoint-every needs -checkpoint")
 		os.Exit(2)
 	}
 	tracePath, metricsOut = *trace, *metrics
@@ -79,11 +110,11 @@ func main() {
 	fatalIf(err)
 
 	// Oracle stack: simulator → (optional) fault injector → resilient
-	// decorator. The injector models a noisy activated chip; the
-	// decorator retries transients and majority-votes away bit flips.
+	// decorator. The injector models a noisy and/or slow activated chip;
+	// the decorator retries transients and majority-votes away bit flips.
 	var orc oracle.Oracle = sim
-	if *noise > 0 {
-		orc = faults.New(orc, faults.Config{FlipRate: *noise, TransientRate: *noise, Seed: *seed, Telemetry: tel})
+	if *noise > 0 || *oracleLat > 0 {
+		orc = faults.New(orc, faults.Config{FlipRate: *noise, TransientRate: *noise, Latency: *oracleLat, Seed: *seed, Telemetry: tel})
 	}
 	if *votes == 0 && *noise > 0 {
 		*votes = 5
@@ -112,6 +143,44 @@ func main() {
 		SATWidthLimit:   *satWidth,
 		Telemetry:       tel,
 	}
+	if *progress {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "caslock-attack: "+format+"\n", args...)
+		}
+	}
+
+	// Durability: the oracle netlist's canonical hash pins snapshots to
+	// this oracle (core validates the locked netlist and options itself,
+	// but only this boundary can see through the Oracle interface).
+	if *ckptPath != "" || *resumePath != "" {
+		oracleHash := canonicalHash(original)
+		if *resumePath != "" {
+			snap, err := checkpoint.Load(*resumePath)
+			fatalIf(err)
+			if snap.OracleHash != "" && snap.OracleHash != oracleHash {
+				fmt.Fprintln(os.Stderr, "caslock-attack: refusing to resume: snapshot was taken against a different oracle netlist")
+				os.Exit(1)
+			}
+			opts.ResumeFrom = snap
+		}
+		if *ckptPath != "" {
+			cfg := checkpoint.WriterConfig{Path: *ckptPath, OracleHash: oracleHash, Telemetry: tel}
+			if *ckptEvery != "" {
+				if d, derr := time.ParseDuration(*ckptEvery); derr == nil && d > 0 {
+					cfg.Interval = d
+				} else if n, nerr := strconv.Atoi(*ckptEvery); nerr == nil && n > 0 {
+					cfg.EveryEvents = n
+				} else {
+					fmt.Fprintf(os.Stderr, "caslock-attack: -checkpoint-every %q is neither a positive event count nor a duration\n", *ckptEvery)
+					os.Exit(2)
+				}
+			}
+			w, err := checkpoint.NewWriter(cfg)
+			fatalIf(err)
+			ckptWriter = w
+			opts.Checkpointer = w
+		}
+	}
 
 	start := time.Now()
 	var (
@@ -131,6 +200,7 @@ func main() {
 		fullKey = res.Key
 	}
 	elapsed := time.Since(start)
+	closeCheckpointer() // flush the final snapshot before reporting
 
 	fmt.Printf("attack succeeded in %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  case:            %d (%s-terminated)\n", res.Case, map[int]string{1: "AND/NAND", 2: "OR/NOR"}[res.Case])
@@ -140,6 +210,10 @@ func main() {
 	fmt.Printf("  |I_l| (DIPs):    %d\n", res.TotalDIPs)
 	fmt.Printf("  structured |A|:  %d\n", res.AlignedDIPs)
 	fmt.Printf("  oracle queries:  %d\n", res.OracleQueries)
+	fmt.Printf("  chip queries:    %d\n", sim.Queries())
+	if ckptWriter != nil {
+		fmt.Printf("  checkpoints:     %d written to %s\n", ckptWriter.Writes(), ckptWriter.Path())
+	}
 	fmt.Printf("  key:             %s\n", keyString(fullKey))
 	printOracleStats(resilient)
 
@@ -179,8 +253,10 @@ func watchSignals(cancel context.CancelFunc) {
 
 // flushTelemetry writes the trace and metrics files, if requested. It
 // runs on every exit path so an interrupted attack still leaves its
-// partial trace behind.
+// partial trace behind. The checkpoint writer is closed first so its
+// final snapshot (and write counters) land before the metrics do.
 func flushTelemetry() {
+	closeCheckpointer()
 	if tel == nil {
 		return
 	}
@@ -251,6 +327,12 @@ func keyString(key []bool) string {
 		}
 	}
 	return sb.String()
+}
+
+func canonicalHash(c *netlist.Circuit) string {
+	canon, err := bench.Canonical(c)
+	fatalIf(err)
+	return cache.SumParts(canon)
 }
 
 func readBench(path string) *netlist.Circuit {

@@ -49,6 +49,7 @@ func main() {
 		maxWidth   = flag.Int("max-width", core.MaxBlockWidth, "largest admitted CAS block width")
 		maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "cap (and default) for per-job attack deadlines (0 = none)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address (e.g. :6060)")
+		journalDir = flag.String("journal-dir", "", "durability directory: WAL-journal every job and replay it on boot (empty = in-memory only)")
 		quiet      = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 	}
 
 	reg := telemetry.New()
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
@@ -72,7 +73,11 @@ func main() {
 		DefaultTimeout: *maxTimeout,
 		Registry:       reg,
 		Log:            logf,
+		JournalDir:     *journalDir,
 	})
+	if err != nil {
+		logger.Fatalf("service: %v", err)
+	}
 
 	var dbg *telemetry.DebugServer
 	if *debugAddr != "" {

@@ -1,0 +1,282 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fullSnapshot builds a snapshot exercising every field, including both
+// response banks.
+func fullSnapshot() *Snapshot {
+	return &Snapshot{
+		LockedHash:    "sha256:locked",
+		OracleHash:    "sha256:oracle",
+		OptionsSig:    "v1 seed=7 retries=0 satwidth=0 legacy=false",
+		Active:        2,
+		Calib:         5,
+		Phase:         "enumerate",
+		EnumComplete:  true,
+		DIPWidth:      8,
+		DIPWords:      []uint64{0xDEAD, 0xBEEF, 1, 0},
+		OracleQueries: 4242,
+		BudgetRate:    1234.5,
+		Responses: []Response{
+			{In: []uint64{1, 2, 3}, Out: []uint64{9}},
+			{In: []uint64{}, Out: []uint64{0xFFFFFFFFFFFFFFFF}},
+		},
+		Scalar: []ScalarResponse{
+			{In: []byte{0xAA, 0x01}, Out: []byte{0x80}},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for name, s := range map[string]*Snapshot{
+		"full": fullSnapshot(),
+		"minimal": {
+			Active:   1,
+			DIPWidth: 3,
+			DIPWords: []uint64{0b10110},
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			got, err := Decode(s.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Encode normalizes nil and empty slices identically; compare
+			// through a re-encode for those.
+			if !reflect.DeepEqual(got.Encode(), s.Encode()) {
+				t.Fatal("decoded snapshot re-encodes differently")
+			}
+			if got.LockedHash != s.LockedHash || got.Active != s.Active ||
+				got.DIPWidth != s.DIPWidth || got.EnumComplete != s.EnumComplete ||
+				got.BudgetRate != s.BudgetRate || len(got.Responses) != len(s.Responses) ||
+				len(got.Scalar) != len(s.Scalar) {
+				t.Fatalf("decoded snapshot differs: %+v vs %+v", got, s)
+			}
+		})
+	}
+}
+
+// TestDecodeTruncated feeds every proper prefix of a valid snapshot to
+// the decoder: each must fail with a typed error, never panic.
+func TestDecodeTruncated(t *testing.T) {
+	data := fullSnapshot().Encode()
+	for n := 0; n < len(data); n++ {
+		s, err := Decode(data[:n])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded: %+v", n, len(data), s)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFormat) &&
+			!errors.Is(err, ErrVersion) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("prefix of %d bytes: untyped error %v", n, err)
+		}
+	}
+}
+
+// TestDecodeBitFlips flips one byte at every offset: the magic yields
+// ErrFormat, the version byte ErrVersion, everything else ErrChecksum.
+func TestDecodeBitFlips(t *testing.T) {
+	data := fullSnapshot().Encode()
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		_, err := Decode(mut)
+		var want error
+		switch {
+		case i < 7:
+			want = ErrFormat
+		case i == 7:
+			want = ErrVersion
+		default:
+			want = ErrChecksum
+		}
+		if !errors.Is(err, want) {
+			t.Fatalf("flip at %d: got %v, want %v", i, err, want)
+		}
+	}
+}
+
+// TestDecodeSemanticValidation covers well-checksummed snapshots whose
+// fields violate the format invariants.
+func TestDecodeSemanticValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*Snapshot){
+		"active-zero":      func(s *Snapshot) { s.Active = 0 },
+		"active-three":     func(s *Snapshot) { s.Active = 3 },
+		"width-zero":       func(s *Snapshot) { s.DIPWidth = 0 },
+		"width-over-cap":   func(s *Snapshot) { s.DIPWidth = 35 },
+		"word-count-short": func(s *Snapshot) { s.DIPWords = s.DIPWords[:1] },
+		"word-count-long":  func(s *Snapshot) { s.DIPWords = append(s.DIPWords, 0) },
+		"negative-rate":    func(s *Snapshot) { s.BudgetRate = -1 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := fullSnapshot()
+			mutate(s)
+			if _, err := Decode(s.Encode()); !errors.Is(err, ErrFormat) {
+				t.Fatalf("got %v, want ErrFormat", err)
+			}
+		})
+	}
+}
+
+func TestWriteFileLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.ckpt")
+	s := fullSnapshot()
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Encode(), s.Encode()) {
+		t.Fatal("loaded snapshot differs")
+	}
+
+	// Overwrite with a newer snapshot; the write replaces atomically and
+	// leaves no temp files behind.
+	s.OracleQueries = 9999
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OracleQueries != 9999 {
+		t.Fatalf("OracleQueries = %d after overwrite, want 9999", got.OracleQueries)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d directory entries, want 1", len(entries))
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	data := fullSnapshot().Encode()
+	data[len(data)/2] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+func TestWriterCadenceAndFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	tel := telemetry.New()
+	w, err := NewWriter(WriterConfig{
+		Path: path, EveryEvents: 4, Interval: time.Hour,
+		OracleHash: "sha256:oracle", Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Tick(3) {
+		t.Fatal("snapshot due after 3/4 events")
+	}
+	if !w.Tick(1) {
+		t.Fatal("snapshot not due after 4/4 events")
+	}
+	s := fullSnapshot()
+	s.OracleHash = "" // the writer stamps its configured hash
+	w.Offer(s)
+	if w.Tick(1) {
+		t.Fatal("Offer did not reset the event cadence")
+	}
+	w.Close()
+	if got := w.Writes(); got != 1 {
+		t.Fatalf("Writes = %d after Close, want 1", got)
+	}
+	if got := tel.Counter("checkpoint_writes_total").Value(); got != 1 {
+		t.Fatalf("checkpoint_writes_total = %d, want 1", got)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OracleHash != "sha256:oracle" {
+		t.Fatalf("OracleHash = %q, want the writer's configured hash", got.OracleHash)
+	}
+	if v := tel.Gauge("checkpoint_bytes").Value(); v <= 0 {
+		t.Fatalf("checkpoint_bytes = %d, want > 0", v)
+	}
+}
+
+func TestWriterTimerCadence(t *testing.T) {
+	w, err := NewWriter(WriterConfig{
+		Path: filepath.Join(t.TempDir(), "snap.ckpt"), Interval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for !w.Tick(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("interval timer never made a snapshot due")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWriterStaleEviction drives Offer faster than the writer can drain
+// and asserts the newest snapshot wins: dropped intermediates only widen
+// the resume gap, the final state always lands.
+func TestWriterStaleEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	tel := telemetry.New()
+	w, err := NewWriter(WriterConfig{Path: path, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 200
+	for i := 1; i <= rounds; i++ {
+		s := fullSnapshot()
+		s.OracleQueries = uint64(i)
+		w.Offer(s)
+	}
+	w.Close()
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OracleQueries != rounds {
+		t.Fatalf("final snapshot has OracleQueries=%d, want %d (newest must win)", got.OracleQueries, rounds)
+	}
+	if w.Writes()+tel.Counter("checkpoint_dropped_total").Value() < rounds-1 {
+		t.Fatalf("writes=%d drops=%d do not account for %d offers",
+			w.Writes(), tel.Counter("checkpoint_dropped_total").Value(), rounds)
+	}
+}
+
+func TestNewWriterValidation(t *testing.T) {
+	if _, err := NewWriter(WriterConfig{}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := NewWriter(WriterConfig{Path: "x", EveryEvents: -1}); err == nil {
+		t.Fatal("negative cadence accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/miter"
@@ -79,6 +80,20 @@ type Options struct {
 	// instrumentation at no measurable cost to the enumeration hot path;
 	// see internal/telemetry and DESIGN.md §7.
 	Telemetry *telemetry.Registry
+	// Checkpointer, when non-nil, makes attack progress durable: the
+	// attack hands it snapshots (accumulated DIPs, banked oracle
+	// answers, phase + budgeter state) on the writer's cadence, and the
+	// writer persists them atomically off the hot path. See
+	// internal/checkpoint and DESIGN.md §11.
+	Checkpointer *checkpoint.Writer
+	// ResumeFrom, when non-nil, continues an interrupted attack from a
+	// snapshot: it is validated against this instance's canonical netlist
+	// hash and options signature (refused with ErrResumeMismatch on any
+	// mismatch), its banked oracle answers are replayed locally, its
+	// complete DIP sets are restored outright and partial ones are
+	// re-seeded into the SAT engine as blocking clauses. The final key is
+	// bit-identical to an uninterrupted run's.
+	ResumeFrom *checkpoint.Snapshot
 }
 
 // Result reports a successful key recovery.
@@ -174,8 +189,14 @@ func Run(opts Options) (*Result, error) {
 	a.cQueries = opts.Telemetry.Counter("attack_oracle_queries_total")
 	a.cCandidates = opts.Telemetry.Counter("attack_candidates_total")
 	a.cCalibrations = opts.Telemetry.Counter("attack_calibrations_total")
+	if err := a.armDurability(); err != nil {
+		return nil, err
+	}
 	var firstErr error
 	for _, active := range []int{1, 2} {
+		if a.resumeSkip(active) {
+			continue
+		}
 		res, err := a.runWithActive(active)
 		if err == nil {
 			res.Extractions = ext.Extractions()
@@ -209,6 +230,10 @@ type attack struct {
 
 	eng      *engine.Engine // persistent engine for SAT distinguishing
 	engTried bool
+
+	ck     *ckptState           // non-nil when a Checkpointer is armed
+	resume *checkpoint.Snapshot // pending resume state, consumed one-shot
+	bank   *bankedOracle        // response bank, non-nil when durability is armed
 
 	queries      uint64
 	calibrations int
@@ -257,13 +282,16 @@ func (a *attack) setPhase(name string) {
 	if a.eng != nil {
 		a.eng.SetPhase(name)
 	}
+	a.ckptPhase(name)
 }
 
 // countQueries accounts oracle pattern evaluations in both the local
-// tally and the registry.
+// tally and the registry, and advances the checkpoint cadence — query
+// batches are progress worth persisting just like enumerated DIPs.
 func (a *attack) countQueries(n uint64) {
 	a.queries += n
 	a.cQueries.Add(n)
+	a.ckptPump(n)
 }
 
 // endPhase closes a phase span and feeds its duration into the
@@ -411,7 +439,10 @@ func (a *attack) decodeChain(parent *telemetry.Span, dips *DIPSet) (st *structur
 
 // recoverKeyGates is the Algorithm-1 half of decode: DIP_nc, the shift
 // s (which IS the active block's key-gate polarity vector), structural
-// validation, and the δ candidates.
+// validation, and the δ candidates. The class walks and the δ scan are
+// the attack's only unbounded CPU loops outside the extractor, so they
+// poll the context — a SIGINT must unwind in milliseconds even at
+// block widths where the scan would otherwise run for minutes.
 func (a *attack) recoverKeyGates(parent *telemetry.Span, st *structured) error {
 	sp := parent.Child("algo1")
 	defer a.endPhase(sp)
@@ -419,13 +450,20 @@ func (a *attack) recoverKeyGates(parent *telemetry.Span, st *structured) error {
 	// when bit 0 is flipped (Algorithm 1, line 9).
 	var dipNC uint64
 	found := 0
+	poll := ctxPoller{a: a}
 	st.forEachBig(func(p uint64) bool {
+		if poll.hit() {
+			return false
+		}
 		if !st.inBig(p ^ 1) {
 			dipNC = p
 			found++
 		}
 		return true
 	})
+	if err := poll.err; err != nil {
+		return err
+	}
 	if found != 1 {
 		return fmt.Errorf("%w: %d non-repeating DIP candidates, want exactly 1", ErrLemma2, found)
 	}
@@ -434,6 +472,9 @@ func (a *attack) recoverKeyGates(parent *telemetry.Span, st *structured) error {
 
 	// Structural validation: big == W ⊕ s.
 	for _, w := range st.wList {
+		if poll.hit() {
+			return poll.err
+		}
 		if !st.inBig(w ^ st.s) {
 			return fmt.Errorf("%w: structured class does not match the recovered chain", ErrLemma2)
 		}
@@ -442,28 +483,63 @@ func (a *attack) recoverKeyGates(parent *telemetry.Span, st *structured) error {
 		return fmt.Errorf("%w: class size %d does not match chain one-point count %d", ErrLemma2, st.nBig, len(st.wList))
 	}
 	st.classOK = true
-	st.deltas = a.deltaCandidates(st)
+	deltas, err := a.deltaCandidates(st)
+	if err != nil {
+		return err
+	}
+	st.deltas = deltas
 	sp.SetArg("deltas", strconv.Itoa(len(st.deltas)))
 	return nil
+}
+
+// ctxPoller amortizes context checks over tight loops: hit() reports
+// cancellation, consulting the context only every pollStride calls so
+// the fast path stays a counter increment.
+type ctxPoller struct {
+	a    *attack
+	n    uint32
+	err  error
+	done bool
+}
+
+const pollStride = 8192
+
+func (p *ctxPoller) hit() bool {
+	if p.done {
+		return true
+	}
+	if p.n++; p.n%pollStride == 0 {
+		if err := p.a.ctxErr(); err != nil {
+			p.err, p.done = err, true
+			return true
+		}
+	}
+	return false
 }
 
 // deltaCandidates recovers the effective misalignment δ between the two
 // blocks' masks from the suppressed part of the small class:
 // small = (W ∖ V) ⊕ ¬s with V = {w ∈ W : w⊕δ ∈ W}. Candidates are found
-// by intersecting pivot translates of W and verified exactly.
-func (a *attack) deltaCandidates(st *structured) []uint64 {
+// by intersecting pivot translates of W and verified exactly. A nil
+// candidate slice (with nil error) means the calibration sweep is
+// needed; a non-nil error is always the attack context's cancellation.
+func (a *attack) deltaCandidates(st *structured) ([]uint64, error) {
 	n := a.layout.N()
 	mask := blockMask(n)
 	if st.nSmall() == 0 {
 		// No suppression at all: the blocks are perfectly aligned (δ = 0).
-		return []uint64{0}
+		return []uint64{0}, nil
 	}
+	poll := ctxPoller{a: a}
 	sSmall := ^st.s & mask
 	// The theory gives small = (W ∖ V) ⊕ ¬s with V = {w : w⊕δ ∈ W}; any
 	// element outside W ⊕ ¬s disproves the current hypothesis.
 	present := make(map[uint64]struct{}, st.nSmall())
 	mismatch := false
 	st.forEachSmall(func(p uint64) bool {
+		if poll.hit() {
+			return false
+		}
 		w := p ^ sSmall
 		if _, in := st.wSet[w]; !in {
 			mismatch = true
@@ -472,8 +548,11 @@ func (a *attack) deltaCandidates(st *structured) []uint64 {
 		present[w] = struct{}{}
 		return true
 	})
+	if poll.err != nil {
+		return nil, poll.err
+	}
 	if mismatch {
-		return nil
+		return nil, nil
 	}
 	var v []uint64
 	for _, w := range st.wList {
@@ -482,7 +561,7 @@ func (a *attack) deltaCandidates(st *structured) []uint64 {
 		}
 	}
 	if len(v) == 0 {
-		return nil // OVL = 0: calibration sweep needed
+		return nil, nil // OVL = 0: calibration sweep needed
 	}
 	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
 	vSet := make(map[uint64]struct{}, len(v))
@@ -511,6 +590,9 @@ func (a *attack) deltaCandidates(st *structured) []uint64 {
 	var out []uint64
 	verified, capped := 0, false
 	for _, w := range st.wList {
+		if poll.hit() {
+			return nil, poll.err
+		}
 		cand := v[0] ^ w
 		ok := true
 		for _, p := range inPivots {
@@ -538,6 +620,9 @@ func (a *attack) deltaCandidates(st *structured) []uint64 {
 		match := true
 		count := 0
 		for _, x := range st.wList {
+			if poll.hit() {
+				return nil, poll.err
+			}
 			_, in := st.wSet[x^cand]
 			if in {
 				count++
@@ -552,9 +637,9 @@ func (a *attack) deltaCandidates(st *structured) []uint64 {
 		}
 	}
 	if capped && len(out) == 0 {
-		return nil // fall back to the calibration sweep
+		return nil, nil // fall back to the calibration sweep
 	}
-	return dedupeU64(out)
+	return dedupeU64(out), nil
 }
 
 // pickPivots selects up to k elements spread across a sorted slice.
@@ -624,7 +709,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	a.logf("hypothesis active=%d: extracting DIP set (Lemma-1 assignment)", active)
 	a.setPhase("enumerate")
 	enum := hyp.Child("enumerate")
-	dips, err := a.ext.DIPs(a.assign(active, 0))
+	dips, err := a.extractDIPs(active, 0)
 	if err != nil {
 		a.endPhase(enum)
 		if cerr := a.ctxErr(); cerr != nil {
@@ -643,6 +728,11 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	a.logf("extracted |I_l| = %d", dips.Count())
 	st, err := a.decode(hyp, dips)
 	if err != nil {
+		if cerr := a.ctxErr(); cerr != nil {
+			pe := a.partial("decode", active, nil, cerr)
+			pe.DIPs = dips.Count()
+			return nil, pe
+		}
 		return nil, err
 	}
 	a.logf("decoded: chain_h=%s |A|=%d deltas=%d", st.chainH, st.nBig, len(st.deltas))
@@ -1016,7 +1106,7 @@ func (a *attack) calibrate(span *telemetry.Span, active int, st0 *structured) (u
 		if !shrunk {
 			continue
 		}
-		dips, err := a.ext.DIPs(a.assign(active, c))
+		dips, err := a.extractDIPs(active, c)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/oracle"
+	"repro/internal/telemetry"
+)
+
+// cancelOracle cancels the attack's context after a fixed number of
+// oracle calls — a deterministic stand-in for a crash mid-attack.
+type cancelOracle struct {
+	inner  oracle.Oracle
+	left   int
+	cancel context.CancelFunc
+}
+
+func (o *cancelOracle) tick() {
+	o.left--
+	if o.left == 0 {
+		o.cancel()
+	}
+}
+func (o *cancelOracle) NumInputs() int  { return o.inner.NumInputs() }
+func (o *cancelOracle) NumOutputs() int { return o.inner.NumOutputs() }
+func (o *cancelOracle) Query(in []bool) ([]bool, error) {
+	o.tick()
+	return o.inner.Query(in)
+}
+func (o *cancelOracle) Query64(in []uint64) ([]uint64, error) {
+	o.tick()
+	return o.inner.Query64(in)
+}
+
+// TestCheckpointResumeBitIdentical is the tentpole acceptance property:
+// an attack interrupted mid-run and resumed from its last snapshot
+// recovers the exact key of an uninterrupted run, and the resumed run
+// asks the chip strictly fewer questions because the snapshot's
+// response bank replays the answers the crashed run already paid for.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	lockedC, inst, h := lockedInstance(t, "2A-O-A", 41)
+	const seed = 42
+
+	// Reference: uninterrupted run.
+	simRef := oracle.MustNewSim(h)
+	ref, err := Run(Options{Locked: lockedC, Oracle: simRef, Seed: seed, Telemetry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IsCorrectCASKey(ref.Key) {
+		t.Fatal("reference attack recovered a wrong key")
+	}
+	refQueries := simRef.Queries()
+
+	// Crashed run: checkpoint on every progress event, die after five
+	// oracle calls.
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	telCrash := telemetry.New()
+	w, err := checkpoint.NewWriter(checkpoint.WriterConfig{
+		Path: path, EveryEvents: 1, Interval: time.Hour, Telemetry: telCrash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	co := &cancelOracle{inner: oracle.MustNewSim(h), left: 5, cancel: cancel}
+	_, err = Run(Options{
+		Locked: lockedC, Oracle: co, Seed: seed, Telemetry: telCrash,
+		Context: ctx, Checkpointer: w,
+	})
+	if err == nil {
+		t.Fatal("interrupted attack reported success")
+	}
+	w.Close()
+	if w.Writes() == 0 {
+		t.Fatal("crashed run persisted no snapshot")
+	}
+
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Responses)+len(snap.Scalar) == 0 {
+		t.Fatal("snapshot banked no oracle responses")
+	}
+
+	// Resumed run: fresh process, fresh oracle, snapshot in hand.
+	simRes := oracle.MustNewSim(h)
+	telRes := telemetry.New()
+	res, err := Run(Options{
+		Locked: lockedC, Oracle: simRes, Seed: seed, Telemetry: telRes,
+		ResumeFrom: snap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Key, ref.Key) {
+		t.Fatalf("resumed key differs from uninterrupted key:\n resumed %v\n scratch %v", res.Key, ref.Key)
+	}
+	if got := simRes.Queries(); got >= refQueries {
+		t.Fatalf("resumed run asked the chip %d patterns, scratch asked %d — resume saved nothing", got, refQueries)
+	}
+	if got := telRes.Counter("resume_loads_total").Value(); got != 1 {
+		t.Errorf("resume_loads_total = %d, want 1", got)
+	}
+	if got := telRes.Counter("resume_oracle_hits_total").Value(); got == 0 {
+		t.Error("resume_oracle_hits_total = 0, want banked replay hits")
+	}
+	if got := telRes.Counter("resume_dips_restored_total").Value(); got == 0 {
+		t.Error("resume_dips_restored_total = 0, want restored DIPs")
+	}
+}
+
+// TestResumeMismatchRefused pins the typed refusal: a snapshot resumed
+// against a different netlist or different attack options must fail
+// with ErrResumeMismatch before any oracle traffic.
+func TestResumeMismatchRefused(t *testing.T) {
+	lockedC, _, h := lockedInstance(t, "2A-O-A", 51)
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	w, err := checkpoint.NewWriter(checkpoint.WriterConfig{
+		Path: path, EveryEvents: 1, Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{
+		Locked: lockedC, Oracle: oracle.MustNewSim(h), Seed: 7,
+		Telemetry: telemetry.New(), Checkpointer: w,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	snap, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherC, _, otherH := lockedInstance(t, "2A-O-A", 52)
+	if _, err := Run(Options{
+		Locked: otherC, Oracle: oracle.MustNewSim(otherH), Seed: 7,
+		Telemetry: telemetry.New(), ResumeFrom: snap,
+	}); !errors.Is(err, ErrResumeMismatch) {
+		t.Fatalf("foreign netlist: got %v, want ErrResumeMismatch", err)
+	}
+
+	if _, err := Run(Options{
+		Locked: lockedC, Oracle: oracle.MustNewSim(h), Seed: 8,
+		Telemetry: telemetry.New(), ResumeFrom: snap,
+	}); !errors.Is(err, ErrResumeMismatch) {
+		t.Fatalf("different options: got %v, want ErrResumeMismatch", err)
+	}
+}
+
+func TestBankedOracle(t *testing.T) {
+	_, _, h := lockedInstance(t, "2A-O-A", 61)
+	sim := oracle.MustNewSim(h)
+	tel := telemetry.New()
+	b := newBankedOracle(sim, tel)
+
+	in := make([]uint64, b.NumInputs())
+	in[0] = 0xAAAA
+	out1, err := b.Query64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip := sim.Queries()
+	out2, err := b.Query64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Queries() != chip {
+		t.Fatal("banked repeat query reached the chip")
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatal("banked answer differs from the original")
+	}
+	if b.Hits() != 1 || tel.Counter("resume_oracle_hits_total").Value() != 1 {
+		t.Fatalf("hits = %d, counter = %d, want 1/1", b.Hits(), tel.Counter("resume_oracle_hits_total").Value())
+	}
+
+	// Scalar path.
+	sIn := make([]bool, b.NumInputs())
+	sIn[1] = true
+	sOut1, err := b.Query(sIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip = sim.Queries()
+	sOut2, err := b.Query(sIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Queries() != chip || !reflect.DeepEqual(sOut1, sOut2) {
+		t.Fatal("scalar bank miss or answer drift")
+	}
+
+	// Export → load into a fresh bank: the replayed bank serves the same
+	// answers with zero chip traffic.
+	resp, scalar := b.export()
+	b2 := newBankedOracle(sim, tel)
+	b2.load(resp, scalar)
+	chip = sim.Queries()
+	out3, err := b2.Query64(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOut3, err := b2.Query(sIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Queries() != chip {
+		t.Fatal("loaded bank reached the chip")
+	}
+	if !reflect.DeepEqual(out3, out1) || !reflect.DeepEqual(sOut3, sOut1) {
+		t.Fatal("loaded bank serves different answers")
+	}
+
+	// EvalMany with a partial hit: the banked batch is served locally,
+	// only the miss reaches the chip, order preserved.
+	miss := make([]uint64, b.NumInputs())
+	miss[0] = 0x5555
+	wantMiss, err := sim.Query64(append([]uint64(nil), miss...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip = sim.Queries()
+	outs, err := b.EvalMany([][]uint64{in, miss})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Queries() - chip; got != 64 {
+		t.Fatalf("partial-hit batch cost %d chip patterns, want 64", got)
+	}
+	if !reflect.DeepEqual(outs[0], out1) || !reflect.DeepEqual(outs[1], wantMiss) {
+		t.Fatal("EvalMany scrambled banked/missed answers")
+	}
+}
+
+// BenchmarkCheckpointOverhead guards the enumerate hot loop: with
+// checkpointing disabled the per-event cost is one nil check, and with
+// a writer armed but no snapshot due it is two atomic operations.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		a := &attack{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.ckptPump(1)
+		}
+	})
+	b.Run("armed-idle", func(b *testing.B) {
+		w, err := checkpoint.NewWriter(checkpoint.WriterConfig{
+			Path:        filepath.Join(b.TempDir(), "snap.ckpt"),
+			EveryEvents: math.MaxInt64, Interval: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		a := &attack{ck: &ckptState{w: w}}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a.ckptPump(1)
+		}
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/netlist"
 	"repro/internal/telemetry"
 )
@@ -49,6 +51,29 @@ const (
 	crossoverMaxProbeDIPs = 1 << 16
 )
 
+// probeMemo remembers probe-decided crossover outcomes ("sat" or "sim")
+// keyed by canonical netlist hash and worker count. Benchmark sweeps and
+// the attack service run many attacks over the same locked instance;
+// the probe's answer is a property of the instance, not the run, so
+// repeat attacks skip the calibration cost entirely. Only outcomes the
+// SAT-vs-sim race actually decided are memoized — structural shortcuts
+// (beyond-sat-cap, sim-floor, *-unavailable) are already cheap and may
+// depend on transient conditions.
+var probeMemo = cache.NewLRU[string, string](64)
+
+// resetProbeMemo clears the memo; tests use it to force a fresh probe.
+func resetProbeMemo() { probeMemo = cache.NewLRU[string, string](64) }
+
+// probeMemoKey identifies a crossover decision's scope. Empty when the
+// netlist cannot be canonicalized (the attack will fail later anyway).
+func probeMemoKey(opts *Options) string {
+	canon, err := bench.Canonical(opts.Locked)
+	if err != nil {
+		return ""
+	}
+	return cache.SumParts(canon) + "|w" + strconv.Itoa(opts.Workers)
+}
+
 // lemma1Assign is the attack's first-hypothesis pair assignment (copy A
 // carries key 1 on block 1, copy B all zeros) — the probe measures the
 // exact workload the enumerate phase runs first.
@@ -89,6 +114,34 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 			return NewSATExtractor(opts.Locked, layout)
 		}
 		return newCalibratedSim(opts, layout)
+	}
+
+	memoKey := probeMemoKey(opts)
+	if memoKey != "" {
+		if engine, ok := probeMemo.Get(memoKey); ok {
+			var ext Extractor
+			var err error
+			if engine == "sat" {
+				ext, err = NewSATExtractor(opts.Locked, layout)
+			} else {
+				ext, err = newCalibratedSim(opts, layout)
+			}
+			if err == nil {
+				tel.Counter("crossover_probe_reused_total").Inc()
+				tel.Gauge("crossover_block_width").Set(int64(n))
+				sp := root.Child("calibrate")
+				sp.SetArg("engine", engine)
+				sp.SetArg("reason", "probe-reused")
+				d := sp.End()
+				tel.Histogram(telemetry.Label("attack_phase_seconds", "phase", "calibrate"),
+					telemetry.DurationBuckets).Observe(d.Seconds())
+				tel.Counter(telemetry.Label("crossover_selected_total", "engine", engine)).Inc()
+				return ext, nil
+			}
+			// The remembered engine cannot be built in this process (e.g.
+			// the sim extractor's worker planning rejected the config);
+			// fall through and probe fresh.
+		}
 	}
 
 	tel.Counter("crossover_probes_total").Inc()
@@ -186,15 +239,22 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 	tel.Gauge("crossover_sat_probe_ns").Set(int64(satNs))
 	sp.SetArg("sat_probe_ns", strconv.FormatInt(int64(satNs), 10))
 	sp.SetArg("sat_probe_dips", strconv.FormatUint(dips, 10))
+	memo := func(engine string) {
+		if memoKey != "" {
+			probeMemo.Put(memoKey, engine)
+		}
+	}
 	if enumErr == nil && !overflow {
 		// The engine finished the first hypothesis' full enumeration
 		// inside the sim estimate; it keeps the learned clauses, so the
 		// attack's own extraction replays at assumption-switch cost.
+		memo("sat")
 		return pick("sat", "probe-won", satExt), nil
 	}
 	reason := "probe-timeout"
 	if overflow {
 		reason = "probe-dip-overflow"
 	}
+	memo("sim")
 	return pick("sim", reason, se), nil
 }

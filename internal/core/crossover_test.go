@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -122,6 +123,8 @@ func TestSetLaneWidthValidation(t *testing.T) {
 // left at 0 and asserts both that the recovered key is correct and that
 // the calibration probe is visible in the crossover_* telemetry family.
 func TestCrossoverAutoCalibration(t *testing.T) {
+	resetProbeMemo()
+	t.Cleanup(resetProbeMemo)
 	lockedC, inst, h := lockedInstance(t, "2A-O-A", 21)
 	tel := telemetry.New()
 	res, err := Run(Options{
@@ -146,6 +149,78 @@ func TestCrossoverAutoCalibration(t *testing.T) {
 	}
 	if got := tel.Gauge("crossover_block_width").Value(); got != 5 {
 		t.Errorf("crossover_block_width = %d, want 5", got)
+	}
+}
+
+// TestCrossoverProbeMemo covers probe-cost amortization: a second
+// calibration over the same canonical netlist and worker count skips
+// the probe and reuses the remembered engine, while a different worker
+// count is a different calibration scope and probes fresh.
+func TestCrossoverProbeMemo(t *testing.T) {
+	resetProbeMemo()
+	t.Cleanup(resetProbeMemo)
+	lockedC, layout := widthInstance(t, 13, 301)
+
+	choose := func(tel *telemetry.Registry, workers int) Extractor {
+		t.Helper()
+		opts := Options{Locked: lockedC, Telemetry: tel, Workers: workers}
+		root := tel.StartSpan("attack")
+		defer root.End()
+		ext, err := chooseExtractor(context.Background(), &opts, layout, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ext
+	}
+
+	tel1 := telemetry.New()
+	choose(tel1, 1)
+	if got := tel1.Counter("crossover_probes_total").Value(); got != 1 {
+		t.Fatalf("first choice: crossover_probes_total = %d, want 1", got)
+	}
+	if got := tel1.Counter("crossover_probe_reused_total").Value(); got != 0 {
+		t.Fatalf("first choice: crossover_probe_reused_total = %d, want 0", got)
+	}
+	if probeMemo.Len() == 0 {
+		// The probe short-circuited structurally on this host (for
+		// example sim-floor on a very fast machine); such outcomes are
+		// deliberately not memoized, so seed the memo the way a
+		// probe-decided run would have to keep the reuse path covered.
+		probeMemo.Put(probeMemoKey(&Options{Locked: lockedC, Workers: 1}), "sim")
+	}
+
+	tel2 := telemetry.New()
+	ext2 := choose(tel2, 1)
+	if got := tel2.Counter("crossover_probe_reused_total").Value(); got != 1 {
+		t.Errorf("second choice: crossover_probe_reused_total = %d, want 1", got)
+	}
+	if got := tel2.Counter("crossover_probes_total").Value(); got != 0 {
+		t.Errorf("second choice: crossover_probes_total = %d, want 0 (memo hit)", got)
+	}
+	engine, ok := probeMemo.Get(probeMemoKey(&Options{Locked: lockedC, Workers: 1}))
+	if !ok {
+		t.Fatal("memo entry vanished")
+	}
+	switch engine {
+	case "sat":
+		if _, isSat := ext2.(*SATExtractor); !isSat {
+			t.Errorf("memo says sat but reuse built %T", ext2)
+		}
+	case "sim":
+		if _, isSim := ext2.(*SimExtractor); !isSim {
+			t.Errorf("memo says sim but reuse built %T", ext2)
+		}
+	default:
+		t.Fatalf("memo holds unknown engine %q", engine)
+	}
+
+	tel3 := telemetry.New()
+	choose(tel3, 2)
+	if got := tel3.Counter("crossover_probes_total").Value(); got != 1 {
+		t.Errorf("different workers: crossover_probes_total = %d, want 1", got)
+	}
+	if got := tel3.Counter("crossover_probe_reused_total").Value(); got != 0 {
+		t.Errorf("different workers: crossover_probe_reused_total = %d, want 0", got)
 	}
 }
 

@@ -188,6 +188,29 @@ func (s *DIPSet) Equal(o *DIPSet) bool {
 	return true
 }
 
+// CloneWords returns a copy of the packed membership words (word b =
+// patterns b·64 … b·64+63) — the serialization a checkpoint snapshot
+// stores. The copy decouples the snapshot from the live set, which the
+// attack keeps mutating after the writer goroutine takes over.
+func (s *DIPSet) CloneWords() []uint64 {
+	return append([]uint64(nil), s.words...)
+}
+
+// NewDIPSetFromWords reconstructs a set from snapshot words. The word
+// count must match the width exactly (the same layout CloneWords
+// produced); anything else is a corrupt or mismatched snapshot.
+func NewDIPSetFromWords(n int, words []uint64) (*DIPSet, error) {
+	s, err := NewDIPSet(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(words) != len(s.words) {
+		return nil, fmt.Errorf("%w: %d snapshot words for width %d, want %d", ErrBlockWidth, len(words), n, len(s.words))
+	}
+	copy(s.words, words)
+	return s, nil
+}
+
 // Elements materializes the set as an ascending slice — convenience for
 // tests and small sets; the attack itself iterates in place.
 func (s *DIPSet) Elements() []uint64 {

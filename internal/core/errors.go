@@ -40,6 +40,14 @@ var ErrPartial = errors.New("core: attack interrupted before key recovery")
 // to reject malformed or oversized instances before any work is queued.
 var ErrBlockWidth = errors.New("core: block width outside supported range")
 
+// ErrResumeMismatch classifies resume refusals: the checkpoint snapshot
+// passed to Options.ResumeFrom was taken from a different attack — a
+// different locked netlist (canonical hash mismatch), different
+// semantics options, or a different block width. Resuming anyway would
+// silently blend two instances' progress, so the attack refuses before
+// touching the oracle.
+var ErrResumeMismatch = errors.New("core: checkpoint does not match this attack instance")
+
 // PanicError is a panic converted into an error by RunSafe (or any
 // other panic-to-error boundary): long-running callers — the attack
 // daemon above all — must not die because one malformed netlist drove

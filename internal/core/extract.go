@@ -103,6 +103,9 @@ type SATExtractor struct {
 	eng    *engine.Engine // lazily built persistent engine (non-legacy path)
 	phase  string         // pending phase label, applied when eng is built
 
+	progress func(set *DIPSet, complete bool) // checkpoint hook; nil = disabled
+	seed     *DIPSet                          // resume seed, consumed by the next DIPs call
+
 	// Legacy encoding cache, keyed by the packed (A,B) assignment bits.
 	encodings *cache.LRU[string, *satEncoding]
 }
@@ -158,6 +161,30 @@ func (e *SATExtractor) SetPhase(name string) {
 	if e.eng != nil {
 		e.eng.SetPhase(name)
 	}
+}
+
+// SetProgress installs a checkpoint hook: it is invoked on the
+// enumerating goroutine after every accepted DIP with the (still
+// mutating) output set and complete=false, and once more with
+// complete=true when an enumeration finishes. The per-DIP cost when no
+// hook is installed is a single nil check.
+func (e *SATExtractor) SetProgress(fn func(set *DIPSet, complete bool)) { e.progress = fn }
+
+// SeedDIPs arms the next DIPs call with a checkpoint's partial set: the
+// seeded patterns are replayed into the enumeration as blocking clauses
+// (engine path) or permanent clauses (legacy path) before solving, so
+// enumeration continues where the snapshot stopped instead of
+// re-deriving every pattern. Consumed by exactly one extraction.
+func (e *SATExtractor) SeedDIPs(set *DIPSet) { e.seed = set }
+
+// takeSeed consumes the pending resume seed if it matches the width.
+func (e *SATExtractor) takeSeed() *DIPSet {
+	s := e.seed
+	e.seed = nil
+	if s != nil && s.BlockWidth() != e.layout.N() {
+		return nil
+	}
+	return s
 }
 
 // Engine returns the persistent incremental engine, building it on first
@@ -301,13 +328,25 @@ func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 	}
 	sp := e.tel.StartSpan("extract")
 	sp.SetArg("engine", "sat-incremental")
+	var seedFn func(yield func(pat uint64) bool)
+	if s := e.takeSeed(); s != nil {
+		s.ForEach(func(pat uint64) bool {
+			out.Add(pat)
+			return true
+		})
+		seedFn = s.ForEach
+		sp.SetArg("seeded", strconv.FormatUint(s.Count(), 10))
+	}
 	var dup error
-	enumErr := eng.EnumerateDIPs(assign.A, assign.B, func(pat uint64) bool {
+	enumErr := eng.EnumerateDIPsSeeded(assign.A, assign.B, seedFn, func(pat uint64) bool {
 		if out.Contains(pat) {
 			dup = fmt.Errorf("core: SAT enumeration returned duplicate pattern %b", pat)
 			return false
 		}
 		out.Add(pat)
+		if e.progress != nil {
+			e.progress(out, false)
+		}
 		return true
 	})
 	if e.tel != nil {
@@ -322,6 +361,9 @@ func (e *SATExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 			return out, enumErr // partially enumerated: valid up to the cancel point
 		}
 		return nil, enumErr
+	}
+	if e.progress != nil {
+		e.progress(out, true)
 	}
 	return out, nil
 }
@@ -359,6 +401,23 @@ func (e *SATExtractor) dipsLegacy(assign PairAssign) (*DIPSet, error) {
 		sp.End()
 	}()
 	blocking := make([]cnf.Lit, len(enc.block))
+	if s := e.takeSeed(); s != nil {
+		// Resume seed: the snapshot's patterns are re-blocked permanently
+		// (this path owns a throwaway solver, so no scopes are needed) and
+		// enumeration continues past them.
+		s.ForEach(func(pat uint64) bool {
+			for i, l := range enc.block {
+				if pat&(1<<uint(i)) != 0 {
+					blocking[i] = l.Neg()
+				} else {
+					blocking[i] = l
+				}
+			}
+			out.Add(pat)
+			solver.Add(blocking...)
+			return true
+		})
+	}
 	start := time.Now()
 	for {
 		if e.ctx != nil {
@@ -372,6 +431,9 @@ func (e *SATExtractor) dipsLegacy(assign PairAssign) (*DIPSet, error) {
 			continue // budget slice exhausted: recheck the context
 		}
 		if st == sat.Unsat {
+			if e.progress != nil {
+				e.progress(out, true)
+			}
 			return out, nil
 		}
 		var pat uint64
@@ -388,6 +450,9 @@ func (e *SATExtractor) dipsLegacy(assign PairAssign) (*DIPSet, error) {
 		}
 		out.Add(pat)
 		solver.Add(blocking...)
+		if e.progress != nil {
+			e.progress(out, false)
+		}
 	}
 }
 
@@ -458,7 +523,17 @@ type SimExtractor struct {
 	laneWords int                 // words per batch group: 0 = auto (8), 1/4/8 = 64/256/512 lanes
 	ctx       context.Context     // nil = never cancelled
 	tel       *telemetry.Registry // nil = uninstrumented
+
+	progress func(set *DIPSet, complete bool) // checkpoint hook; nil = disabled
 }
+
+// SetProgress installs a checkpoint hook. The sharded walk deposits
+// words concurrently, so the hook fires only at enumeration completion
+// (with complete=true): a complete exhaustive set is the only state a
+// snapshot can restore without racing the shard workers, and the walk
+// itself is pure recomputation — nothing irreplaceable is lost by not
+// checkpointing mid-walk.
+func (e *SimExtractor) SetProgress(fn func(set *DIPSet, complete bool)) { e.progress = fn }
 
 // NewSimExtractor compiles the key cone of the locked circuit and
 // self-checks it against full-netlist simulation on random patterns.
@@ -964,6 +1039,9 @@ func (e *SimExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 		if err := e.ctx.Err(); err != nil {
 			return out, err // partially enumerated: words up to the cancel point
 		}
+	}
+	if e.progress != nil {
+		e.progress(out, true)
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -229,5 +230,99 @@ func TestPermanentOracleFailureIsPartial(t *testing.T) {
 	}
 	if !errors.Is(err, ErrPartial) {
 		t.Fatalf("permanent oracle failure did not degrade gracefully: %v", err)
+	}
+}
+
+// TestCancelUnwindsDecodePromptly cancels the attack the moment
+// extraction hands its DIP set to the decoder: the Algorithm-1 class
+// walks and the δ-candidate scan must notice the cancellation through
+// their pollers instead of grinding through a >8k-element structured
+// class, and the partial error must name "decode" as the interrupted
+// stage. Before the pollers existed, this instance held the wind-down
+// hostage for the full scan (minutes at signal-smoke widths).
+func TestCancelUnwindsDecodePromptly(t *testing.T) {
+	h := host(t, 20)
+	locked, _, err := lock.ApplyCAS(h, lock.CASOptions{
+		Chain: lock.MustParseChain("3A-O-14A-O"), Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var cancelled time.Time
+	_, err = Run(Options{
+		Context: ctx,
+		Locked:  locked.Circuit,
+		Oracle:  oracle.MustNewSim(h),
+		Seed:    3,
+		Log: func(format string, args ...any) {
+			if strings.HasPrefix(format, "extracted |I_l|") && cancelled.IsZero() {
+				cancelled = time.Now()
+				cancel()
+			}
+		},
+	})
+	if cancelled.IsZero() {
+		t.Fatalf("extraction never reported a DIP set (err=%v)", err)
+	}
+	elapsed := time.Since(cancelled)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("cancelled decode returned %v, want *PartialError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("partial error lost the cancellation cause: %v", err)
+	}
+	if pe.Stage != "decode" {
+		t.Fatalf("interrupted stage = %q, want decode", pe.Stage)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("decode held the cancellation for %v", elapsed)
+	}
+}
+
+// TestDeltaCandidatesPollsContext drives the δ scan directly with a
+// cancelled context and a structured class big enough to cross the
+// poll stride, checking the scan aborts with the context error rather
+// than completing (or worse, returning a truncated candidate list that
+// looks like a legitimate "needs calibration" answer).
+func TestDeltaCandidatesPollsContext(t *testing.T) {
+	const n = 18
+	dips, err := NewDIPSet(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := uint64(1) << (n - 1)
+	st := &structured{dips: dips, bigTop: true, s: 0}
+	st.wSet = make(map[uint64]struct{}, half)
+	for p := half; p < 2*half; p++ {
+		dips.Add(p)
+		st.wList = append(st.wList, p)
+		st.wSet[p] = struct{}{}
+	}
+	// One suppressed element: small = {w0 ⊕ ¬s} with w0 the first
+	// one-point, so V = W ∖ {w0} and the exact quadratic verification
+	// path is reachable.
+	mask := blockMask(n)
+	dips.Add(half ^ mask)
+	st.total = dips.Count()
+	st.nBig = half
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := &attack{ctx: ctx, layout: &BlockLayout{
+		InputPos: make([]int, n), Key1Pos: make([]int, n), Key2Pos: make([]int, n),
+	}}
+	start := time.Now()
+	out, err := a.deltaCandidates(st)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("deltaCandidates under cancelled ctx returned (%v, %v), want context.Canceled", out, err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled scan still produced candidates: %v", out)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled scan ran for %v", elapsed)
 	}
 }

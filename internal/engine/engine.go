@@ -29,9 +29,13 @@ import (
 	"repro/internal/telemetry"
 )
 
-// compactThreshold is the number of retired blocking clauses that
-// triggers a Simplify pass over the clause database.
-const compactThreshold = 4096
+// defaultCompactBytes is the estimated volume of retired blocking-scope
+// clauses that triggers a Simplify pass over the clause database. A
+// bytes threshold tracks the real memory held hostage by retired scopes
+// — wide blocking clauses (one literal per chain input) reach it in
+// proportionally fewer clauses than narrow ones, where the old fixed
+// clause-count trigger compacted far too late on c7552-profile miters.
+const defaultCompactBytes = 1 << 20
 
 // Engine owns the persistent encoding and solver. It is not safe for
 // concurrent use; the attack drives it from one goroutine (service jobs
@@ -56,8 +60,9 @@ type Engine struct {
 	bud        budgeter
 	phaseStats map[string]sat.Stats
 
-	sessions uint64 // completed solve sessions, for encodings-avoided accounting
-	retired  uint64 // blocking clauses retired since the last Simplify
+	sessions     uint64 // completed solve sessions, for encodings-avoided accounting
+	compactBytes uint64 // retired-bytes threshold that triggers Simplify
+	dbHighWater  uint64 // largest clause-DB size observed, mirrored as a gauge
 
 	assume   []cnf.Lit // scratch: assumption vector
 	blocking []cnf.Lit // scratch: per-model blocking clause
@@ -81,10 +86,11 @@ func New(locked *netlist.Circuit, blockPos []int) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		locked:   locked,
-		blockPos: append([]int(nil), blockPos...),
-		nKeys:    locked.NumKeys(),
-		bud:      newBudgeter(),
+		locked:       locked,
+		blockPos:     append([]int(nil), blockPos...),
+		nKeys:        locked.NumKeys(),
+		bud:          newBudgeter(),
+		compactBytes: defaultCompactBytes,
 	}, nil
 }
 
@@ -268,6 +274,18 @@ func (e *Engine) checkKeys(a, b []bool) error {
 // stops and the context's error is returned (patterns already visited
 // remain valid — the set is simply incomplete).
 func (e *Engine) EnumerateDIPs(A, B []bool, visit func(pat uint64) bool) error {
+	return e.EnumerateDIPsSeeded(A, B, nil, visit)
+}
+
+// EnumerateDIPsSeeded is EnumerateDIPs with the session's blocking scope
+// pre-charged: before solving, every pattern yielded by seed is pushed
+// as a blocking clause, exactly as if it had just been enumerated — the
+// mechanism a resumed attack uses to replay a checkpoint's accumulated
+// DIPs into a fresh engine so enumeration continues where the crashed
+// process stopped. Seeded patterns are not re-visited; only patterns
+// found by the solver reach visit. A nil seed degenerates to
+// EnumerateDIPs.
+func (e *Engine) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint64) bool), visit func(pat uint64) bool) error {
 	if err := e.ensure(); err != nil {
 		return err
 	}
@@ -283,6 +301,24 @@ func (e *Engine) EnumerateDIPs(A, B []bool, visit func(pat uint64) bool) error {
 	assume := e.keyAssumptions(e.assume[:0], A, B)
 	assume = append(assume, act, e.diff)
 	e.assume = assume
+
+	if seed != nil {
+		var replayed uint64
+		seed(func(pat uint64) bool {
+			blocking := e.blocking[:0]
+			for i, l := range e.block {
+				if pat&(1<<uint(i)) != 0 {
+					blocking = append(blocking, l.Neg())
+				} else {
+					blocking = append(blocking, l)
+				}
+			}
+			e.blocking = blocking
+			replayed++
+			return e.solver.PushBlocking(blocking...)
+		})
+		e.tel.Counter("engine_seeded_dips_total").Add(replayed)
+	}
 
 	for {
 		if e.ctx != nil {
@@ -352,19 +388,50 @@ func (e *Engine) Distinguish(keyA, keyB []bool, budget uint64) (witness []bool, 
 }
 
 // retireScope closes the enumeration's blocking scope and compacts the
-// clause database once enough retired scopes have piled up.
+// clause database once the retired scopes hold enough bytes hostage.
+// The trigger thresholds on estimated clause-database bytes rather than
+// a retired-clause count, so compaction cadence adapts to clause width;
+// the observed database size feeds a pair of gauges (current +
+// high-water mark) for capacity planning on big miters.
 func (e *Engine) retireScope() {
-	before := e.solver.Stats().BlockingRetired
 	e.solver.ResetBlocking()
-	e.retired += e.solver.Stats().BlockingRetired - before
-	if e.retired < compactThreshold {
+	db := e.solver.ClauseBytes()
+	e.tel.Gauge("sat_clause_db_bytes").Set(int64(db))
+	if db > e.dbHighWater {
+		e.dbHighWater = db
+		e.tel.Gauge("sat_clause_db_bytes_hwm").Set(int64(db))
+	}
+	if e.solver.RetiredBytes() < e.compactBytes {
 		return
 	}
 	sp := e.tel.StartSpanLane("engine_compact", telemetry.EngineLane)
 	removedBefore := e.solver.Stats().Simplified
 	e.solver.Simplify()
-	e.retired = 0
 	e.tel.Counter("engine_simplify_runs_total").Inc()
 	e.tel.Counter("engine_simplify_removed_total").Add(e.solver.Stats().Simplified - removedBefore)
+	e.tel.Gauge("sat_clause_db_bytes").Set(int64(e.solver.ClauseBytes()))
 	sp.End()
+}
+
+// SetCompactBytes overrides the retired-bytes Simplify threshold (tests
+// use a tiny value to force compaction on small formulas). Non-positive
+// values are ignored.
+func (e *Engine) SetCompactBytes(n uint64) {
+	if n > 0 {
+		e.compactBytes = n
+	}
+}
+
+// BudgetRate exposes the budgeter's persistent EWMA conflict rate so a
+// checkpoint can carry the deadline-slicing history across a restart.
+// Zero means no rate has been observed yet.
+func (e *Engine) BudgetRate() float64 { return e.bud.rate }
+
+// SetBudgetRate restores a previously observed conflict rate into the
+// budgeter, so a resumed attack sizes its first slices from real history
+// instead of a cold probe. Non-positive rates are ignored.
+func (e *Engine) SetBudgetRate(rate float64) {
+	if rate > 0 {
+		e.bud.rate = rate
+	}
 }

@@ -289,3 +289,55 @@ func TestEnumerateCancelled(t *testing.T) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
+
+// TestCompactBytesTrigger covers the bytes-based Simplify trigger: the
+// default threshold leaves a small formula's retired scopes alone, a
+// tiny override compacts after the first retired blocking clause, and
+// the clause-DB gauges track the observed database size.
+func TestCompactBytesTrigger(t *testing.T) {
+	locked := lockedInstance(t, 6, "2A-O-A", 7)
+	eng, err := New(locked, allInputs(locked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	eng.SetTelemetry(tel)
+	rng := rand.New(rand.NewSource(9))
+	nk := locked.NumKeys()
+	run := func() {
+		t.Helper()
+		for trial := 0; trial < 4; trial++ {
+			collect(t, eng, randomKey(rng, nk), randomKey(rng, nk))
+		}
+	}
+
+	run()
+	if got := tel.Counter("engine_simplify_runs_total").Value(); got != 0 {
+		t.Fatalf("default threshold compacted a tiny formula (%d runs)", got)
+	}
+	db := tel.Gauge("sat_clause_db_bytes").Value()
+	hwm := tel.Gauge("sat_clause_db_bytes_hwm").Value()
+	if db <= 0 || hwm < db {
+		t.Fatalf("clause-DB gauges incoherent: current=%d hwm=%d", db, hwm)
+	}
+
+	eng.SetCompactBytes(1)
+	run()
+	if got := tel.Counter("engine_simplify_runs_total").Value(); got == 0 {
+		t.Fatal("1-byte threshold never triggered Simplify")
+	}
+
+	// Correctness after forced compaction: enumeration still matches
+	// brute force on a fresh assignment.
+	keyA, keyB := randomKey(rng, nk), randomKey(rng, nk)
+	want := bruteDIPs(t, locked, keyA, keyB)
+	got := collect(t, eng, keyA, keyB)
+	if len(got) != len(want) {
+		t.Fatalf("post-compaction enumeration found %d DIPs, want %d", len(got), len(want))
+	}
+
+	eng.SetCompactBytes(0) // ignored
+	if eng.compactBytes != 1 {
+		t.Fatal("SetCompactBytes(0) was not ignored")
+	}
+}

@@ -25,6 +25,16 @@ func (s *Solver) BlockingLit() cnf.Lit {
 	return s.blockingAct
 }
 
+// approxClauseBytes estimates the resident cost of one attached clause:
+// the clause struct (slice header, activity, learnt flag), its literal
+// array, the *clause slot in the database slice, and the two watcher
+// entries. An estimate is all the Simplify trigger needs — the point is
+// to scale the compaction cadence with clause width, which the old
+// count-only heuristic ignored.
+func approxClauseBytes(nLits int) uint64 {
+	return 80 + 4*uint64(nLits)
+}
+
 // PushBlocking adds a clause to the open blocking scope (opening one if
 // needed): the clause is active only under the BlockingLit assumption.
 // It returns false if the solver is unsatisfiable at level 0.
@@ -34,6 +44,7 @@ func (s *Solver) PushBlocking(lits ...cnf.Lit) bool {
 	guarded = append(guarded, act.Neg())
 	guarded = append(guarded, lits...)
 	s.blockingCount++
+	s.blockingBytes += approxClauseBytes(len(guarded))
 	s.stats.BlockingPushed++
 	return s.AddClause(guarded...)
 }
@@ -50,7 +61,29 @@ func (s *Solver) ResetBlocking() {
 	s.blockingAct = 0
 	s.stats.BlockingRetired += s.blockingCount
 	s.blockingCount = 0
+	s.retiredBytes += s.blockingBytes
+	s.blockingBytes = 0
 	s.AddClause(act.Neg())
+}
+
+// RetiredBytes returns the estimated bytes held by retired blocking
+// scopes that Simplify has not yet reclaimed — the quantity a
+// bytes-based compaction trigger should threshold on, since a few
+// thousand wide clauses can outweigh ten times as many narrow ones.
+func (s *Solver) RetiredBytes() uint64 { return s.retiredBytes }
+
+// ClauseBytes returns the estimated resident size of the attached clause
+// database (problem clauses + retained learnts). It walks both slices,
+// so callers should sample it at session boundaries, not in hot loops.
+func (s *Solver) ClauseBytes() uint64 {
+	var total uint64
+	for _, c := range s.clauses {
+		total += approxClauseBytes(len(c.lits))
+	}
+	for _, c := range s.learnts {
+		total += approxClauseBytes(len(c.lits))
+	}
+	return total
 }
 
 // NumClauses returns the number of attached problem clauses (units live
@@ -84,6 +117,7 @@ func (s *Solver) Simplify() bool {
 	}
 	s.clauses = s.removeSatisfied(s.clauses)
 	s.learnts = s.removeSatisfied(s.learnts)
+	s.retiredBytes = 0
 	return true
 }
 

@@ -110,6 +110,8 @@ type Solver struct {
 
 	blockingAct   cnf.Lit // open blocking scope's activation literal (0 = none)
 	blockingCount uint64  // clauses pushed into the open scope
+	blockingBytes uint64  // estimated bytes of the open scope's clauses
+	retiredBytes  uint64  // estimated bytes retired but not yet simplified away
 
 	maxLearnts float64
 	model      []lbool

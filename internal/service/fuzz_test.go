@@ -1,0 +1,51 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzJournalReplay asserts the WAL decoder's contract on arbitrary
+// bytes: it never panics, every rejection is typed ErrJournalCorrupt,
+// accepted records re-encode to the consumed prefix byte-for-byte, and
+// the ledger fold (buildReplay) digests whatever survives decoding.
+func FuzzJournalReplay(f *testing.F) {
+	var wal []byte
+	wal = append(wal, encodeRecord(recSubmit, []byte("j-000001"), []byte("hash-a"), []byte(`{"locked":"x"}`))...)
+	wal = append(wal, encodeRecord(recStart, []byte("hash-a"))...)
+	wal = append(wal, encodeRecord(recCheckpointRef, []byte("hash-a"), []byte("cas/ck-hash-a.bin"))...)
+	wal = append(wal, encodeRecord(recDone, []byte("hash-a"), []byte("done"))...)
+	wal = append(wal, encodeRecord(recCancel, []byte("j-000001"))...)
+	f.Add(wal)
+	f.Add(wal[:len(wal)-3]) // torn tail
+	f.Add(encodeRecord(recSubmit))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, consumed, err := parseJournal(data)
+		if err != nil {
+			if !errors.Is(err, ErrJournalCorrupt) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		var re []byte
+		for _, r := range recs {
+			re = append(re, encodeRecord(r.typ, r.fields...)...)
+		}
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatal("accepted records do not re-encode to the consumed prefix")
+		}
+		jobs, doneHashes := buildReplay(recs)
+		for _, j := range jobs {
+			if j.id == "" || j.hash == "" {
+				t.Fatal("replay admitted a job without id or hash")
+			}
+		}
+		_ = doneHashes
+	})
+}

@@ -1,0 +1,320 @@
+// WAL-backed job journal: the durability layer that lets the attack
+// daemon survive a crash or restart without losing its job ledger.
+//
+// Every admission-visible transition appends one fsync'd record to an
+// append-only write-ahead log (<journal-dir>/journal.wal):
+//
+//	submit  id, hash, request-JSON   — a job was admitted
+//	start   hash                     — its execution began on a worker
+//	ckptref hash, relative-path      — a checkpoint writer was armed
+//	done    hash, state              — the execution sealed an outcome
+//	cancel  id                       — a submitter withdrew the job
+//
+// Each record is framed u32 payload length | u32 CRC-32 (IEEE) |
+// payload, payload = type byte followed by u32-length-prefixed fields.
+// A torn tail (crash mid-append) is tolerated silently — the file is
+// truncated back to the last whole record — while a CRC mismatch in the
+// interior is real corruption and fails the boot with ErrJournalCorrupt.
+//
+// Large state lives beside the log in a content-addressed directory
+// (<journal-dir>/cas/): attack checkpoints at ck-<hash>.bin (written by
+// the checkpoint.Writer the worker arms) and sealed outcomes at
+// out-<hash>.json. On boot the replayed ledger re-creates terminal jobs
+// from their outcome blobs and re-admits unfinished ones, resuming from
+// their latest checkpoint, so GET /v1/attacks/{id} survives a daemon
+// restart.
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrJournalCorrupt reports interior journal damage: a record whose CRC
+// does not match (and which is not the torn final append) or whose
+// framing is malformed. Boot refuses to proceed on it — silently
+// skipping interior records would resurrect or lose jobs arbitrarily.
+var ErrJournalCorrupt = errors.New("service: journal corrupt")
+
+// Journal record types.
+const (
+	recSubmit        byte = 1
+	recStart         byte = 2
+	recCheckpointRef byte = 3
+	recDone          byte = 4
+	recCancel        byte = 5
+)
+
+// maxJournalRecord bounds one record's payload; a length prefix beyond
+// it is corruption, not a real record.
+const maxJournalRecord = 16 << 20
+
+// journalFile is the WAL file name inside Config.JournalDir.
+const journalFile = "journal.wal"
+
+// record is one decoded journal entry.
+type record struct {
+	typ    byte
+	fields [][]byte
+}
+
+// field returns field i or nil.
+func (r record) field(i int) []byte {
+	if i < len(r.fields) {
+		return r.fields[i]
+	}
+	return nil
+}
+
+// encodeRecord frames a record for appending.
+func encodeRecord(typ byte, fields ...[]byte) []byte {
+	payload := []byte{typ}
+	var lenBuf [4]byte
+	for _, f := range fields {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(f)))
+		payload = append(payload, lenBuf[:]...)
+		payload = append(payload, f...)
+	}
+	out := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// parseJournal decodes a WAL byte stream. It returns the whole records,
+// the number of bytes they occupy (so a torn tail can be truncated
+// away), and ErrJournalCorrupt on interior damage. It never panics on
+// hostile input.
+func parseJournal(data []byte) ([]record, int, error) {
+	var recs []record
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			break // torn tail: header cut short
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxJournalRecord {
+			return nil, 0, fmt.Errorf("%w: record length %d at offset %d", ErrJournalCorrupt, n, off)
+		}
+		end := off + 8 + int(n)
+		if end > len(data) {
+			break // torn tail: payload cut short
+		}
+		payload := data[off+8 : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if end == len(data) {
+				break // torn final append that still wrote its full length
+			}
+			return nil, 0, fmt.Errorf("%w: CRC mismatch at offset %d", ErrJournalCorrupt, off)
+		}
+		r, err := decodePayload(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		recs = append(recs, r)
+		off = end
+	}
+	return recs, off, nil
+}
+
+// decodePayload splits a CRC-validated payload into type + fields.
+func decodePayload(p []byte) (record, error) {
+	r := record{typ: p[0]}
+	rest := p[1:]
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return record{}, fmt.Errorf("%w: field header cut short", ErrJournalCorrupt)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if uint64(n) > uint64(len(rest)-4) {
+			return record{}, fmt.Errorf("%w: field length %d exceeds payload", ErrJournalCorrupt, n)
+		}
+		r.fields = append(r.fields, append([]byte(nil), rest[4:4+n]...))
+		rest = rest[4+n:]
+	}
+	return r, nil
+}
+
+// journal owns the WAL file handle and the content-addressed blob dir.
+type journal struct {
+	dir string
+	mu  sync.Mutex
+	f   *os.File
+}
+
+// openJournal prepares the journal directory, replays the existing WAL
+// (truncating a torn tail), and opens the log for appending.
+func openJournal(dir string) (*journal, []record, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "cas"), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("service: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+	recs, consumed, err := parseJournal(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if consumed < len(data) {
+		if err := os.Truncate(path, int64(consumed)); err != nil {
+			return nil, nil, fmt.Errorf("service: truncating torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	return &journal{dir: dir, f: f}, recs, nil
+}
+
+// append frames, writes and fsyncs one record.
+func (j *journal) append(typ byte, fields ...[]byte) error {
+	buf := encodeRecord(typ, fields...)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.Close()
+}
+
+// checkpointPath is where a job's attack checkpoint lives, beside the
+// cached outcomes, keyed by the job's content address.
+func (j *journal) checkpointPath(hash string) string {
+	return filepath.Join(j.dir, "cas", "ck-"+hash+".bin")
+}
+
+func (j *journal) outcomePath(hash string) string {
+	return filepath.Join(j.dir, "cas", "out-"+hash+".json")
+}
+
+// persistedOutcome is the JSON shape of a sealed outcome blob.
+type persistedOutcome struct {
+	Result    *JobResult      `json:"result,omitempty"`
+	Partial   *PartialInfo    `json:"partial,omitempty"`
+	ErrorKind ErrorKind       `json:"error_kind,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Trace     json.RawMessage `json:"trace,omitempty"`
+}
+
+// writeOutcome persists a sealed outcome blob (temp + rename, so a
+// crash mid-write never leaves a half blob behind a done record).
+func (j *journal) writeOutcome(hash string, out *outcome) error {
+	po := persistedOutcome{Result: out.result, Partial: out.partial}
+	if out.jobErr != nil {
+		po.ErrorKind = out.jobErr.Kind
+		if out.jobErr.Err != nil {
+			po.Error = out.jobErr.Err.Error()
+		}
+	}
+	if len(out.trace) > 0 {
+		po.Trace = out.trace
+	}
+	data, err := json.Marshal(po)
+	if err != nil {
+		return err
+	}
+	path := j.outcomePath(hash)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".out-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(name, path)
+	}
+	if err != nil {
+		os.Remove(name)
+	}
+	return err
+}
+
+// loadOutcome reads a sealed outcome blob back.
+func (j *journal) loadOutcome(hash string) (*outcome, error) {
+	data, err := os.ReadFile(j.outcomePath(hash))
+	if err != nil {
+		return nil, err
+	}
+	var po persistedOutcome
+	if err := json.Unmarshal(data, &po); err != nil {
+		return nil, err
+	}
+	out := &outcome{result: po.Result, partial: po.Partial, trace: po.Trace}
+	if po.ErrorKind != "" {
+		out.jobErr = &JobError{Kind: po.ErrorKind, Err: errors.New(po.Error)}
+	}
+	return out, nil
+}
+
+// removeCheckpoint discards a job's checkpoint blob once its outcome is
+// sealed; a done record always wins over a leftover checkpoint anyway.
+func (j *journal) removeCheckpoint(hash string) {
+	os.Remove(j.checkpointPath(hash))
+}
+
+// replayJob is one ledger entry reconstructed from the journal.
+type replayJob struct {
+	id       string
+	hash     string
+	reqJSON  []byte
+	started  bool
+	canceled bool
+}
+
+// buildReplay folds the record stream into the job ledger: the jobs in
+// submission order plus the set of hashes whose execution sealed an
+// outcome (value = terminal state name). A job whose hash has a done
+// record is terminal; a canceled job is terminal; everything else is
+// pending and must be re-admitted. Unknown record types are skipped so
+// an old binary can replay a newer journal's ledger subset.
+func buildReplay(recs []record) ([]*replayJob, map[string]string) {
+	var jobs []*replayJob
+	byID := make(map[string]*replayJob)
+	byHash := make(map[string][]*replayJob)
+	doneHashes := make(map[string]string)
+	for _, r := range recs {
+		switch r.typ {
+		case recSubmit:
+			id, hash := string(r.field(0)), string(r.field(1))
+			if id == "" || hash == "" || byID[id] != nil {
+				continue
+			}
+			j := &replayJob{id: id, hash: hash, reqJSON: append([]byte(nil), r.field(2)...)}
+			jobs = append(jobs, j)
+			byID[id] = j
+			byHash[hash] = append(byHash[hash], j)
+		case recStart:
+			for _, j := range byHash[string(r.field(0))] {
+				j.started = true
+			}
+		case recDone:
+			doneHashes[string(r.field(0))] = string(r.field(1))
+		case recCancel:
+			if j := byID[string(r.field(0))]; j != nil {
+				j.canceled = true
+			}
+		}
+	}
+	return jobs, doneHashes
+}

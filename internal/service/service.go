@@ -18,8 +18,11 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,6 +30,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
@@ -56,6 +60,14 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Log, when non-nil, receives operational messages.
 	Log func(format string, args ...any)
+	// JournalDir, when non-empty, arms crash durability: every job
+	// transition is appended to a WAL in this directory, executions
+	// checkpoint their attack progress into a content-addressed blob
+	// store beside it, and New replays the journal on boot — terminal
+	// jobs are reconstructed from their sealed outcomes and unfinished
+	// ones re-admitted, resuming from their latest checkpoint. Empty
+	// disables durability (the pre-journal in-memory behavior).
+	JournalDir string
 }
 
 // AttackRequest is one job submission. Locked and Oracle are
@@ -254,18 +266,24 @@ type Service struct {
 	// panic-to-JobError boundary.
 	beforeRun func(ctx context.Context, hash string) error
 
-	cSubmitted  *telemetry.Counter
-	cCacheHits  *telemetry.Counter
-	cDeduped    *telemetry.Counter
-	cAttackRuns *telemetry.Counter
-	cQueries    *telemetry.Counter
-	cPanics     *telemetry.Counter
-	gRunning    *telemetry.Gauge
-	gQueued     *telemetry.Gauge
+	journal *journal
+
+	cSubmitted      *telemetry.Counter
+	cCacheHits      *telemetry.Counter
+	cDeduped        *telemetry.Counter
+	cAttackRuns     *telemetry.Counter
+	cQueries        *telemetry.Counter
+	cPanics         *telemetry.Counter
+	cJournalRecords *telemetry.Counter
+	gRunning        *telemetry.Gauge
+	gQueued         *telemetry.Gauge
 }
 
-// New starts a service with cfg's worker pool.
-func New(cfg Config) *Service {
+// New starts a service with cfg's worker pool. With Config.JournalDir
+// set it first replays the job journal found there; a corrupt journal
+// fails the boot with an error wrapping ErrJournalCorrupt rather than
+// silently dropping jobs.
+func New(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
@@ -278,17 +296,42 @@ func New(cfg Config) *Service {
 	if cfg.MaxBlockWidth <= 0 || cfg.MaxBlockWidth > core.MaxBlockWidth {
 		cfg.MaxBlockWidth = core.MaxBlockWidth
 	}
+	var (
+		jnl  *journal
+		recs []record
+	)
+	if cfg.JournalDir != "" {
+		var err error
+		jnl, recs, err = openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	replayJobs, doneHashes := buildReplay(recs)
+	// The queue must hold every re-admitted job before the workers start,
+	// so replay can never deadlock on a full channel.
+	pending := 0
+	for _, rj := range replayJobs {
+		if _, done := doneHashes[rj.hash]; !done && !rj.canceled {
+			pending++
+		}
+	}
+	queueCap := cfg.QueueDepth
+	if pending > queueCap {
+		queueCap = pending
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:       cfg,
 		tel:       cfg.Registry,
 		store:     cache.NewStore[*outcome](cfg.CacheSize),
 		group:     cache.NewGroup[*outcome](),
-		queue:     make(chan *execution, cfg.QueueDepth),
+		queue:     make(chan *execution, queueCap),
 		jobs:      make(map[string]*Job),
 		active:    make(map[string]*execution),
 		baseCtx:   ctx,
 		cancelAll: cancel,
+		journal:   jnl,
 	}
 	s.cSubmitted = s.tel.Counter("service_jobs_submitted_total")
 	s.cCacheHits = s.tel.Counter("service_cache_hits_total")
@@ -296,13 +339,96 @@ func New(cfg Config) *Service {
 	s.cAttackRuns = s.tel.Counter("service_attack_runs_total")
 	s.cQueries = s.tel.Counter("service_oracle_queries_total")
 	s.cPanics = s.tel.Counter("service_worker_panics_total")
+	s.cJournalRecords = s.tel.Counter("journal_records_total")
 	s.gRunning = s.tel.Gauge("service_jobs_running")
 	s.gQueued = s.tel.Gauge("service_queue_depth")
+	if jnl != nil {
+		s.replay(replayJobs, doneHashes)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// replay rebuilds the job ledger from the journal before the workers
+// start: no locks needed, nothing else is running yet. Jobs keep their
+// original IDs; re-admission writes no new journal records, so replay
+// is idempotent across repeated crashes.
+func (s *Service) replay(jobs []*replayJob, doneHashes map[string]string) {
+	var maxID uint64
+	for _, rj := range jobs {
+		if n := idSuffix(rj.id); n > maxID {
+			maxID = n
+		}
+		job := &Job{id: rj.id, hash: rj.hash, submittedAt: time.Now()}
+		state := "pending"
+		switch {
+		case rj.canceled:
+			job.cancelled.Store(true)
+			job.done = &outcome{jobErr: &JobError{Kind: KindCanceled, Err: errors.New("job canceled before restart")}}
+			state = "canceled"
+		case doneHashes[rj.hash] == string(StateCanceled):
+			job.done = &outcome{jobErr: &JobError{Kind: KindCanceled, Err: errors.New("execution canceled before restart")}}
+			state = "done"
+		case doneHashes[rj.hash] != "":
+			if out, err := s.journal.loadOutcome(rj.hash); err == nil {
+				job.done = out
+				job.cached = true
+				if out.result != nil {
+					s.store.Put(rj.hash, out)
+				}
+				state = "done"
+			} else {
+				// The done record landed but its blob did not survive:
+				// re-run rather than lose the job.
+				s.logf("replay: outcome blob for %s unreadable (%v), re-running", shortHash(rj.hash), err)
+				s.readmit(job, rj)
+			}
+		default:
+			s.readmit(job, rj)
+		}
+		s.jobs[job.id] = job
+		s.tel.Counter(telemetry.Label("journal_replayed_total", "state", state)).Inc()
+		s.logf("replay: job %s (%s) restored as %s", rj.id, shortHash(rj.hash), state)
+	}
+	if maxID > s.nextID.Load() {
+		s.nextID.Store(maxID)
+	}
+}
+
+// readmit re-validates a journaled request and queues its execution,
+// deduplicating multiple replayed jobs with the same hash onto one
+// flight exactly like live submissions.
+func (s *Service) readmit(job *Job, rj *replayJob) {
+	var req AttackRequest
+	parsed, err := func() (*parsedRequest, error) {
+		if err := json.Unmarshal(rj.reqJSON, &req); err != nil {
+			return nil, err
+		}
+		return s.validate(req)
+	}()
+	if err != nil {
+		job.done = &outcome{jobErr: &JobError{Kind: KindAttackFailed,
+			Err: fmt.Errorf("journaled request no longer admissible: %w", err)}}
+		return
+	}
+	flight, leader := s.group.Join(rj.hash)
+	if leader {
+		exec := s.newExecution(rj.hash, parsed, flight)
+		s.queue <- exec // capacity sized to hold every pending replay
+		s.active[rj.hash] = exec
+	}
+	job.exec = s.active[rj.hash]
+}
+
+func idSuffix(id string) uint64 {
+	n, err := strconv.ParseUint(strings.TrimPrefix(id, "j-"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // Close stops admission, cancels every queued and running execution and
@@ -319,6 +445,9 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	s.cancelAll()
 	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.close()
+	}
 }
 
 func (s *Service) logf(format string, args ...any) {
@@ -432,31 +561,13 @@ func (s *Service) Submit(req AttackRequest) (*Job, error) {
 		s.jobs[job.id] = job
 		s.cSubmitted.Inc()
 		s.cCacheHits.Inc()
+		s.journalSubmit(job, req)
 		s.logf("job %s: cache hit for %s", job.id, shortHash(hash))
 		return job, nil
 	}
 	flight, leader := s.group.Join(hash)
 	if leader {
-		ctx, cancel := context.WithCancel(s.baseCtx)
-		timeout := time.Duration(req.TimeoutMS) * time.Millisecond
-		if timeout == 0 {
-			timeout = s.cfg.DefaultTimeout
-		}
-		if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
-			timeout = s.cfg.MaxTimeout
-		}
-		if timeout > 0 {
-			ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
-		}
-		exec := &execution{
-			hash:   hash,
-			parsed: parsed,
-			flight: flight,
-			ctx:    ctx,
-			cancel: cancel,
-			tel:    telemetry.New(),
-		}
-		flight.SetCancel(cancel)
+		exec := s.newExecution(hash, parsed, flight)
 		select {
 		case s.queue <- exec:
 			s.active[hash] = exec
@@ -465,7 +576,7 @@ func (s *Service) Submit(req AttackRequest) (*Job, error) {
 			// Undo the join: finish the flight with the rejection so the
 			// group entry is removed (no follower can exist yet — Submit
 			// runs under s.mu).
-			cancel()
+			exec.cancel()
 			rejection := &outcome{jobErr: &JobError{Kind: KindQueueFull, Err: errors.New("admission queue full")}}
 			flight.Finish(rejection, nil)
 			s.tel.Counter(telemetry.Label("service_jobs_rejected_total", "reason", "queue_full")).Inc()
@@ -483,7 +594,63 @@ func (s *Service) Submit(req AttackRequest) (*Job, error) {
 	}
 	s.jobs[job.id] = job
 	s.cSubmitted.Inc()
+	s.journalSubmit(job, req)
 	return job, nil
+}
+
+// newExecution builds a leader execution with the service's deadline
+// policy applied.
+func (s *Service) newExecution(hash string, parsed *parsedRequest, flight *cache.Flight[*outcome]) *execution {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	timeout := time.Duration(parsed.req.TimeoutMS) * time.Millisecond
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	}
+	exec := &execution{
+		hash:   hash,
+		parsed: parsed,
+		flight: flight,
+		ctx:    ctx,
+		cancel: cancel,
+		tel:    telemetry.New(),
+	}
+	flight.SetCancel(cancel)
+	return exec
+}
+
+// journalAppend records one WAL entry, counting failures instead of
+// failing the caller: durability degrades, admission does not.
+func (s *Service) journalAppend(typ byte, fields ...[]byte) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(typ, fields...); err != nil {
+		s.tel.Counter("journal_append_errors_total").Inc()
+		s.logf("journal append failed: %v", err)
+		return
+	}
+	s.cJournalRecords.Inc()
+}
+
+// journalSubmit appends a job's admission record (including cache hits
+// and singleflight followers — each job must survive a restart under
+// its own ID).
+func (s *Service) journalSubmit(job *Job, req AttackRequest) {
+	if s.journal == nil {
+		return
+	}
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		s.logf("journal: marshaling request for %s: %v", job.id, err)
+		return
+	}
+	s.journalAppend(recSubmit, []byte(job.id), []byte(job.hash), reqJSON)
 }
 
 func shortHash(h string) string {
@@ -550,6 +717,7 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 	if j.exec != nil && j.outcome() == nil {
 		j.cancelOnce.Do(func() {
 			j.cancelled.Store(true)
+			s.journalAppend(recCancel, []byte(j.id))
 			j.exec.flight.Leave()
 		})
 	}
@@ -670,15 +838,41 @@ func (j *Job) snapshot() JobStatus {
 	return st
 }
 
+// maxPanicAttempts bounds the journal-armed panic retry loop: the
+// first run plus this many retries from the last checkpoint.
+const maxPanicAttempts = 3
+
 // worker drains the execution queue.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for exec := range s.queue {
 		s.gQueued.Set(int64(len(s.queue)))
+		s.journalAppend(recStart, []byte(exec.hash))
 		out := s.runProtected(exec)
+		// A snapshot the attack refuses (format or option drift across
+		// releases) must not wedge the job: drop it and run fresh once.
+		if s.journal != nil && out.jobErr != nil && errors.Is(out.jobErr.Err, core.ErrResumeMismatch) {
+			s.journal.removeCheckpoint(exec.hash)
+			s.logf("job %s: stale checkpoint refused, restarting fresh", shortHash(exec.hash))
+			out = s.runProtected(exec)
+		}
+		// With durability armed a panicking attack retries from its last
+		// checkpoint with backoff instead of failing outright.
+		for attempt := 1; s.journal != nil && attempt < maxPanicAttempts &&
+			out.jobErr != nil && out.jobErr.Kind == KindPanic && exec.ctx.Err() == nil; attempt++ {
+			s.tel.Counter("service_panic_retries_total").Inc()
+			s.logf("job %s: panicked, retrying from last checkpoint (attempt %d/%d)",
+				shortHash(exec.hash), attempt+1, maxPanicAttempts)
+			select {
+			case <-time.After(time.Duration(1<<uint(attempt-1)) * 100 * time.Millisecond):
+			case <-exec.ctx.Done():
+			}
+			out = s.runProtected(exec)
+		}
 		if out.result != nil {
 			s.store.Put(exec.hash, out)
 		}
+		s.sealDurable(exec, out)
 		s.mu.Lock()
 		delete(s.active, exec.hash)
 		s.mu.Unlock()
@@ -688,6 +882,26 @@ func (s *Service) worker() {
 		exec.cancel() // release the context's timer; the outcome is sealed
 		exec.flight.Finish(out, nil)
 	}
+}
+
+// sealDurable persists a terminal outcome: blob first, then the done
+// record (a crash between the two replays as pending, which only costs
+// a re-run). During shutdown only completed results are sealed — a job
+// canceled or cut to a partial by the daemon winding down must replay
+// as pending and resume from its checkpoint after restart.
+func (s *Service) sealDurable(exec *execution, out *outcome) {
+	if s.journal == nil {
+		return
+	}
+	if s.baseCtx.Err() != nil && out.result == nil {
+		return
+	}
+	if err := s.journal.writeOutcome(exec.hash, out); err != nil {
+		s.logf("job %s: persisting outcome: %v", shortHash(exec.hash), err)
+		return
+	}
+	s.journalAppend(recDone, []byte(exec.hash), []byte(out.state()))
+	s.journal.removeCheckpoint(exec.hash)
 }
 
 // runProtected executes one attack with the worker's panic boundary:
@@ -741,6 +955,9 @@ func (s *Service) runProtected(exec *execution) (out *outcome) {
 		Workers:         req.Workers,
 		Telemetry:       exec.tel,
 	}
+	if w := s.armDurability(exec, &opts); w != nil {
+		defer w.Close()
+	}
 	s.cAttackRuns.Inc()
 	start := time.Now()
 	var (
@@ -766,6 +983,45 @@ func (s *Service) runProtected(exec *execution) (out *outcome) {
 	s.cQueries.Add(queriesOf(res, exec.tel))
 	jobSpan.SetArg("state", string(out.state()))
 	return s.sealTrace(exec, out)
+}
+
+// armDurability points a journal-armed job at its checkpoint slot in
+// the blob store: resume from an existing snapshot when its oracle
+// identity matches, and arm a writer so progress survives the next
+// crash. Returns nil (no durability) when the journal is off or the
+// writer cannot start — the attack still runs, just non-resumably.
+func (s *Service) armDurability(exec *execution, opts *core.Options) *checkpoint.Writer {
+	if s.journal == nil {
+		return nil
+	}
+	origBytes, err := bench.Canonical(exec.parsed.orig)
+	if err != nil {
+		return nil
+	}
+	oracleHash := cache.SumParts(origBytes)
+	path := s.journal.checkpointPath(exec.hash)
+	if snap, err := checkpoint.Load(path); err == nil {
+		if snap.OracleHash == "" || snap.OracleHash == oracleHash {
+			opts.ResumeFrom = snap
+			s.tel.Counter("journal_resumed_from_checkpoint_total").Inc()
+			s.logf("job %s: resuming from checkpoint (phase=%s, %d banked responses)",
+				shortHash(exec.hash), snap.Phase, len(snap.Responses)+len(snap.Scalar))
+		} else {
+			s.logf("job %s: checkpoint oracle hash mismatch, starting fresh", shortHash(exec.hash))
+		}
+	}
+	w, err := checkpoint.NewWriter(checkpoint.WriterConfig{
+		Path:       path,
+		OracleHash: oracleHash,
+		Telemetry:  exec.tel,
+	})
+	if err != nil {
+		s.logf("job %s: checkpoint writer: %v", shortHash(exec.hash), err)
+		return nil
+	}
+	opts.Checkpointer = w
+	s.journalAppend(recCheckpointRef, []byte(exec.hash), []byte(filepath.Join("cas", "ck-"+exec.hash+".bin")))
+	return w
 }
 
 // finishOutcome wraps a pre-attack failure (hook error) uniformly.

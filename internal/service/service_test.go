@@ -69,7 +69,10 @@ func newTestService(t *testing.T, cfg Config) (*Service, *telemetry.Registry) {
 	t.Helper()
 	reg := telemetry.New()
 	cfg.Registry = reg
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s, reg
 }
