@@ -28,6 +28,11 @@
 #                    restart/resume, and assert the resumed key is
 #                    bit-identical with strictly fewer chip queries and
 #                    the daemon's jobs survive the restart
+#   make events-smoke end-to-end observability check: caslock-attack
+#                    -events-out NDJSON validated by tracecheck -events,
+#                    live SSE job stream consumed to the terminal done
+#                    event, Last-Event-ID resume, and the debug server's
+#                    /dashboard + /metrics/history.json surfaces
 #   make govulncheck govulncheck ./... when the tool is installed
 #                    (skips with a notice otherwise — no network
 #                    installs in CI; set GOVULNCHECK_REQUIRED=1 to turn
@@ -35,7 +40,8 @@
 #   make ci          build + vet + fmt-check + test + test-race +
 #                    fuzz-smoke + trace-smoke + serve-smoke +
 #                    signal-smoke + engine-smoke + crash-smoke +
-#                    govulncheck (required automatically when installed)
+#                    events-smoke + govulncheck (required automatically
+#                    when installed)
 #   make bench       tier-1 benchmarks with allocation reporting
 #   make benchjson   refresh BENCH_core.json (the perf trajectory file);
 #                    diffs against the committed baseline into the
@@ -51,12 +57,13 @@ SERVEDIR ?= .serve-smoke
 SIGDIR ?= .signal-smoke
 ENGDIR ?= .engine-smoke
 CRASHDIR ?= .crash-smoke
+EVDIR ?= .events-smoke
 MAXREGRESS ?= 0.20
 # When the runner ships govulncheck, its absence elsewhere must not be
 # silently skippable: auto-promote the scan to required.
 GOVULNCHECK_REQUIRED ?= $(shell command -v govulncheck >/dev/null 2>&1 && echo 1)
 
-.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke govulncheck ci bench benchjson bench-compare
+.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke events-smoke govulncheck ci bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -103,6 +110,9 @@ engine-smoke:
 crash-smoke:
 	GO="$(GO)" sh scripts/crash_smoke.sh $(CRASHDIR)
 
+events-smoke:
+	GO="$(GO)" sh scripts/events_smoke.sh $(EVDIR)
+
 # Vulnerability scan, gated: the CI container has no network, so the
 # tool cannot be installed on the fly. Runs when present, else skips
 # loudly enough to notice — unless GOVULNCHECK_REQUIRED=1, which makes
@@ -117,7 +127,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping vulnerability scan"; \
 	fi
 
-ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke govulncheck
+ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke events-smoke govulncheck
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .

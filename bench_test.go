@@ -30,6 +30,7 @@ import (
 	"repro/internal/attack/casunlock"
 	"repro/internal/attack/satattack"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/lock"
 	"repro/internal/miter"
@@ -462,6 +463,60 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEventOverhead guards the event-bus acceptance criterion:
+// running the full attack with a bus and an actively draining
+// subscriber attached must stay within 5% of the bus-disabled
+// baseline (publishers batch per dipEventBatch/oracleEventBatch, and
+// Publish never blocks on a slow reader). bench-compare gates the
+// disabled/subscribed pair; compare locally with
+//
+//	go test -run XXX -bench EventOverhead -count 10 . | benchstat
+func BenchmarkEventOverhead(b *testing.B) {
+	h := benchHost(b, 14)
+	locked, inst, err := lock.ApplyCAS(h, lock.CASOptions{Chain: lock.MustParseChain("2A-O-3A-O-A"), Seed: 13})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, withBus bool) {
+		orc := oracle.MustNewSim(h)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var bus *events.Bus
+			var drained chan struct{}
+			if withBus {
+				bus = events.New(events.Options{})
+				sub := bus.Subscribe(0)
+				drained = make(chan struct{})
+				go func() {
+					defer close(drained)
+					for {
+						if len(sub.Poll()) > 0 {
+							continue
+						}
+						if sub.Closed() {
+							return
+						}
+						<-sub.Wait()
+					}
+				}()
+			}
+			res, err := core.Run(core.Options{Locked: locked.Circuit, Oracle: orc, Seed: int64(i), Events: bus})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !inst.IsCorrectCASKey(res.Key) {
+				b.Fatal("wrong key")
+			}
+			if withBus {
+				bus.Close()
+				<-drained
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("subscribed", func(b *testing.B) { run(b, true) })
 }
 
 func BenchmarkSFLLLeakage(b *testing.B) {

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/lock"
 	"repro/internal/netlist"
@@ -232,13 +233,18 @@ func main() {
 	// across PRs.
 	tel := telemetry.New()
 
-	// The checkpoint pair runs first, on a fresh heap: the armed variant
-	// allocates ~20% more per op (bank entries, snapshot builds), and a
-	// heap inflated by the earlier workloads amplifies that into GC time
-	// that the <5% gate would misattribute to checkpointing.
+	// The overhead pairs run first, on a fresh heap: the armed variants
+	// allocate more per op (bank entries, snapshot builds, published
+	// events), and a heap inflated by the earlier workloads amplifies
+	// that into GC time the <5% gates would misattribute to the armed
+	// feature.
 	ckRes, ckChange, err := checkpointWorkloads()
 	fatalIf(err)
 	rep.Results = append(rep.Results, ckRes...)
+
+	evRes, evChange, err := eventsWorkloads()
+	fatalIf(err)
+	rep.Results = append(rep.Results, evRes...)
 
 	ext, assign, err := extractionWorkload(22)
 	var r testing.BenchmarkResult
@@ -367,13 +373,20 @@ func main() {
 	fatalIf(writeReport(*out, rep))
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (NumCPU=%d, speedup=%.2fx)\n",
 		len(rep.Results), *out, rep.NumCPU, rep.SpeedupParallel)
-	// The checkpoint gate compares within this report (armed vs unarmed
-	// twin of the same attack), not against the committed baseline —
-	// computeDelta's sat_*/sim_* aggregates never see checkpoint_*.
+	// The checkpoint and event-bus gates compare within this report
+	// (armed vs unarmed twin of the same attack), not against the
+	// committed baseline — computeDelta's sat_*/sim_* aggregates never
+	// see checkpoint_* or events_*.
 	fmt.Fprintf(os.Stderr, "benchjson: checkpoint overhead %s (armed vs unarmed attack)\n", pct(ckChange))
 	if *maxRegress > 0 && ckChange > maxCheckpointOverhead {
 		fmt.Fprintf(os.Stderr, "benchjson: FAIL: armed checkpointing costs %s over the unarmed attack (limit %s)\n",
 			pct(ckChange), pct(maxCheckpointOverhead))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: event-bus overhead %s (subscribed vs disabled attack)\n", pct(evChange))
+	if *maxRegress > 0 && evChange > maxEventOverhead {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: a subscribed event bus costs %s over the bus-disabled attack (limit %s)\n",
+			pct(evChange), pct(maxEventOverhead))
 		os.Exit(1)
 	}
 	if rep.Delta != nil {
@@ -408,8 +421,10 @@ func pct(f float64) string {
 }
 
 // writeReport marshals and writes the report atomically (temp file in
-// the destination directory, then rename), so an interrupted run never
-// leaves a truncated BENCH file for the trajectory tooling to choke on.
+// the destination directory, fsync, then rename, then a best-effort
+// directory fsync), so neither an interrupted run nor a post-rename
+// power cut leaves a truncated BENCH file for the trajectory tooling
+// to choke on.
 func writeReport(path string, rep *Report) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -427,6 +442,11 @@ func writeReport(path string, rep *Report) error {
 		os.Remove(name)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
 	if err := tmp.Chmod(0o644); err != nil {
 		tmp.Close()
 		os.Remove(name)
@@ -439,6 +459,10 @@ func writeReport(path string, rep *Report) error {
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return err
+	}
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
 	}
 	return nil
 }
@@ -617,13 +641,8 @@ const maxCheckpointOverhead = 0.05
 // a cadence pinned above the per-run event count so only milestone
 // snapshots fire, and the snapshot file on /dev/shm when available.
 // Disk durability itself is the crash-smoke harness's job; measured
-// here it would only gate this machine's fsync latency.
-//
-// The two variants are measured in PAIRED adjacent fixed-budget
-// blocks (unarmed then armed, repeated), and the gate takes the
-// armed/unarmed ratio of the best pair: adjacent blocks share the
-// machine's contention state, so the ratio survives load drift that
-// would swamp independently-measured minimums on a busy host.
+// here it would only gate this machine's fsync latency. Measurement
+// is pairedRatio's adjacent-block scheme.
 func checkpointWorkloads() ([]Result, float64, error) {
 	host, err := synth.Generate(synth.Config{Name: "ch", Inputs: 16, Outputs: 4, Gates: 220, Seed: 5})
 	if err != nil {
@@ -668,29 +687,117 @@ func checkpointWorkloads() ([]Result, float64, error) {
 		_, err := core.Run(opts)
 		return err
 	}
-	// Warm both paths (kernel compilation, page faults, first snapshot).
-	if err := attack(false); err != nil {
+	bestU, bestA, overhead, err := pairedRatio(attack)
+	if err != nil {
 		return nil, 0, err
 	}
-	if err := attack(true); err != nil {
+	return []Result{
+		bestU.result("checkpoint_baseline_n12"),
+		bestA.result("checkpoint_overhead_n12"),
+	}, overhead, nil
+}
+
+// maxEventOverhead caps what an attached, actively draining event
+// subscriber may add to a full attack's wall time: publishers batch
+// per dipEventBatch/oracleEventBatch and Publish never blocks, so
+// anything past 5% means an event found its way onto a per-unit path.
+const maxEventOverhead = 0.05
+
+// eventsWorkloads runs the same width-12 end-to-end attack without an
+// event bus and with a bus plus one continuously draining subscriber,
+// reporting both (events_baseline_n12 / events_overhead_n12) and the
+// subscribed-over-disabled fraction that the <5% gate reads. The
+// subscriber drains on its own goroutine exactly like the SSE handler
+// does, so the measured cost covers publish, ring append, and wakeup —
+// the full production path minus the network write.
+func eventsWorkloads() ([]Result, float64, error) {
+	host, err := synth.Generate(synth.Config{Name: "eh", Inputs: 16, Outputs: 4, Gates: 220, Seed: 5})
+	if err != nil {
 		return nil, 0, err
+	}
+	const n = 12
+	chain := make(lock.ChainConfig, n-1)
+	for i := range chain {
+		if i%3 == 1 {
+			chain[i] = lock.ChainOr
+		}
+	}
+	locked, _, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: 6})
+	if err != nil {
+		return nil, 0, err
+	}
+	attack := func(arm bool) error {
+		opts := core.Options{
+			Locked: locked.Circuit, Oracle: oracle.MustNewSim(host),
+			Seed: 3, Telemetry: telemetry.New(),
+		}
+		var bus *events.Bus
+		var drained chan struct{}
+		if arm {
+			bus = events.New(events.Options{})
+			sub := bus.Subscribe(0)
+			drained = make(chan struct{})
+			go func() {
+				defer close(drained)
+				for {
+					if len(sub.Poll()) > 0 {
+						continue
+					}
+					if sub.Closed() {
+						return
+					}
+					<-sub.Wait()
+				}
+			}()
+			opts.Events = bus
+		}
+		_, err := core.Run(opts)
+		if bus != nil {
+			bus.Close()
+			<-drained
+		}
+		return err
+	}
+	bestU, bestA, overhead, err := pairedRatio(attack)
+	if err != nil {
+		return nil, 0, err
+	}
+	return []Result{
+		bestU.result("events_baseline_n12"),
+		bestA.result("events_overhead_n12"),
+	}, overhead, nil
+}
+
+// pairedRatio measures run(false) and run(true) in paired adjacent
+// fixed-budget blocks (plain then armed, repeated) and returns the
+// best-ratio pair's samples plus the armed-over-plain fraction.
+// Adjacent blocks share the machine's contention state, so the ratio
+// survives load drift that would swamp independently-measured
+// minimums on a busy host. Both paths are warmed once first (kernel
+// compilation, page faults, first snapshot).
+func pairedRatio(run func(arm bool) error) (pairedSample, pairedSample, float64, error) {
+	if err := run(false); err != nil {
+		return pairedSample{}, pairedSample{}, 0, err
+	}
+	if err := run(true); err != nil {
+		return pairedSample{}, pairedSample{}, 0, err
 	}
 	var runErr error
-	block := func(arm bool) ckptSample {
+	block := func(arm bool) pairedSample {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		iters := 0
 		for time.Since(start) < 600*time.Millisecond {
-			if err := attack(arm); err != nil {
+			if err := run(arm); err != nil {
 				runErr = err
-				return ckptSample{}
+				return pairedSample{}
 			}
 			iters++
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
-		return ckptSample{
+		return pairedSample{
 			nsPerOp:     int64(elapsed) / int64(iters),
 			allocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
 			bytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
@@ -698,7 +805,7 @@ func checkpointWorkloads() ([]Result, float64, error) {
 		}
 	}
 	bestRatio := math.Inf(1)
-	var bestU, bestA ckptSample
+	var bestU, bestA pairedSample
 	for i := 0; i < 4 && runErr == nil; i++ {
 		u := block(false)
 		a := block(true)
@@ -710,25 +817,22 @@ func checkpointWorkloads() ([]Result, float64, error) {
 		}
 	}
 	if runErr != nil {
-		return nil, 0, runErr
+		return pairedSample{}, pairedSample{}, 0, runErr
 	}
-	return []Result{
-		bestU.result("checkpoint_baseline_n12"),
-		bestA.result("checkpoint_overhead_n12"),
-	}, bestRatio - 1, nil
+	return bestU, bestA, bestRatio - 1, nil
 }
 
-// ckptSample is one fixed-budget measurement block of the checkpoint
+// pairedSample is one fixed-budget measurement block of an overhead
 // workload pair (manual timing: testing.Benchmark's 1s calibration is
 // too coarse for a paired-ratio gate).
-type ckptSample struct {
+type pairedSample struct {
 	nsPerOp     int64
 	allocsPerOp int64
 	bytesPerOp  int64
 	iters       int
 }
 
-func (s ckptSample) result(name string) Result {
+func (s pairedSample) result(name string) Result {
 	return Result{
 		Name:        name,
 		Iterations:  s.iters,

@@ -8,6 +8,7 @@
 //	caslock-attack -locked locked.bench -oracle orig.bench -timeout 30s
 //	caslock-attack -locked locked.bench -oracle orig.bench -checkpoint run.ckpt
 //	caslock-attack -locked locked.bench -oracle orig.bench -checkpoint run.ckpt -resume-from run.ckpt
+//	caslock-attack -locked locked.bench -oracle orig.bench -progress -events-out run-events.ndjson
 //
 // Exit codes: 0 — key recovered (and SAT-proven unless -prove=false);
 // 3 — deadline/budget hit, partial structure reported; 1 — attack ran
@@ -31,6 +32,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/miter"
 	"repro/internal/netlist"
@@ -63,6 +65,84 @@ func closeCheckpointer() {
 	})
 }
 
+// Event-bus state shared with the exit paths: armed by -progress and/or
+// -events-out. The bus carries the attack's lifecycle events; the
+// tracker distills them into progress/ETA digests; the writer goroutine
+// streams every event (including the tracker's progress digests) as
+// NDJSON to -events-out.
+var (
+	evBus        *events.Bus
+	evTrack      *events.Tracker
+	evWriterDone chan struct{}
+	evFinishOnce sync.Once
+)
+
+// armEvents starts the bus, the progress tracker and (optionally) the
+// NDJSON writer. showProgress prints one digest line per update to
+// stderr — phase, fraction and ETA — sourced from the estimator, so it
+// works with or without checkpointing.
+func armEvents(eventsOut string, showProgress bool) {
+	evBus = events.New(events.Options{Telemetry: tel})
+	var onProg func(events.Progress)
+	if showProgress {
+		onProg = func(p events.Progress) {
+			eta := "—"
+			if p.ETA > 0 {
+				eta = p.ETA.Round(time.Second).String()
+			}
+			fmt.Fprintf(os.Stderr, "caslock-attack: %5.1f%%  %-9s  eta %s\n", p.Fraction*100, p.Phase, eta)
+		}
+	}
+	evTrack = events.Track(evBus, time.Second, onProg)
+	if eventsOut == "" {
+		return
+	}
+	f, err := os.Create(eventsOut)
+	fatalIf(err)
+	sub := evBus.Subscribe(0)
+	evWriterDone = make(chan struct{})
+	go func() {
+		defer close(evWriterDone)
+		defer f.Close()
+		for {
+			evs := sub.Poll()
+			for _, ev := range evs {
+				f.Write(append(ev.MarshalNDJSON(), '\n'))
+			}
+			if len(evs) > 0 {
+				continue
+			}
+			if sub.Closed() {
+				f.Sync()
+				return
+			}
+			<-sub.Wait()
+		}
+	}()
+}
+
+// finishEvents seals the event stream on every exit path: the tracker
+// drains first (so done is the last event), the terminal done event
+// records the run's disposition, and the NDJSON writer flushes before
+// the process ends.
+func finishEvents(state string) {
+	evFinishOnce.Do(func() {
+		if evBus == nil {
+			return
+		}
+		evTrack.Close()
+		evBus.Publish(events.Event{
+			Type:     events.TypeDone,
+			Fraction: 1,
+			Fields:   map[string]string{"state": state},
+		})
+		evBus.Close()
+		if evWriterDone != nil {
+			<-evWriterDone
+		}
+	})
+}
+
 func main() {
 	var (
 		lockedPath = flag.String("locked", "", "locked netlist (.bench, key inputs named keyinput*)")
@@ -83,7 +163,8 @@ func main() {
 		ckptEvery  = flag.String("checkpoint-every", "", "snapshot cadence: an event count (\"2000\") or a duration (\"2s\"); default 4096 events / 2s, whichever first")
 		resumePath = flag.String("resume-from", "", "resume the attack from this snapshot file (refused unless netlist, oracle and options match)")
 		oracleLat  = flag.Duration("oracle-latency", 0, "add this artificial latency to every oracle call (models a slow activated chip)")
-		progress   = flag.Bool("progress", false, "log attack progress (stage boundaries, resume activity) to stderr")
+		progress   = flag.Bool("progress", false, "log attack progress to stderr: phase, completed fraction and ETA from the event-stream estimator, plus stage/resume messages")
+		eventsOut  = flag.String("events-out", "", "stream the attack's lifecycle events (phase transitions, DIP progress, crossover decision, checkpoints, progress digests, terminal done) to this file as NDJSON")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 || *oracleLat < 0 {
@@ -148,6 +229,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "caslock-attack: "+format+"\n", args...)
 		}
 	}
+	if *progress || *eventsOut != "" {
+		armEvents(*eventsOut, *progress)
+		opts.Events = evBus
+	}
 
 	// Durability: the oracle netlist's canonical hash pins snapshots to
 	// this oracle (core validates the locked netlist and options itself,
@@ -201,6 +286,7 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	closeCheckpointer() // flush the final snapshot before reporting
+	finishEvents("done")
 
 	fmt.Printf("attack succeeded in %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  case:            %d (%s-terminated)\n", res.Case, map[int]string{1: "AND/NAND", 2: "OR/NOR"}[res.Case])
@@ -224,6 +310,7 @@ func main() {
 			fmt.Println("  verification:    SAT-PROVEN equivalent to the oracle netlist")
 		} else {
 			fmt.Println("  verification:    FAILED — key does not unlock the design")
+			finishEvents("failed")
 			flushTelemetry()
 			os.Exit(1)
 		}
@@ -246,6 +333,7 @@ func watchSignals(cancel context.CancelFunc) {
 		cancel()
 		<-sigCh
 		fmt.Fprintln(os.Stderr, "caslock-attack: force exit")
+		finishEvents("canceled")
 		flushTelemetry()
 		os.Exit(130)
 	}()
@@ -292,10 +380,12 @@ func exitIfFailed(err error, resilient *oracle.Resilient) {
 		fmt.Printf("    DIPs so far:   %d\n", pe.DIPs)
 		fmt.Printf("    extractions:   %d\n", pe.Extractions)
 		printOracleStats(resilient)
+		finishEvents("partial")
 		flushTelemetry()
 		os.Exit(3)
 	}
 	fmt.Fprintln(os.Stderr, "caslock-attack:", err)
+	finishEvents("failed")
 	flushTelemetry()
 	os.Exit(1)
 }

@@ -6,6 +6,13 @@
 //
 //	tracecheck -in out.json
 //	tracecheck -in out.json -require attack,enumerate,decode,algo1,algo2,verify
+//	tracecheck -events run.ndjson
+//
+// -events validates a caslock-attack -events-out NDJSON stream instead
+// of (or alongside) a trace: every line must parse as one event,
+// sequence numbers must be strictly increasing, no phase may exit
+// before entering, DIP counts must be monotone non-decreasing, and the
+// stream must end with a terminal done event at fraction 1.
 //
 // Coverage: for each "attack" span, the durations of the other required
 // spans that fall inside its window must sum to at least
@@ -43,15 +50,22 @@ type event struct {
 func main() {
 	var (
 		in        = flag.String("in", "", "Chrome-trace JSON file to validate")
+		eventsIn  = flag.String("events", "", "caslock-attack -events-out NDJSON file to validate (usable alone or together with -in)")
 		require   = flag.String("require", "attack,enumerate,decode,algo1,algo2,verify", "comma-separated span names that must appear")
 		extra     = flag.String("coverage-extra", "calibrate", "comma-separated span names that count toward attack coverage when present but are not required (conditional phases like the crossover calibration probe)")
 		tolerance = flag.Float64("tolerance", 0.05, "allowed uncovered fraction of each attack span")
 		slack     = flag.Duration("slack", 25*time.Millisecond, "absolute floor of the coverage allowance (dominates on fast attacks)")
 	)
 	flag.Parse()
-	if *in == "" || *tolerance < 0 || *tolerance >= 1 || *slack < 0 {
+	if (*in == "" && *eventsIn == "") || *tolerance < 0 || *tolerance >= 1 || *slack < 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *eventsIn != "" {
+		checkEvents(*eventsIn)
+	}
+	if *in == "" {
+		return
 	}
 	data, err := os.ReadFile(*in)
 	failIf(err)
@@ -135,6 +149,84 @@ func main() {
 
 	fmt.Printf("tracecheck: OK — %d events, %d required spans present, phase coverage ≥ %.1f%%\n",
 		len(events), len(required), minCoverage*100)
+}
+
+// busEvent mirrors the fields of one internal/events NDJSON line that
+// the checks read.
+type busEvent struct {
+	Seq      uint64            `json:"seq"`
+	TS       int64             `json:"ts_ms"`
+	Type     string            `json:"type"`
+	Phase    string            `json:"phase"`
+	Count    uint64            `json:"count"`
+	Fraction float64           `json:"fraction"`
+	Fields   map[string]string `json:"fields"`
+}
+
+// checkEvents validates an -events-out NDJSON stream's structural
+// invariants: parseable lines, strictly increasing seq, phase enters
+// before exits, monotone DIP counts within each enumeration round
+// (a hypothesis restart starts a fresh round with a fresh set, so the
+// baseline resets when the event's round field changes), and a
+// terminal done event.
+func checkEvents(path string) {
+	data, err := os.ReadFile(path)
+	failIf(err)
+	var (
+		evs      []busEvent
+		lastSeq  uint64
+		lastDIPs uint64
+		dipRound string
+		entered  = make(map[string]int)
+	)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var ev busEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			fail(fmt.Errorf("%s:%d: bad event line: %v", path, i+1, err))
+		}
+		if ev.Type == "" || ev.Seq == 0 || ev.TS == 0 {
+			fail(fmt.Errorf("%s:%d: event missing type/seq/ts_ms: %s", path, i+1, line))
+		}
+		if ev.Seq <= lastSeq {
+			fail(fmt.Errorf("%s:%d: seq %d does not increase past %d", path, i+1, ev.Seq, lastSeq))
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case "phase_enter":
+			entered[ev.Phase]++
+		case "phase_exit":
+			entered[ev.Phase]--
+			if entered[ev.Phase] < 0 {
+				fail(fmt.Errorf("%s:%d: phase %q exits before entering", path, i+1, ev.Phase))
+			}
+		case "dip_progress":
+			if round := ev.Fields["round"]; round != dipRound {
+				dipRound, lastDIPs = round, 0
+			}
+			if ev.Count > 0 {
+				if ev.Count < lastDIPs {
+					fail(fmt.Errorf("%s:%d: DIP count regressed %d → %d within round %q", path, i+1, lastDIPs, ev.Count, dipRound))
+				}
+				lastDIPs = ev.Count
+			}
+		}
+		evs = append(evs, ev)
+	}
+	if len(evs) == 0 {
+		fail(fmt.Errorf("%s: event stream is empty", path))
+	}
+	last := evs[len(evs)-1]
+	if last.Type != "done" {
+		fail(fmt.Errorf("%s: stream ends with %q, want a terminal done event", path, last.Type))
+	}
+	if last.Fraction != 1 {
+		fail(fmt.Errorf("%s: done event fraction %v, want 1", path, last.Fraction))
+	}
+	fmt.Printf("tracecheck: OK — %d events, seq monotone, phases balanced, terminal done\n", len(evs))
 }
 
 func failIf(err error) {

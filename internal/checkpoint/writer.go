@@ -2,11 +2,13 @@ package checkpoint
 
 import (
 	"fmt"
+	"math/bits"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/events"
 	"repro/internal/telemetry"
 )
 
@@ -32,6 +34,10 @@ type WriterConfig struct {
 	OracleHash string
 	// Telemetry, when non-nil, receives the checkpoint_* counters.
 	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives a checkpoint event after every
+	// successful snapshot write (published from the writer goroutine,
+	// off the attack's hot path).
+	Events *events.Bus
 }
 
 // Writer owns checkpoint I/O so the attack's hot loop never does: the
@@ -171,7 +177,30 @@ func (w *Writer) write(s *Snapshot) {
 	}
 	w.writes.Add(1)
 	w.cWrites.Inc()
+	var size int64
 	if fi, err := os.Stat(w.cfg.Path); err == nil {
-		w.gBytes.Set(fi.Size())
+		size = fi.Size()
+		w.gBytes.Set(size)
 	}
+	if w.cfg.Events != nil {
+		w.cfg.Events.Publish(events.Event{
+			Type:  events.TypeCheckpoint,
+			Phase: s.Phase,
+			Count: w.writes.Load(),
+			Fields: map[string]string{
+				"bytes": fmt.Sprintf("%d", size),
+				"dips":  fmt.Sprintf("%d", dipCount(s.DIPWords)),
+			},
+		})
+	}
+}
+
+// dipCount pops the snapshot's DIP words; cheap relative to the file
+// write that just happened.
+func dipCount(words []uint64) uint64 {
+	var n uint64
+	for _, w := range words {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
 }

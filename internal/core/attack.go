@@ -7,9 +7,11 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/lock"
 	"repro/internal/miter"
 	"repro/internal/netlist"
@@ -80,6 +82,15 @@ type Options struct {
 	// instrumentation at no measurable cost to the enumeration hot path;
 	// see internal/telemetry and DESIGN.md §7.
 	Telemetry *telemetry.Registry
+	// Events, when non-nil, receives the attack's lifecycle events:
+	// phase enter/exit, DIP progress with running counts, crossover
+	// decisions, oracle batches, budget slices, checkpoint writes and
+	// resume replays. Publishing never blocks — slow consumers lose
+	// their oldest events (see internal/events) — and the disabled
+	// path costs one nil check per hook. The attack does not publish
+	// the terminal done event; the owner of the run (CLI, service)
+	// does, because only it knows the final disposition.
+	Events *events.Bus
 	// Checkpointer, when non-nil, makes attack progress durable: the
 	// attack hands it snapshots (accumulated DIPs, banked oracle
 	// answers, phase + budgeter state) on the writer's cadence, and the
@@ -183,8 +194,11 @@ func Run(opts Options) (*Result, error) {
 	if la, ok := ext.(interface{ SetLegacyEncoding(bool) }); ok {
 		la.SetLegacyEncoding(opts.LegacyEncoding)
 	}
+	if ea, ok := ext.(interface{ SetEvents(*events.Bus) }); ok {
+		ea.SetEvents(opts.Events)
+	}
 	a := &attack{opts: opts, layout: layout, ext: ext, ctx: ctx,
-		tel: opts.Telemetry, root: root,
+		tel: opts.Telemetry, root: root, bus: opts.Events,
 		rng: rand.New(rand.NewSource(opts.Seed ^ 0x5eed))}
 	a.cQueries = opts.Telemetry.Counter("attack_oracle_queries_total")
 	a.cCandidates = opts.Telemetry.Counter("attack_candidates_total")
@@ -192,6 +206,7 @@ func Run(opts Options) (*Result, error) {
 	if err := a.armDurability(); err != nil {
 		return nil, err
 	}
+	a.installProgress()
 	var firstErr error
 	for _, active := range []int{1, 2} {
 		if a.resumeSkip(active) {
@@ -227,6 +242,10 @@ type attack struct {
 	cQueries      *telemetry.Counter
 	cCandidates   *telemetry.Counter
 	cCalibrations *telemetry.Counter
+
+	bus       *events.Bus      // nil = lifecycle events disabled
+	phaseAt   map[string]int64 // phase → enter timestamp (ms), event durations
+	evQueries uint64           // oracle queries since the last oracle_batch event
 
 	eng      *engine.Engine // persistent engine for SAT distinguishing
 	engTried bool
@@ -285,25 +304,133 @@ func (a *attack) setPhase(name string) {
 	a.ckptPhase(name)
 }
 
+// oracleEventBatch and dipEventBatch throttle the hot-path event
+// publishers: one oracle_batch event per this many queries, one
+// dip_progress event per this many enumerated DIPs. The batch sizes
+// keep the stream informative (hundreds of events on a long run) while
+// the per-unit cost stays at one nil check plus an increment.
+const (
+	oracleEventBatch = 256
+	dipEventBatch    = 256
+)
+
 // countQueries accounts oracle pattern evaluations in both the local
 // tally and the registry, and advances the checkpoint cadence — query
 // batches are progress worth persisting just like enumerated DIPs.
+// Every oracleEventBatch queries it also publishes an oracle_batch
+// event with the cumulative total.
 func (a *attack) countQueries(n uint64) {
 	a.queries += n
 	a.cQueries.Add(n)
 	a.ckptPump(n)
+	if a.bus != nil {
+		a.evQueries += n
+		if a.evQueries >= oracleEventBatch {
+			a.evQueries = 0
+			a.bus.Publish(events.Event{Type: events.TypeOracleBatch, Count: a.queries})
+		}
+	}
 }
 
-// endPhase closes a phase span and feeds its duration into the
-// per-phase latency histogram. Nil-safe (telemetry disabled).
-func (a *attack) endPhase(sp *telemetry.Span) {
-	if sp == nil {
+// nowMillis is the wall-clock read behind event phase durations.
+func nowMillis() int64 { return time.Now().UnixMilli() }
+
+// installProgress wires the extractor's per-DIP progress hook into
+// whichever consumers are armed: the checkpoint cadence (exactly the
+// hook armDurability used to install) and the event bus, which gets a
+// throttled dip_progress event — running count plus the enumerated
+// fraction of the block universe — every dipEventBatch DIPs and at
+// every enumeration completion. With neither armed, no hook is
+// installed and the extractor's per-DIP cost is a single nil check.
+//
+// An attack can enumerate more than once: a hypothesis misalignment
+// makes algo2 restart extraction with a fresh (typically smaller)
+// DIPSet, so counts are monotone only within one enumeration round.
+// Each run builds its set with NewDIPSet, so a changed set pointer
+// marks a new round; the round number rides in the event's fields and
+// consumers reset their monotonicity baseline when it changes.
+func (a *attack) installProgress() {
+	if a.ck == nil && a.bus == nil {
 		return
 	}
-	name := sp.Name()
-	d := sp.End()
-	a.tel.Histogram(telemetry.Label("attack_phase_seconds", "phase", name),
-		telemetry.DurationBuckets).Observe(d.Seconds())
+	pa, ok := a.ext.(interface {
+		SetProgress(func(set *DIPSet, complete bool))
+	})
+	if !ok {
+		return
+	}
+	var sinceEvent uint64
+	var curSet *DIPSet
+	var round uint64
+	gDIPs := a.tel.Gauge("attack_dips_found")
+	pa.SetProgress(func(set *DIPSet, complete bool) {
+		if set != curSet {
+			curSet = set
+			round++
+			sinceEvent = 0
+		}
+		sinceEvent++
+		if complete || sinceEvent >= dipEventBatch {
+			sinceEvent = 0
+			count := set.Count()
+			gDIPs.Set(int64(count))
+			if a.bus != nil {
+				a.bus.Publish(events.Event{
+					Type:   events.TypeDIPProgress,
+					Phase:  "enumerate",
+					Count:  count,
+					Done:   count,
+					Total:  set.Universe(),
+					Fields: map[string]string{"round": strconv.FormatUint(round, 10)},
+				})
+			}
+		}
+		if a.ck == nil {
+			return
+		}
+		a.ck.set, a.ck.complete = set, complete
+		if complete {
+			a.ck.w.Offer(a.buildSnapshot())
+			return
+		}
+		a.ckptPump(1)
+	})
+}
+
+// startPhase opens a pipeline phase: it announces the phase on the
+// event bus, remembers the enter time for the exit event's duration,
+// and returns the phase span (nil when telemetry is off — phase events
+// do not depend on spans).
+func (a *attack) startPhase(parent *telemetry.Span, name string) *telemetry.Span {
+	if a.bus != nil {
+		ev := events.Event{Type: events.TypePhaseEnter, Phase: name}
+		a.bus.Publish(ev)
+		if a.phaseAt == nil {
+			a.phaseAt = make(map[string]int64)
+		}
+		a.phaseAt[name] = nowMillis()
+	}
+	return parent.Child(name)
+}
+
+// endPhase closes a phase: the span's duration feeds the per-phase
+// latency histogram, and a phase_exit event mirrors it on the bus.
+// Nil-safe in both directions (telemetry or events disabled).
+func (a *attack) endPhase(sp *telemetry.Span, name string) {
+	if sp != nil {
+		d := sp.End()
+		a.tel.Histogram(telemetry.Label("attack_phase_seconds", "phase", name),
+			telemetry.DurationBuckets).Observe(d.Seconds())
+	}
+	if a.bus != nil {
+		ev := events.Event{Type: events.TypePhaseExit, Phase: name}
+		if at, ok := a.phaseAt[name]; ok {
+			ev.Fields = map[string]string{
+				"seconds": strconv.FormatFloat(float64(nowMillis()-at)/1e3, 'g', 4, 64),
+			}
+		}
+		a.bus.Publish(ev)
+	}
 }
 
 // assign builds the miter key vectors: the active block's keys are all-1
@@ -398,8 +525,8 @@ func (a *attack) decode(parent *telemetry.Span, dips *DIPSet) (*structured, erro
 // top bit and invert the closed form |A| = 1 + Σ 2^{c_i} into the chain
 // configuration.
 func (a *attack) decodeChain(parent *telemetry.Span, dips *DIPSet) (st *structured, err error) {
-	sp := parent.Child("decode")
-	defer a.endPhase(sp)
+	sp := a.startPhase(parent, "decode")
+	defer a.endPhase(sp, "decode")
 	total := dips.Count()
 	if total == 0 {
 		return nil, fmt.Errorf("core: miter produced no DIPs (keys behave identically)")
@@ -444,8 +571,8 @@ func (a *attack) decodeChain(parent *telemetry.Span, dips *DIPSet) (st *structur
 // poll the context — a SIGINT must unwind in milliseconds even at
 // block widths where the scan would otherwise run for minutes.
 func (a *attack) recoverKeyGates(parent *telemetry.Span, st *structured) error {
-	sp := parent.Child("algo1")
-	defer a.endPhase(sp)
+	sp := a.startPhase(parent, "algo1")
+	defer a.endPhase(sp, "algo1")
 	// DIP_nc: the unique member of the structured class that leaves it
 	// when bit 0 is flipped (Algorithm 1, line 9).
 	var dipNC uint64
@@ -708,10 +835,10 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	}
 	a.logf("hypothesis active=%d: extracting DIP set (Lemma-1 assignment)", active)
 	a.setPhase("enumerate")
-	enum := hyp.Child("enumerate")
+	enum := a.startPhase(hyp, "enumerate")
 	dips, err := a.extractDIPs(active, 0)
 	if err != nil {
-		a.endPhase(enum)
+		a.endPhase(enum, "enumerate")
 		if cerr := a.ctxErr(); cerr != nil {
 			pe := a.partial("extract", active, nil, cerr)
 			if dips != nil {
@@ -722,7 +849,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		return nil, err
 	}
 	enum.SetArg("dips", strconv.FormatUint(dips.Count(), 10))
-	a.endPhase(enum)
+	a.endPhase(enum, "enumerate")
 	a.tel.Histogram("attack_dip_set_size", telemetry.SizeBuckets).
 		Observe(float64(dips.Count()))
 	a.logf("extracted |I_l| = %d", dips.Count())
@@ -737,7 +864,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	}
 	a.logf("decoded: chain_h=%s |A|=%d deltas=%d", st.chainH, st.nBig, len(st.deltas))
 	calib := uint64(0)
-	algo2 := hyp.Child("algo2")
+	algo2 := a.startPhase(hyp, "algo2")
 	if len(st.deltas) == 0 {
 		a.setPhase("algo2")
 		a.logf("no misalignment witness: starting calibration sweep")
@@ -748,7 +875,7 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 		prev := st
 		calib, st, err = a.calibrate(algo2, active, st)
 		if err != nil {
-			a.endPhase(algo2)
+			a.endPhase(algo2, "algo2")
 			if cerr := a.ctxErr(); cerr != nil {
 				return nil, a.partial("calibrate", active, prev, cerr)
 			}
@@ -760,11 +887,11 @@ func (a *attack) runWithActive(active int) (*Result, error) {
 	} else {
 		algo2.SetArg("skipped", "true")
 	}
-	a.endPhase(algo2)
+	a.endPhase(algo2, "algo2")
 	a.setPhase("verify")
-	verify := hyp.Child("verify")
+	verify := a.startPhase(hyp, "verify")
 	res, err := a.verifyCandidates(active, calib, st)
-	a.endPhase(verify)
+	a.endPhase(verify, "verify")
 	return res, err
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
+	"repro/internal/events"
 	"repro/internal/oracle"
 	"repro/internal/telemetry"
 )
@@ -88,6 +89,18 @@ func (a *attack) armDurability() error {
 		sp.End()
 		a.logf("resuming from checkpoint: active=%d phase=%s complete=%t banked=%d",
 			rs.Active, rs.Phase, rs.EnumComplete, len(rs.Responses)+len(rs.Scalar))
+		if a.bus != nil {
+			a.bus.Publish(events.Event{
+				Type:  events.TypeResume,
+				Phase: rs.Phase,
+				Count: rs.OracleQueries,
+				Fields: map[string]string{
+					"active":   strconv.Itoa(rs.Active),
+					"complete": strconv.FormatBool(rs.EnumComplete),
+					"banked":   strconv.Itoa(len(rs.Responses) + len(rs.Scalar)),
+				},
+			})
+		}
 	}
 	a.bank = bank
 	opts.Oracle = bank
@@ -107,18 +120,9 @@ func (a *attack) armDurability() error {
 			eng.SetBudgetRate(a.resume.BudgetRate)
 		}
 	}
-	if pa, ok := a.ext.(interface {
-		SetProgress(func(set *DIPSet, complete bool))
-	}); ok && a.ck != nil {
-		pa.SetProgress(func(set *DIPSet, complete bool) {
-			a.ck.set, a.ck.complete = set, complete
-			if complete {
-				a.ck.w.Offer(a.buildSnapshot())
-				return
-			}
-			a.ckptPump(1)
-		})
-	}
+	// The extractor's per-DIP progress hook (checkpoint cadence + event
+	// publishing) is installed by installProgress after this returns,
+	// so a bus-only run gets it without durability armed.
 	return nil
 }
 

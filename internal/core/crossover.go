@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/events"
 	"repro/internal/netlist"
 	"repro/internal/telemetry"
 )
@@ -74,6 +76,25 @@ func probeMemoKey(opts *Options) string {
 	return cache.SumParts(canon) + "|w" + strconv.Itoa(opts.Workers)
 }
 
+// crossoverCell names a crossover decision's scope for per-cell metric
+// mirrors: the canonical-hash prefix of the instance plus its block
+// width. Per-process gauges like crossover_sim_probe_ns record only the
+// last decision, which self-overwrites across a lockbench matrix run;
+// the labeled mirrors keep every cell's probe evidence visible at once.
+func crossoverCell(memoKey string, n int) string {
+	if memoKey == "" {
+		return ""
+	}
+	h := memoKey
+	if i := strings.IndexByte(h, '|'); i >= 0 {
+		h = h[:i]
+	}
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return h + "/n" + strconv.Itoa(n)
+}
+
 // lemma1Assign is the attack's first-hypothesis pair assignment (copy A
 // carries key 1 on block 1, copy B all zeros) — the probe measures the
 // exact workload the enumerate phase runs first.
@@ -104,6 +125,25 @@ func newCalibratedSim(opts *Options, layout *BlockLayout) (*SimExtractor, error)
 func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, root *telemetry.Span) (Extractor, error) {
 	tel := opts.Telemetry
 	n := layout.N()
+	// publish mirrors every decision onto the event bus (one event per
+	// attack; the estimator reads sim_est_ns as the expected walk cost).
+	publish := func(engine, reason string, simEst, satNs time.Duration) {
+		if opts.Events == nil {
+			return
+		}
+		f := map[string]string{
+			"engine": engine,
+			"reason": reason,
+			"width":  strconv.Itoa(n),
+		}
+		if simEst > 0 {
+			f["sim_est_ns"] = strconv.FormatInt(int64(simEst), 10)
+		}
+		if satNs > 0 {
+			f["sat_probe_ns"] = strconv.FormatInt(int64(satNs), 10)
+		}
+		opts.Events.Publish(events.Event{Type: events.TypeCrossover, Phase: "calibrate", Fields: f})
+	}
 	if opts.SATWidthLimit > 0 || opts.LegacyEncoding {
 		tel.Counter("crossover_pinned_total").Inc()
 		limit := opts.SATWidthLimit
@@ -111,12 +151,23 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 			limit = legacySATWidthLimit
 		}
 		if n <= limit {
+			publish("sat", "pinned", 0, 0)
 			return NewSATExtractor(opts.Locked, layout)
 		}
+		publish("sim", "pinned", 0, 0)
 		return newCalibratedSim(opts, layout)
 	}
 
 	memoKey := probeMemoKey(opts)
+	cell := crossoverCell(memoKey, n)
+	// setGauge mirrors each probe gauge per lockbench cell alongside the
+	// process-wide last-decision value.
+	setGauge := func(name string, v int64) {
+		tel.Gauge(name).Set(v)
+		if cell != "" {
+			tel.Gauge(telemetry.Label(name, "cell", cell)).Set(v)
+		}
+	}
 	if memoKey != "" {
 		if engine, ok := probeMemo.Get(memoKey); ok {
 			var ext Extractor
@@ -128,7 +179,7 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 			}
 			if err == nil {
 				tel.Counter("crossover_probe_reused_total").Inc()
-				tel.Gauge("crossover_block_width").Set(int64(n))
+				setGauge("crossover_block_width", int64(n))
 				sp := root.Child("calibrate")
 				sp.SetArg("engine", engine)
 				sp.SetArg("reason", "probe-reused")
@@ -136,6 +187,7 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 				tel.Histogram(telemetry.Label("attack_phase_seconds", "phase", "calibrate"),
 					telemetry.DurationBuckets).Observe(d.Seconds())
 				tel.Counter(telemetry.Label("crossover_selected_total", "engine", engine)).Inc()
+				publish(engine, "probe-reused", 0, 0)
 				return ext, nil
 			}
 			// The remembered engine cannot be built in this process (e.g.
@@ -145,17 +197,19 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 	}
 
 	tel.Counter("crossover_probes_total").Inc()
-	tel.Gauge("crossover_block_width").Set(int64(n))
+	setGauge("crossover_block_width", int64(n))
 	sp := root.Child("calibrate")
 	defer func() {
 		d := sp.End()
 		tel.Histogram(telemetry.Label("attack_phase_seconds", "phase", "calibrate"),
 			telemetry.DurationBuckets).Observe(d.Seconds())
 	}()
+	var simEst, satNs time.Duration
 	pick := func(engine, reason string, ext Extractor) Extractor {
 		sp.SetArg("engine", engine)
 		sp.SetArg("reason", reason)
 		tel.Counter(telemetry.Label("crossover_selected_total", "engine", engine)).Inc()
+		publish(engine, reason, simEst, satNs)
 		return ext
 	}
 
@@ -197,8 +251,8 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 	if perBatch <= 0 {
 		perBatch = 1
 	}
-	simEst := perBatch * time.Duration(nBatches) / time.Duration(se.shardPlan(nBatches))
-	tel.Gauge("crossover_sim_probe_ns").Set(int64(simEst))
+	simEst = perBatch * time.Duration(nBatches) / time.Duration(se.shardPlan(nBatches))
+	setGauge("crossover_sim_probe_ns", int64(simEst))
 	sp.SetArg("sim_est_ns", strconv.FormatInt(int64(simEst), 10))
 	if simEst <= crossoverSimFloor {
 		return pick("sim", "sim-floor", se), nil
@@ -235,8 +289,8 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 		}
 		return true
 	})
-	satNs := time.Since(satStart)
-	tel.Gauge("crossover_sat_probe_ns").Set(int64(satNs))
+	satNs = time.Since(satStart)
+	setGauge("crossover_sat_probe_ns", int64(satNs))
 	sp.SetArg("sat_probe_ns", strconv.FormatInt(int64(satNs), 10))
 	sp.SetArg("sat_probe_dips", strconv.FormatUint(dips, 10))
 	memo := func(engine string) {

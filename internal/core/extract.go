@@ -8,11 +8,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cnf"
 	"repro/internal/engine"
+	"repro/internal/events"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/sat"
@@ -69,6 +71,12 @@ type Extractor interface {
 // a long sweep cannot accumulate formulas without bound.
 const encodeCacheSize = 8
 
+// simEventStride is how many 64-pattern batches a simulation shard
+// walks between dip_progress events: rare enough that the shared
+// atomic and the bus mutex stay off the kernel's critical path, fine
+// enough that a multi-second walk reports progress many times a second.
+const simEventStride = 1024
+
 // satEncoding is one memoized fixed-key miter compilation: the Tseitin
 // clauses, the disagreement literal and the block-input literals in
 // chain order. Immutable once built — enumeration replays the clauses
@@ -102,6 +110,7 @@ type SATExtractor struct {
 	legacy bool
 	eng    *engine.Engine // lazily built persistent engine (non-legacy path)
 	phase  string         // pending phase label, applied when eng is built
+	bus    *events.Bus    // nil = no lifecycle events
 
 	progress func(set *DIPSet, complete bool) // checkpoint hook; nil = disabled
 	seed     *DIPSet                          // resume seed, consumed by the next DIPs call
@@ -154,6 +163,16 @@ func (e *SATExtractor) SetTelemetry(r *telemetry.Registry) {
 // extraction; flipping it afterwards only affects subsequent calls.
 func (e *SATExtractor) SetLegacyEncoding(v bool) { e.legacy = v }
 
+// SetEvents attaches a lifecycle event bus, forwarded to the persistent
+// engine (which publishes budget_slice events from its deadline-sliced
+// solve loop). Nil disables event publishing.
+func (e *SATExtractor) SetEvents(b *events.Bus) {
+	e.bus = b
+	if e.eng != nil {
+		e.eng.SetEvents(b)
+	}
+}
+
 // SetPhase labels subsequent engine work for per-phase stats attribution
 // and deadline budgeting; a no-op on the legacy path.
 func (e *SATExtractor) SetPhase(name string) {
@@ -202,6 +221,7 @@ func (e *SATExtractor) Engine() (*engine.Engine, error) {
 		}
 		eng.SetContext(e.ctx)
 		eng.SetTelemetry(e.tel)
+		eng.SetEvents(e.bus)
 		if e.phase != "" {
 			eng.SetPhase(e.phase)
 		}
@@ -523,9 +543,17 @@ type SimExtractor struct {
 	laneWords int                 // words per batch group: 0 = auto (8), 1/4/8 = 64/256/512 lanes
 	ctx       context.Context     // nil = never cancelled
 	tel       *telemetry.Registry // nil = uninstrumented
+	bus       *events.Bus         // nil = no lifecycle events
 
 	progress func(set *DIPSet, complete bool) // checkpoint hook; nil = disabled
 }
+
+// SetEvents attaches a lifecycle event bus: the sharded walk publishes
+// throttled dip_progress events carrying batches-walked / total-batches
+// — the exact enumerated fraction of the block universe. Nil disables
+// publishing; the per-batch cost with a bus attached is one local
+// increment, flushed into a shared atomic every simEventStride batches.
+func (e *SimExtractor) SetEvents(b *events.Bus) { e.bus = b }
 
 // SetProgress installs a checkpoint hook. The sharded walk deposits
 // words concurrently, so the hook fires only at enumeration completion
@@ -1017,10 +1045,21 @@ func (e *SimExtractor) DIPs(assign PairAssign) (*DIPSet, error) {
 		sp.SetArg("engine", "sim")
 		sp.SetArg("workers", strconv.Itoa(w))
 	}
+	bus := e.bus
+	var batchesDone atomic.Uint64
 	runSharded(p, nBatches, w, func(shard int, startB, endB uint64, pr *prepared) {
 		ssp := sp.ChildLane("shard", shard+1)
+		var local uint64
 		pr.enumerateShard(e.ctx, startB, endB, func(b uint64, diffs []uint64) {
 			out.setWords(b, diffs)
+			if bus != nil {
+				if local++; local >= simEventStride {
+					done := batchesDone.Add(local)
+					local = 0
+					bus.Publish(events.Event{Type: events.TypeDIPProgress,
+						Phase: "enumerate", Done: done, Total: nBatches})
+				}
+			}
 		})
 		if e.tel != nil {
 			ssp.SetArg("shard", strconv.Itoa(shard))

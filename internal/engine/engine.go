@@ -23,6 +23,7 @@ import (
 	"strconv"
 
 	"repro/internal/cnf"
+	"repro/internal/events"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/sat"
@@ -55,6 +56,7 @@ type Engine struct {
 
 	ctx   context.Context     // nil = never cancelled
 	tel   *telemetry.Registry // nil = uninstrumented
+	bus   *events.Bus         // nil = no lifecycle events
 	phase string
 
 	bud        budgeter
@@ -103,6 +105,13 @@ func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
 // the sat_* counters (continuing the legacy families) plus the engine_*
 // families, and solve sessions trace as spans on telemetry.EngineLane.
 func (e *Engine) SetTelemetry(r *telemetry.Registry) { e.tel = r }
+
+// SetEvents attaches a lifecycle event bus: each budgeted Solve slice
+// that expires without a verdict publishes a budget_slice event carrying
+// the expired grant and the budgeter's EWMA conflict rate — the signal
+// the progress estimator uses to tell "solving hard" from "deadline
+// crawling". Nil (the default) publishes nothing.
+func (e *Engine) SetEvents(b *events.Bus) { e.bus = b }
 
 // SetPhase labels subsequent solver work for per-phase attribution and
 // resets the budgeter's per-phase spending cap, so a long phase cannot
@@ -329,7 +338,22 @@ func (e *Engine) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint6
 		e.solver.ConflictBudget = e.bud.slice(e.ctx, e.solver.Stats().Conflicts)
 		switch e.solver.Solve(assume...) {
 		case sat.Unknown:
-			continue // budget slice exhausted: recheck the context
+			// Budget slice exhausted: recheck the context. Slices expire
+			// at a bounded wall-clock rate (each one is sized to run for
+			// a meaningful fraction of the remaining deadline), so
+			// publishing per expiry cannot flood the bus.
+			if e.bus != nil {
+				e.bus.Publish(events.Event{
+					Type:  events.TypeBudgetSlice,
+					Phase: e.phase,
+					Fields: map[string]string{
+						"grant":     strconv.FormatUint(e.solver.ConflictBudget, 10),
+						"rate":      strconv.FormatFloat(e.bud.rate, 'g', 6, 64),
+						"exhausted": strconv.FormatBool(e.bud.capped && e.bud.phaseCap == 0),
+					},
+				})
+			}
+			continue
 		case sat.Unsat:
 			return nil
 		}

@@ -18,6 +18,8 @@ const maxRequestBytes = 8 << 20
 //	GET    /v1/attacks/{id}        job status
 //	GET    /v1/attacks/{id}/result recovered key + stats (404 until terminal)
 //	GET    /v1/attacks/{id}/trace  per-job Chrome-trace span tree
+//	GET    /v1/attacks/{id}/events live SSE lifecycle/progress stream
+//	                               (Last-Event-ID resume; ends after done)
 //	DELETE /v1/attacks/{id}        withdraw the job (cancels the execution
 //	                               when it was the last interested job)
 //	GET    /healthz                liveness
@@ -28,6 +30,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/attacks/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/attacks/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/attacks/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/attacks/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/attacks/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

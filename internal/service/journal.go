@@ -34,6 +34,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/events"
 )
 
 // ErrJournalCorrupt reports interior journal damage: a record whose CRC
@@ -210,12 +212,13 @@ type persistedOutcome struct {
 	ErrorKind ErrorKind       `json:"error_kind,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Trace     json.RawMessage `json:"trace,omitempty"`
+	Events    []events.Event  `json:"events,omitempty"`
 }
 
 // writeOutcome persists a sealed outcome blob (temp + rename, so a
 // crash mid-write never leaves a half blob behind a done record).
 func (j *journal) writeOutcome(hash string, out *outcome) error {
-	po := persistedOutcome{Result: out.result, Partial: out.partial}
+	po := persistedOutcome{Result: out.result, Partial: out.partial, Events: out.events}
 	if out.jobErr != nil {
 		po.ErrorKind = out.jobErr.Kind
 		if out.jobErr.Err != nil {
@@ -260,7 +263,7 @@ func (j *journal) loadOutcome(hash string) (*outcome, error) {
 	if err := json.Unmarshal(data, &po); err != nil {
 		return nil, err
 	}
-	out := &outcome{result: po.Result, partial: po.Partial, trace: po.Trace}
+	out := &outcome{result: po.Result, partial: po.Partial, trace: po.Trace, events: po.Events}
 	if po.ErrorKind != "" {
 		out.jobErr = &JobError{Kind: po.ErrorKind, Err: errors.New(po.Error)}
 	}

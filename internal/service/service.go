@@ -32,6 +32,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/telemetry"
@@ -156,7 +157,8 @@ type outcome struct {
 	result  *JobResult
 	partial *PartialInfo
 	jobErr  *JobError
-	trace   []byte // Chrome-trace JSON of the job's span tree
+	trace   []byte         // Chrome-trace JSON of the job's span tree
+	events  []events.Event // sealed lifecycle event history, ending in done
 }
 
 func (o *outcome) state() JobState {
@@ -188,6 +190,8 @@ type execution struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	tel    *telemetry.Registry // per-job registry (attack span tree)
+	bus    *events.Bus         // per-execution lifecycle event stream (SSE source)
+	track  *events.Tracker     // progress/ETA estimator feeding the bus
 
 	mu         sync.Mutex
 	running    bool
@@ -238,6 +242,10 @@ type JobStatus struct {
 	Error           string       `json:"error,omitempty"`
 	ErrorKind       ErrorKind    `json:"error_kind,omitempty"`
 	Partial         *PartialInfo `json:"partial,omitempty"`
+	// Progress is the estimator's live digest while the job runs
+	// (fraction, phase, ETA); a successfully finished job reports
+	// fraction 1.
+	Progress *events.Progress `json:"progress,omitempty"`
 }
 
 // Service is the attack-as-a-service front end. Construct with New,
@@ -259,6 +267,10 @@ type Service struct {
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
+
+	// sseHeartbeat overrides the idle keep-alive cadence on event
+	// streams (0 = defaultSSEHeartbeat); tests shorten it.
+	sseHeartbeat time.Duration
 
 	// beforeRun, when non-nil, runs on the worker goroutine just before
 	// the attack starts — a test seam for deterministic cancellation and
@@ -620,8 +632,42 @@ func (s *Service) newExecution(hash string, parsed *parsedRequest, flight *cache
 		cancel: cancel,
 		tel:    telemetry.New(),
 	}
+	// Every execution carries its own event bus: the attack publishes
+	// lifecycle events into it, the tracker distills them into progress
+	// digests (republished on the same bus for SSE readers), and the
+	// progress gauge mirror feeds the dashboard's per-job bars.
+	exec.bus = events.New(events.Options{Telemetry: s.tel})
+	short := shortHash(hash)
+	gProgress := s.tel.Gauge(telemetry.Label("service_job_progress", "job", short))
+	exec.track = events.Track(exec.bus, progressRepublishGap, func(p events.Progress) {
+		gProgress.Set(int64(p.Fraction * 10000)) // basis points
+	})
 	flight.SetCancel(cancel)
 	return exec
+}
+
+// progressRepublishGap throttles the tracker's progress events; SSE
+// clients see at most a few digests per second per job.
+const progressRepublishGap = 250 * time.Millisecond
+
+// sealEvents ends an execution's event stream: the tracker is drained,
+// a terminal done event carrying the job state is published, and the
+// closed bus's full history is copied into the outcome so cache hits
+// and restarts can replay the stream to late subscribers. Closing the
+// tracker before publishing done keeps done the stream's last event.
+func (s *Service) sealEvents(exec *execution, out *outcome) {
+	if exec.bus == nil {
+		return
+	}
+	exec.track.Close()
+	exec.bus.Publish(events.Event{
+		Type:     events.TypeDone,
+		Fraction: 1,
+		Fields:   map[string]string{"state": string(out.state())},
+	})
+	exec.bus.Close()
+	out.events = exec.bus.History(0)
+	s.tel.Gauge(telemetry.Label("service_job_progress", "job", shortHash(exec.hash))).Set(10000)
 }
 
 // journalAppend records one WAL entry, counting failures instead of
@@ -811,10 +857,17 @@ func (j *Job) snapshot() JobStatus {
 			t := j.exec.startedAt
 			j.exec.mu.Unlock()
 			st.StartedAt = &t
+			if j.exec.track != nil {
+				p := j.exec.track.Snapshot()
+				st.Progress = &p
+			}
 		}
 		return st
 	}
 	st.State = out.state()
+	if st.State == StateDone {
+		st.Progress = &events.Progress{Fraction: 1, Phase: "done"}
+	}
 	st.Partial = out.partial
 	if out.jobErr != nil {
 		st.Error = out.jobErr.Error()
@@ -869,6 +922,10 @@ func (s *Service) worker() {
 			}
 			out = s.runProtected(exec)
 		}
+		// Seal the event stream before the outcome becomes visible
+		// anywhere: the cache, the journal blob and the flight all carry
+		// the finished history.
+		s.sealEvents(exec, out)
 		if out.result != nil {
 			s.store.Put(exec.hash, out)
 		}
@@ -954,6 +1011,7 @@ func (s *Service) runProtected(exec *execution) (out *outcome) {
 		LegacyEncoding:  req.LegacyEncoding,
 		Workers:         req.Workers,
 		Telemetry:       exec.tel,
+		Events:          exec.bus,
 	}
 	if w := s.armDurability(exec, &opts); w != nil {
 		defer w.Close()

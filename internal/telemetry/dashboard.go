@@ -1,0 +1,259 @@
+package telemetry
+
+// dashboardHTML is the self-contained live dashboard served at
+// /dashboard by the debug server. It is deliberately dependency-free:
+// no external scripts, stylesheets, fonts, or build step — one HTML
+// document that polls /metrics/history.json (same origin) every two
+// seconds and renders inline-SVG sparklines for the attack's headline
+// series plus per-job progress bars from service_job_progress gauges.
+//
+// Palette: one categorical slot (blue #2a78d6 light / #3987e5 dark on
+// surfaces #fcfcfb / #1a1a19), validated for lightness band, chroma
+// floor, and ≥3:1 surface contrast in both modes. Every chart is a
+// single series, so identity is carried by the card title — no legend —
+// and all text wears text tokens, never the series color.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>CAS-Lock attack dashboard</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --surface-2: #f0efec;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted: #8a897f;
+    --series-1: #2a78d6;
+    --grid: #e3e2dd;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --surface-2: #262625;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted: #87867c;
+      --series-1: #3987e5;
+      --grid: #33332f;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 24px;
+    background: var(--surface-1); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 16px; font-weight: 600; margin: 0 0 4px; }
+  .sub { color: var(--text-muted); font-size: 12px; margin: 0 0 20px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+  .tile {
+    background: var(--surface-2); border-radius: 8px;
+    padding: 10px 16px; min-width: 140px;
+  }
+  .tile .k { color: var(--text-secondary); font-size: 11px;
+    text-transform: uppercase; letter-spacing: 0.04em; }
+  .tile .v { font-size: 22px; font-weight: 600; font-variant-numeric: tabular-nums; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(300px, 1fr)); gap: 12px; }
+  .card {
+    background: var(--surface-2); border-radius: 8px; padding: 12px 16px;
+    position: relative;
+  }
+  .card .k { color: var(--text-secondary); font-size: 12px; }
+  .card .v { font-size: 20px; font-weight: 600; font-variant-numeric: tabular-nums; }
+  .card svg { display: block; width: 100%; height: 64px; margin-top: 6px; }
+  .card .range { display: flex; justify-content: space-between;
+    color: var(--text-muted); font-size: 11px; font-variant-numeric: tabular-nums; }
+  #jobs { margin-top: 20px; }
+  #jobs h2 { font-size: 13px; font-weight: 600; color: var(--text-secondary); margin: 0 0 8px; }
+  .job { display: flex; align-items: center; gap: 12px; margin-bottom: 6px; }
+  .job .name { width: 220px; overflow: hidden; text-overflow: ellipsis;
+    white-space: nowrap; font-family: ui-monospace, monospace; font-size: 12px; }
+  .job .track { flex: 1; height: 10px; border-radius: 5px; background: var(--surface-2);
+    overflow: hidden; }
+  .job .fill { height: 100%; border-radius: 5px; background: var(--series-1);
+    transition: width 0.5s ease; }
+  .job .pct { width: 56px; text-align: right; font-variant-numeric: tabular-nums; font-size: 12px; }
+  #tip {
+    position: fixed; display: none; pointer-events: none; z-index: 10;
+    background: var(--surface-1); color: var(--text-primary);
+    border: 1px solid var(--grid); border-radius: 6px;
+    padding: 4px 8px; font-size: 12px; font-variant-numeric: tabular-nums;
+    box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+  }
+  #err { color: var(--text-muted); font-size: 12px; margin-top: 16px; }
+</style>
+</head>
+<body>
+<h1>CAS-Lock attack dashboard</h1>
+<p class="sub">polling <code>/metrics/history.json</code> every 2&thinsp;s &mdash; last 10 minutes</p>
+<div class="tiles" id="tiles"></div>
+<div class="grid" id="charts"></div>
+<div id="jobs"></div>
+<div id="tip"></div>
+<p id="err"></p>
+<script>
+"use strict";
+var CHARTS = [
+  {id: "qps",   title: "Oracle queries / s",  src: "counters", name: "oracle_queries_total",  kind: "rate"},
+  {id: "dips",  title: "DIPs / s",            src: "gauges",   name: "attack_dips_found",     kind: "rate"},
+  {id: "confl", title: "SAT conflicts / s",   src: "counters", name: "sat_conflicts_total",   kind: "rate"},
+  {id: "queue", title: "Queue depth",         src: "gauges",   name: "service_queue_depth",   kind: "value"}
+];
+var TILES = [
+  {title: "Jobs running",      src: "gauges",   name: "service_jobs_running"},
+  {title: "Events dropped",    src: "counters", name: "events_dropped_total"},
+  {title: "Checkpoint writes", src: "counters", name: "checkpoint_writes_total"}
+];
+var W = 600, H = 64, PAD = 3;
+var tip = document.getElementById("tip");
+
+function fmt(v) {
+  if (v >= 1e9) return (v / 1e9).toFixed(1) + "G";
+  if (v >= 1e6) return (v / 1e6).toFixed(1) + "M";
+  if (v >= 1e3) return (v / 1e3).toFixed(1) + "k";
+  if (v >= 100) return v.toFixed(0);
+  if (v >= 1 || v === 0) return (Math.round(v * 10) / 10).toString();
+  return v.toFixed(2);
+}
+function clock(ms) {
+  var d = new Date(ms);
+  function p(n) { return (n < 10 ? "0" : "") + n; }
+  return p(d.getHours()) + ":" + p(d.getMinutes()) + ":" + p(d.getSeconds());
+}
+// rate turns a monotone counter (or non-decreasing gauge) into per-second
+// deltas; dips below zero (process restart) clamp to 0.
+function rate(t, vals) {
+  var out = {t: [], v: []};
+  for (var i = 1; i < vals.length; i++) {
+    var dt = (t[i] - t[i - 1]) / 1000;
+    if (dt <= 0) continue;
+    out.t.push(t[i]);
+    out.v.push(Math.max(0, (vals[i] - vals[i - 1]) / dt));
+  }
+  return out;
+}
+function pathFor(vals, min, max) {
+  var span = max - min || 1;
+  var d = "";
+  for (var i = 0; i < vals.length; i++) {
+    var x = vals.length === 1 ? W / 2 : PAD + (W - 2 * PAD) * i / (vals.length - 1);
+    var y = H - PAD - (H - 2 * PAD) * (vals[i] - min) / span;
+    d += (i === 0 ? "M" : "L") + x.toFixed(1) + " " + y.toFixed(1);
+  }
+  return d;
+}
+function card(c) {
+  var el = document.createElement("div");
+  el.className = "card";
+  el.innerHTML = '<div class="k">' + c.title + '</div>' +
+    '<div class="v" id="v-' + c.id + '">&mdash;</div>' +
+    '<svg id="svg-' + c.id + '" viewBox="0 0 ' + W + ' ' + H + '" preserveAspectRatio="none">' +
+    '<line x1="0" y1="' + (H - PAD) + '" x2="' + W + '" y2="' + (H - PAD) + '" stroke="var(--grid)" stroke-width="1"/>' +
+    '<path id="p-' + c.id + '" fill="none" stroke="var(--series-1)" stroke-width="2" ' +
+    'stroke-linejoin="round" stroke-linecap="round" vector-effect="non-scaling-stroke" d=""/>' +
+    '<line id="x-' + c.id + '" y1="0" y2="' + H + '" stroke="var(--text-muted)" ' +
+    'stroke-width="1" vector-effect="non-scaling-stroke" visibility="hidden"/>' +
+    '</svg>' +
+    '<div class="range"><span id="lo-' + c.id + '"></span><span id="hi-' + c.id + '"></span></div>';
+  document.getElementById("charts").appendChild(el);
+  var svg = el.querySelector("svg");
+  svg.addEventListener("mousemove", function (ev) { hover(c, svg, ev); });
+  svg.addEventListener("mouseleave", function () {
+    tip.style.display = "none";
+    document.getElementById("x-" + c.id).setAttribute("visibility", "hidden");
+  });
+}
+var seriesData = {}; // id -> {t:[], v:[]}
+function hover(c, svg, ev) {
+  var s = seriesData[c.id];
+  if (!s || !s.v.length) return;
+  var box = svg.getBoundingClientRect();
+  var frac = (ev.clientX - box.left) / box.width;
+  var i = Math.round(frac * (s.v.length - 1));
+  i = Math.max(0, Math.min(s.v.length - 1, i));
+  var x = s.v.length === 1 ? W / 2 : PAD + (W - 2 * PAD) * i / (s.v.length - 1);
+  var cross = document.getElementById("x-" + c.id);
+  cross.setAttribute("x1", x); cross.setAttribute("x2", x);
+  cross.setAttribute("visibility", "visible");
+  tip.textContent = clock(s.t[i]) + "  " + fmt(s.v[i]);
+  tip.style.display = "block";
+  tip.style.left = (ev.clientX + 12) + "px";
+  tip.style.top = (ev.clientY - 10) + "px";
+}
+function tile(t0) {
+  var el = document.createElement("div");
+  el.className = "tile";
+  el.innerHTML = '<div class="k">' + t0.title + '</div>' +
+    '<div class="v" id="t-' + t0.name + '">&mdash;</div>';
+  document.getElementById("tiles").appendChild(el);
+}
+CHARTS.forEach(card);
+TILES.forEach(tile);
+
+function last(arr) { return arr && arr.length ? arr[arr.length - 1] : null; }
+function render(doc) {
+  TILES.forEach(function (t0) {
+    var v = last((doc[t0.src] || {})[t0.name]);
+    document.getElementById("t-" + t0.name).textContent = v === null ? "0" : fmt(v);
+  });
+  CHARTS.forEach(function (c) {
+    var raw = (doc[c.src] || {})[c.name];
+    var s;
+    if (!raw || !raw.length) s = {t: [], v: []};
+    else if (c.kind === "rate") s = rate(doc.t, raw);
+    else s = {t: doc.t.slice(), v: raw.slice()};
+    seriesData[c.id] = s;
+    var vEl = document.getElementById("v-" + c.id);
+    vEl.textContent = s.v.length ? fmt(s.v[s.v.length - 1]) : "—";
+    var min = 0, max = 1;
+    if (s.v.length) {
+      min = Math.min.apply(null, s.v); max = Math.max.apply(null, s.v);
+      if (min > 0) min = 0; // anchor rate/value sparklines at zero
+    }
+    document.getElementById("p-" + c.id).setAttribute("d", pathFor(s.v, min, max));
+    document.getElementById("lo-" + c.id).textContent = s.t.length ? clock(s.t[0]) : "";
+    document.getElementById("hi-" + c.id).textContent = "max " + fmt(max);
+  });
+  // Per-job progress bars from service_job_progress{job="..."} gauges
+  // (basis points: 10000 = done).
+  var jobs = [];
+  Object.keys(doc.gauges || {}).forEach(function (name) {
+    var m = name.match(/^service_job_progress\{job="([^"]*)"\}$/);
+    if (m) jobs.push({id: m[1], bp: last(doc.gauges[name]) || 0});
+  });
+  jobs.sort(function (a, b) { return a.id < b.id ? -1 : 1; });
+  var host = document.getElementById("jobs");
+  if (!jobs.length) { host.innerHTML = ""; return; }
+  var html = "<h2>Jobs</h2>";
+  jobs.forEach(function (j) {
+    var pct = Math.max(0, Math.min(100, j.bp / 100));
+    html += '<div class="job"><span class="name">' + j.id.replace(/[<>&]/g, "") + "</span>" +
+      '<span class="track"><span class="fill" style="width:' + pct.toFixed(1) + '%"></span></span>' +
+      '<span class="pct">' + pct.toFixed(1) + "%</span></div>";
+  });
+  host.innerHTML = html;
+}
+function poll() {
+  fetch("/metrics/history.json", {cache: "no-store"})
+    .then(function (r) {
+      if (!r.ok) throw new Error("HTTP " + r.status);
+      return r.json();
+    })
+    .then(function (doc) {
+      document.getElementById("err").textContent = "";
+      render(doc);
+    })
+    .catch(function (e) {
+      document.getElementById("err").textContent = "fetch failed: " + e.message;
+    });
+}
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+`

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -16,16 +17,19 @@ import (
 // DebugServer is the live-observation endpoint behind the CLIs'
 // -debug-addr flag. It serves, on its own mux (never the default one):
 //
-//	/metrics       Prometheus text exposition of the registry
-//	/metrics.json  JSON snapshot (metrics + ended spans)
-//	/trace.json    Chrome-trace JSON of the spans ended so far
-//	/healthz       {"status":"ok","uptime":"..."}
-//	/debug/vars    expvar (memstats, cmdline)
-//	/debug/pprof/  the net/http/pprof suite (profile, heap, trace, ...)
+//	/metrics               Prometheus text exposition of the registry
+//	/metrics.json          JSON snapshot (metrics + ended spans)
+//	/metrics/history.json  sampled counter/gauge time series (last 10 min)
+//	/dashboard             self-contained live HTML dashboard
+//	/trace.json            Chrome-trace JSON of the spans ended so far
+//	/healthz               {"status":"ok","uptime":"..."}
+//	/debug/vars            expvar (memstats, cmdline)
+//	/debug/pprof/          the net/http/pprof suite (profile, heap, trace, ...)
 type DebugServer struct {
 	srv      *http.Server
 	ln       net.Listener
 	start    time.Time
+	hist     *History   // owned sampler; stopped first on Close (nil when no registry)
 	serveErr chan error // buffered; receives Serve's return exactly once
 }
 
@@ -66,6 +70,17 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 		if err := r.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	d.hist = NewHistory(r, DefaultHistoryInterval, DefaultHistorySamples)
+	mux.HandleFunc("/metrics/history.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.hist.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, dashboardHTML)
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -131,6 +146,9 @@ func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
+	// Stop the sampler before the listener: once Close returns, no
+	// goroutine of this server is left running.
+	d.hist.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	shutdownErr := d.srv.Shutdown(ctx)

@@ -211,8 +211,11 @@ func (r *Registry) WriteMetricsFile(path string) error {
 	return writeFileAtomic(path, r.WritePrometheus)
 }
 
-// writeFileAtomic streams fill into a sibling temp file and renames it
-// over path, propagating every error (including Close's).
+// writeFileAtomic streams fill into a sibling temp file, fsyncs it,
+// and renames it over path, propagating every error (including
+// Close's). The temp+fsync+rename sequence means a crash mid-write
+// never leaves path torn or empty: readers see the old content or the
+// new, complete one.
 func writeFileAtomic(path string, fill func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".telemetry-*")
@@ -221,6 +224,11 @@ func writeFileAtomic(path string, fill func(io.Writer) error) error {
 	}
 	tmp := f.Name()
 	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -236,6 +244,12 @@ func writeFileAtomic(path string, fill func(io.Writer) error) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	// Make the rename itself durable. Directory fsync is advisory on
+	// some filesystems; failure does not un-write the file.
+	if df, err := os.Open(dir); err == nil {
+		df.Sync()
+		df.Close()
 	}
 	return nil
 }

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// History samples a registry's counters and gauges on a fixed interval
+// into bounded rings, giving the debug endpoints a short time-series
+// view (rates, trends) without any external metrics stack. Histograms
+// and spans are not sampled — they carry their own time dimension.
+//
+// All series stay aligned with the shared timestamp ring: a series that
+// first appears mid-flight is backfilled with zeros, and once the ring
+// is full the oldest column of every series is evicted together. A nil
+// *History (telemetry disabled) is a no-op on every method.
+type History struct {
+	reg      *Registry
+	interval time.Duration
+	size     int
+
+	mu       sync.Mutex
+	times    []int64 // unix milliseconds, len ≤ size
+	counters map[string][]uint64
+	gauges   map[string][]int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Default sampling shape for the debug server: one sample per second,
+// ten minutes retained.
+const (
+	DefaultHistoryInterval = time.Second
+	DefaultHistorySamples  = 600
+)
+
+// NewHistory starts sampling r every interval, retaining the most
+// recent samples columns. It takes one sample immediately so the first
+// scrape never sees an empty document. A nil registry returns a nil
+// (no-op) History. Callers own the sampler's lifecycle: Close it to
+// stop the background goroutine.
+func NewHistory(r *Registry, interval time.Duration, samples int) *History {
+	if r == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultHistoryInterval
+	}
+	if samples <= 0 {
+		samples = DefaultHistorySamples
+	}
+	h := &History{
+		reg:      r,
+		interval: interval,
+		size:     samples,
+		counters: make(map[string][]uint64),
+		gauges:   make(map[string][]int64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	h.Sample()
+	go h.run()
+	return h
+}
+
+func (h *History) run() {
+	defer close(h.done)
+	tick := time.NewTicker(h.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			h.Sample()
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+// Sample appends one column: the current value of every counter and
+// gauge in the registry. Exported so tests (and callers with their own
+// cadence) can drive the ring deterministically.
+func (h *History) Sample() {
+	if h == nil {
+		return
+	}
+	counters, gauges := h.reg.scalarSnapshot()
+	now := time.Now().UnixMilli()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	prev := len(h.times)
+	h.times = append(h.times, now)
+	for name, v := range counters {
+		s, ok := h.counters[name]
+		if !ok {
+			s = make([]uint64, prev) // zero backfill keeps columns aligned
+		}
+		h.counters[name] = append(s, v)
+	}
+	for name, v := range gauges {
+		s, ok := h.gauges[name]
+		if !ok {
+			s = make([]int64, prev)
+		}
+		h.gauges[name] = append(s, v)
+	}
+	if len(h.times) > h.size {
+		drop := len(h.times) - h.size
+		h.times = h.times[drop:]
+		for name, s := range h.counters {
+			h.counters[name] = s[drop:]
+		}
+		for name, s := range h.gauges {
+			h.gauges[name] = s[drop:]
+		}
+	}
+}
+
+// scalarSnapshot copies only the counter and gauge values — the
+// sampler runs every second, so it must not pay Snapshot's histogram
+// and span copies.
+func (r *Registry) scalarSnapshot() (map[string]uint64, map[string]int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	return counters, gauges
+}
+
+// historyDoc is the JSON shape served at /metrics/history.json.
+type historyDoc struct {
+	IntervalMS int64               `json:"interval_ms"`
+	T          []int64             `json:"t"`
+	Counters   map[string][]uint64 `json:"counters"`
+	Gauges     map[string][]int64  `json:"gauges"`
+}
+
+// WriteJSON writes the retained time series as one JSON document:
+//
+//	{"interval_ms":1000,"t":[...],"counters":{name:[...]},"gauges":{...}}
+//
+// Every array under counters/gauges has the same length as t. A nil
+// History writes an empty document.
+func (h *History) WriteJSON(w io.Writer) error {
+	doc := historyDoc{T: []int64{}, Counters: map[string][]uint64{}, Gauges: map[string][]int64{}}
+	if h != nil {
+		h.mu.Lock()
+		doc.IntervalMS = h.interval.Milliseconds()
+		doc.T = append(doc.T, h.times...)
+		for name, s := range h.counters {
+			doc.Counters[name] = append([]uint64(nil), s...)
+		}
+		for name, s := range h.gauges {
+			doc.Gauges[name] = append([]int64(nil), s...)
+		}
+		h.mu.Unlock()
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Close stops the sampling goroutine and waits for it to exit.
+// Idempotent and nil-safe.
+func (h *History) Close() {
+	if h == nil {
+		return
+	}
+	h.once.Do(func() { close(h.stop) })
+	<-h.done
+}

@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newIdleHistory builds a History whose ticker effectively never fires,
+// so tests drive the ring with explicit Sample calls.
+func newIdleHistory(t *testing.T, r *Registry, size int) *History {
+	t.Helper()
+	h := NewHistory(r, time.Hour, size)
+	if h == nil {
+		t.Fatal("NewHistory returned nil for a live registry")
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func decodeHistory(t *testing.T, h *History) historyDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc historyDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("history JSON does not parse: %v\n%s", err, buf.Bytes())
+	}
+	return doc
+}
+
+func TestHistorySamplesAndAligns(t *testing.T) {
+	r := New()
+	r.Counter("q_total").Add(5)
+	h := newIdleHistory(t, r, 16) // NewHistory takes sample #1 itself
+	r.Counter("q_total").Add(5)
+	r.Gauge("depth").Set(3) // appears after the first column
+	h.Sample()
+	doc := decodeHistory(t, h)
+	if len(doc.T) != 2 {
+		t.Fatalf("retained %d columns, want 2", len(doc.T))
+	}
+	if got := doc.Counters["q_total"]; len(got) != 2 || got[0] != 5 || got[1] != 10 {
+		t.Fatalf("q_total series = %v, want [5 10]", got)
+	}
+	// The late gauge is zero-backfilled so every series stays aligned
+	// with the timestamp ring.
+	if got := doc.Gauges["depth"]; len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("depth series = %v, want [0 3]", got)
+	}
+	if doc.IntervalMS != time.Hour.Milliseconds() {
+		t.Fatalf("interval_ms = %d", doc.IntervalMS)
+	}
+}
+
+func TestHistoryRingEvictsOldestColumn(t *testing.T) {
+	r := New()
+	h := newIdleHistory(t, r, 4)
+	for i := 0; i < 10; i++ {
+		r.Counter("q_total").Inc()
+		h.Sample()
+	}
+	doc := decodeHistory(t, h)
+	if len(doc.T) != 4 {
+		t.Fatalf("ring holds %d columns, want 4", len(doc.T))
+	}
+	if got := doc.Counters["q_total"]; len(got) != 4 || got[3] != 10 || got[0] != 7 {
+		t.Fatalf("q_total window = %v, want [7 8 9 10]", got)
+	}
+}
+
+func TestHistoryNilIsNoOp(t *testing.T) {
+	var h *History
+	h.Sample()
+	h.Close()
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc historyDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil history JSON invalid: %v", err)
+	}
+	if NewHistory(nil, time.Second, 8) != nil {
+		t.Fatal("NewHistory(nil, ...) should return nil")
+	}
+}
+
+func TestHistoryCloseIdempotent(t *testing.T) {
+	h := NewHistory(New(), time.Millisecond, 8)
+	time.Sleep(5 * time.Millisecond) // let the ticker fire at least once
+	h.Close()
+	h.Close()
+}
+
+func TestDebugServerServesHistoryAndDashboard(t *testing.T) {
+	r := New()
+	r.Counter("oracle_queries_total").Add(42)
+	d, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get(d.URL() + "/metrics/history.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history.json status %d", resp.StatusCode)
+	}
+	var doc historyDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("history.json does not parse: %v\n%s", err, body)
+	}
+	// NewHistory samples immediately, so the first scrape is never empty.
+	if len(doc.T) == 0 || len(doc.Counters["oracle_queries_total"]) == 0 {
+		t.Fatalf("first scrape empty: %s", body)
+	}
+
+	resp, err = http.Get(d.URL() + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dashboard status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("dashboard content-type %q", ct)
+	}
+	html := string(page)
+	for _, want := range []string{"<!DOCTYPE html>", "/metrics/history.json", "service_job_progress"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	// Dependency-free: no external fetches besides same-origin polling.
+	for _, banned := range []string{"http://", "https://", "src=", "@import"} {
+		if strings.Contains(html, banned) {
+			t.Fatalf("dashboard references external asset (%q)", banned)
+		}
+	}
+}
+
+func TestDebugServerCloseStopsSampler(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		d, err := ServeDebug("127.0.0.1:0", New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The sampler goroutine must not leak across server lifecycles.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after Close", before, runtime.NumGoroutine())
+}
