@@ -23,6 +23,9 @@
 #   make engine-smoke differential end-to-end check: attack the same
 #                    32-bit-key instance with and without
 #                    -legacy-encoding and assert byte-identical keys
+#   make portfolio-smoke differential end-to-end check: attack SAT- and
+#                    sim-regime instances with and without -portfolio
+#                    and assert byte-identical keys
 #   make crash-smoke chaos harness: SIGKILL caslock-attack and
 #                    caslock-served mid-attack at seeded-random points,
 #                    restart/resume, and assert the resumed key is
@@ -56,6 +59,7 @@ SMOKEDIR ?= .trace-smoke
 SERVEDIR ?= .serve-smoke
 SIGDIR ?= .signal-smoke
 ENGDIR ?= .engine-smoke
+PORTDIR ?= .portfolio-smoke
 CRASHDIR ?= .crash-smoke
 EVDIR ?= .events-smoke
 MAXREGRESS ?= 0.20
@@ -107,6 +111,9 @@ signal-smoke:
 engine-smoke:
 	GO="$(GO)" sh scripts/engine_smoke.sh $(ENGDIR)
 
+portfolio-smoke:
+	GO="$(GO)" sh scripts/portfolio_smoke.sh $(PORTDIR)
+
 crash-smoke:
 	GO="$(GO)" sh scripts/crash_smoke.sh $(CRASHDIR)
 
@@ -127,7 +134,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping vulnerability scan"; \
 	fi
 
-ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke events-smoke govulncheck
+ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke portfolio-smoke crash-smoke events-smoke govulncheck
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/events"
 	"repro/internal/experiments"
 	"repro/internal/lock"
@@ -164,6 +165,11 @@ type TelemetrySummary struct {
 	// which engine the self-tuning boundary picked, probe costs in ns),
 	// so the trajectory shows calibration drift alongside raw timings.
 	Crossover map[string]int64 `json:"crossover,omitempty"`
+	// Portfolio records the portfolio_* family verbatim (per-member race
+	// wins, learned clauses exported/imported over the sharing channel,
+	// disagreements — the latter must stay zero), so the trajectory shows
+	// whether the racing members actually cooperate.
+	Portfolio map[string]int64 `json:"portfolio,omitempty"`
 }
 
 // summarize extracts the summary fields from a registry snapshot. Phase
@@ -188,13 +194,18 @@ func summarize(tel *telemetry.Registry) *TelemetrySummary {
 		ts.PhaseSeconds[phase] = h.Sum
 	}
 	cross := func(name string, v int64) {
-		if !strings.HasPrefix(name, "crossover_") {
-			return
+		switch {
+		case strings.HasPrefix(name, "crossover_"):
+			if ts.Crossover == nil {
+				ts.Crossover = make(map[string]int64)
+			}
+			ts.Crossover[name] = v
+		case strings.HasPrefix(name, "portfolio_"):
+			if ts.Portfolio == nil {
+				ts.Portfolio = make(map[string]int64)
+			}
+			ts.Portfolio[name] = v
 		}
-		if ts.Crossover == nil {
-			ts.Crossover = make(map[string]int64)
-		}
-		ts.Crossover[name] = v
 	}
 	for name, v := range snap.Counters {
 		cross(name, int64(v))
@@ -335,7 +346,7 @@ func main() {
 	})
 	rep.Results = append(rep.Results, toResult("sim_classes_n22", r))
 
-	satRes, err := satWorkload(tel, false)
+	satRes, err := satWorkload(tel, false, 0)
 	fatalIf(err)
 	rep.Results = append(rep.Results, satRes)
 
@@ -343,9 +354,17 @@ func main() {
 	// the trajectory records the incremental engine's win explicitly.
 	// It runs uninstrumented: its solver work would otherwise pollute
 	// the engine path's telemetry summary.
-	legRes, err := satWorkload(nil, true)
+	legRes, err := satWorkload(nil, true, 0)
 	fatalIf(err)
 	rep.Results = append(rep.Results, legRes)
+
+	// And once more behind the racing portfolio, instrumented so the
+	// portfolio_* win/share counters land in the telemetry summary. The
+	// entry joins the gated sat_* aggregate: a portfolio that loses the
+	// race against its own single-engine sibling fails bench-compare.
+	portRes, err := satWorkload(tel, false, engine.DefaultPortfolioSize)
+	fatalIf(err)
+	rep.Results = append(rep.Results, portRes)
 
 	row := experiments.TableI32[1] // c880, no duplicate-config note
 	var last *experiments.TableIResult
@@ -573,8 +592,11 @@ func simRunWorkloads() ([]Result, error) {
 // satWorkload mirrors BenchmarkDIPExtraction/sat_n8, instrumented so
 // the report's telemetry summary carries the SAT solver's work totals.
 // With legacy set, the extractor runs the per-assignment re-encode path
-// and the result is reported as sat_extract_n8_legacy.
-func satWorkload(tel *telemetry.Registry, legacy bool) (Result, error) {
+// and the result is reported as sat_extract_n8_legacy. With portfolio
+// set, a racing portfolio of that many diversified members carries the
+// queries instead of the single persistent engine and the result is
+// reported as sat_extract_n8_portfolio.
+func satWorkload(tel *telemetry.Registry, legacy bool, portfolio int) (Result, error) {
 	host, err := synth.Generate(synth.Config{Name: "bh", Inputs: 11, Outputs: 4, Gates: 80, Seed: 7})
 	if err != nil {
 		return Result{}, err
@@ -602,6 +624,7 @@ func satWorkload(tel *telemetry.Registry, legacy bool) (Result, error) {
 		ext.SetTelemetry(tel)
 	}
 	ext.SetLegacyEncoding(legacy)
+	ext.SetPortfolio(portfolio)
 	assign := core.PairAssign{A: make([]bool, locked.Circuit.NumKeys()), B: make([]bool, locked.Circuit.NumKeys())}
 	for _, pos := range layout.Key1Pos {
 		assign.A[pos] = true
@@ -620,6 +643,9 @@ func satWorkload(tel *telemetry.Registry, legacy bool) (Result, error) {
 	name := "sat_extract_n8"
 	if legacy {
 		name += "_legacy"
+	}
+	if portfolio > 0 {
+		name += "_portfolio"
 	}
 	return toResult(name, r), nil
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/events"
 	"repro/internal/faults"
 	"repro/internal/miter"
@@ -152,6 +153,8 @@ func main() {
 		prove      = flag.Bool("prove", true, "SAT-prove the recovered key against the oracle netlist")
 		timeout    = flag.Duration("timeout", 0, "attack deadline (0 = none); on expiry the partial structure is printed and the exit code is 3")
 		legacyEnc  = flag.Bool("legacy-encoding", false, "disable the persistent incremental-SAT engine (re-encode the miter per key assignment)")
+		portfolio  = flag.Bool("portfolio", false, "race a portfolio of diversified SAT engines sharing one encoding and exchanging learned clauses (results stay bit-identical)")
+		portSize   = flag.Int("portfolio-size", engine.DefaultPortfolioSize, "portfolio member count (with -portfolio)")
 		satWidth   = flag.Int("sat-width-limit", 0, "largest block width attacked with the SAT engine (0 = auto-calibrate per instance; a positive value pins the fixed rule)")
 		retries    = flag.Int("retries", 0, "transient-failure retry budget and per-mismatch re-query count (0 = defaults)")
 		noise      = flag.Float64("noise", 0, "inject this per-output-bit flip rate into the oracle (demo; arms majority voting)")
@@ -167,7 +170,7 @@ func main() {
 		eventsOut  = flag.String("events-out", "", "stream the attack's lifecycle events (phase transitions, DIP progress, crossover decision, checkpoints, progress digests, terminal done) to this file as NDJSON")
 	)
 	flag.Parse()
-	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 || *oracleLat < 0 {
+	if *lockedPath == "" || *oraclePath == "" || *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 || *oracleLat < 0 || *portSize < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -223,6 +226,9 @@ func main() {
 		LegacyEncoding:  *legacyEnc,
 		SATWidthLimit:   *satWidth,
 		Telemetry:       tel,
+	}
+	if *portfolio {
+		opts.Portfolio = *portSize
 	}
 	if *progress {
 		opts.Log = func(format string, args ...any) {

@@ -24,9 +24,19 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
+
+// portfolioSize maps the -portfolio/-portfolio-size flag pair to
+// core.Options.Portfolio (0 = single engine).
+func portfolioSize(enabled bool, size int) int {
+	if !enabled {
+		return 0
+	}
+	return size
+}
 
 func main() {
 	var (
@@ -37,6 +47,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "deadline for the whole grid (0 = none)")
 		retries   = flag.Int("retries", 0, "oracle transient-retry budget and attack mismatch re-query count (0 = defaults)")
 		legacyEnc = flag.Bool("legacy-encoding", false, "disable the persistent incremental-SAT engine in the DIP-learning cells")
+		portfolio = flag.Bool("portfolio", false, "race a portfolio of diversified SAT engines in the DIP-learning cells (shared encoding, exchanged learned clauses)")
+		portSize  = flag.Int("portfolio-size", engine.DefaultPortfolioSize, "portfolio member count (with -portfolio)")
 		satWidth  = flag.Int("sat-width-limit", 0, "largest block width attacked with the SAT engine in the DIP-learning cells (0 = auto-calibrate per instance)")
 		noise     = flag.Float64("noise", 0, "per-output-bit oracle flip rate injected into every cell (arms majority voting)")
 		trace     = flag.String("trace", "", "write a Chrome-trace JSON of the grid's attack spans here (open in Perfetto)")
@@ -44,7 +56,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (e.g. :6060)")
 	)
 	flag.Parse()
-	if *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 {
+	if *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 || *portSize < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -107,6 +119,7 @@ func main() {
 		Telemetry:      tel,
 		LegacyEncoding: *legacyEnc,
 		SATWidthLimit:  *satWidth,
+		Portfolio:      portfolioSize(*portfolio, *portSize),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)

@@ -46,6 +46,34 @@ type Options struct {
 	// and candidate distinguishing builds throwaway hashed miters. An
 	// escape hatch — results are identical, the engine is just faster.
 	LegacyEncoding bool
+	// Portfolio, when > 0, replaces the single persistent engine with a
+	// racing portfolio of that many diversified members (distinct VSIDS
+	// decay, restart strategy, phase-saving polarity and decision-order
+	// seeds) sharing one miter encoding and exchanging short learned
+	// clauses. Every query races all members and the first definitive
+	// answer wins, so wall-clock tracks the luckiest configuration while
+	// results stay bit-identical to a single engine (enforced by the
+	// differential tests; see DESIGN.md §13). Ignored under
+	// LegacyEncoding and in the simulation regime, which have no
+	// persistent engine. engine.DefaultPortfolioSize is the conventional
+	// size for callers that only expose an on/off switch.
+	Portfolio int
+	// EnginePool, when non-nil together with EngineKey, reuses warm
+	// persistent backends across attacks: before building an engine the
+	// SAT extractor asks the pool for an idle backend parked under
+	// EngineKey, and when the attack finishes its backend is recycled
+	// back into the pool — encoding, learned clauses and budgeter rate
+	// intact. EngineKey must uniquely identify the attacked netlist;
+	// canonical-serialization hashes (bench.Canonical) qualify, since
+	// equal canonical bytes pin the input/key orderings the engine's
+	// literal layout depends on. The pool key is additionally scoped by
+	// Portfolio, so differently sized configurations never exchange
+	// backends. Ignored under LegacyEncoding and in the simulation
+	// regime.
+	EnginePool *engine.Pool
+	// EngineKey scopes this attack's entries in EnginePool; empty
+	// disables pooling.
+	EngineKey string
 	// MaxCalibrations caps the Algorithm-2 brute-force loop over the
 	// calibration block's upper key bits (default 1<<20).
 	MaxCalibrations uint64
@@ -178,6 +206,22 @@ func Run(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Park the warm backend when the attack ends, however it ends —
+		// except through a panic, whose mid-solve state must not poison
+		// the next job. Only extractors this attack built are parked: a
+		// caller-supplied extractor still belongs to the caller.
+		if key := enginePoolKey(&opts); key != "" {
+			defer func() {
+				if r := recover(); r != nil {
+					panic(r)
+				}
+				if sx, ok := ext.(*SATExtractor); ok {
+					if b := sx.Backend(); b != nil {
+						opts.EnginePool.Put(key, b)
+					}
+				}
+			}()
+		}
 	}
 
 	// Extractors that understand cancellation get the attack's context;
@@ -193,6 +237,9 @@ func Run(opts Options) (*Result, error) {
 	}
 	if la, ok := ext.(interface{ SetLegacyEncoding(bool) }); ok {
 		la.SetLegacyEncoding(opts.LegacyEncoding)
+	}
+	if pa, ok := ext.(interface{ SetPortfolio(int) }); ok {
+		pa.SetPortfolio(opts.Portfolio)
 	}
 	if ea, ok := ext.(interface{ SetEvents(*events.Bus) }); ok {
 		ea.SetEvents(opts.Events)
@@ -247,7 +294,7 @@ type attack struct {
 	phaseAt   map[string]int64 // phase → enter timestamp (ms), event durations
 	evQueries uint64           // oracle queries since the last oracle_batch event
 
-	eng      *engine.Engine // persistent engine for SAT distinguishing
+	eng      engine.Backend // persistent engine/portfolio for SAT distinguishing
 	engTried bool
 
 	ck     *ckptState           // non-nil when a Checkpointer is armed
@@ -269,7 +316,7 @@ type attack struct {
 // (measured 20x slower on the c880-profile Table-I row). The engine
 // only wins where it is already warm from SAT enumeration. Nil under
 // LegacyEncoding.
-func (a *attack) engine() *engine.Engine {
+func (a *attack) engine() engine.Backend {
 	if a.engTried {
 		return a.eng
 	}
@@ -278,7 +325,7 @@ func (a *attack) engine() *engine.Engine {
 		return nil
 	}
 	if ea, ok := a.ext.(interface {
-		Engine() (*engine.Engine, error)
+		Engine() (engine.Backend, error)
 	}); ok {
 		eng, err := ea.Engine()
 		if err == nil {
@@ -1025,7 +1072,18 @@ func (a *attack) distinguish(keyA, keyB []bool, st *structured) (witness []bool,
 		return w, false, nil
 	}
 	if eng := a.engine(); eng != nil {
-		return eng.Distinguish(keyA, keyB, distinguishConflictBudget)
+		out, err := eng.DistinguishEx(keyA, keyB, distinguishConflictBudget)
+		if err != nil {
+			return nil, false, err
+		}
+		if !out.Reason.Definitive() {
+			// The Unknown-means-equivalent contract stands (candidates die
+			// only on oracle disagreement), but a starved verdict is worth
+			// a trace: the engine already counted and published it, the log
+			// line ties it to this candidate pair.
+			a.logf("distinguish verdict %s (budget %d): treating candidates as equivalent", out.Reason, uint64(distinguishConflictBudget))
+		}
+		return out.Witness, out.Equivalent, nil
 	}
 	actA, err := oracle.Activate(a.opts.Locked, keyA)
 	if err != nil {

@@ -68,12 +68,45 @@ func resetProbeMemo() { probeMemo = cache.NewLRU[string, string](64) }
 
 // probeMemoKey identifies a crossover decision's scope. Empty when the
 // netlist cannot be canonicalized (the attack will fail later anyway).
+// The portfolio size is part of the scope: probe timings against a
+// 3-member race do not transfer to a single engine (or vice versa), so
+// differently configured runs over the same instance probe separately.
 func probeMemoKey(opts *Options) string {
 	canon, err := bench.Canonical(opts.Locked)
 	if err != nil {
 		return ""
 	}
-	return cache.SumParts(canon) + "|w" + strconv.Itoa(opts.Workers)
+	return cache.SumParts(canon) + "|w" + strconv.Itoa(opts.Workers) + "|p" + strconv.Itoa(opts.Portfolio)
+}
+
+// newCalibratedSAT builds the SAT extractor configured per opts — the
+// portfolio setting must be armed before the probe builds the backend,
+// or the probe would race a different engine than the attack runs.
+// When a warm pool is configured, an idle backend parked under this
+// instance's key is adopted instead of building (and encoding) fresh.
+func newCalibratedSAT(opts *Options, layout *BlockLayout) (*SATExtractor, error) {
+	se, err := NewSATExtractor(opts.Locked, layout)
+	if err != nil {
+		return nil, err
+	}
+	se.SetPortfolio(opts.Portfolio)
+	if key := enginePoolKey(opts); key != "" {
+		if b := opts.EnginePool.Take(key); b != nil {
+			se.SetBackend(b)
+		}
+	}
+	return se, nil
+}
+
+// enginePoolKey scopes warm-pool entries: the caller's netlist identity
+// (EngineKey) plus the portfolio size, so a single engine is never
+// handed to a portfolio run or vice versa. Empty when pooling is off or
+// inapplicable (legacy encoding has no persistent backend).
+func enginePoolKey(opts *Options) string {
+	if opts.EnginePool == nil || opts.EngineKey == "" || opts.LegacyEncoding {
+		return ""
+	}
+	return opts.EngineKey + "|p" + strconv.Itoa(opts.Portfolio)
 }
 
 // crossoverCell names a crossover decision's scope for per-cell metric
@@ -152,7 +185,7 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 		}
 		if n <= limit {
 			publish("sat", "pinned", 0, 0)
-			return NewSATExtractor(opts.Locked, layout)
+			return newCalibratedSAT(opts, layout)
 		}
 		publish("sim", "pinned", 0, 0)
 		return newCalibratedSim(opts, layout)
@@ -173,7 +206,7 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 			var ext Extractor
 			var err error
 			if engine == "sat" {
-				ext, err = NewSATExtractor(opts.Locked, layout)
+				ext, err = newCalibratedSAT(opts, layout)
 			} else {
 				ext, err = newCalibratedSim(opts, layout)
 			}
@@ -220,7 +253,7 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 			// at 30 chain inputs).
 			return nil, simErr
 		}
-		satExt, err := NewSATExtractor(opts.Locked, layout)
+		satExt, err := newCalibratedSAT(opts, layout)
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +294,7 @@ func chooseExtractor(ctx context.Context, opts *Options, layout *BlockLayout, ro
 	// SAT probe: give the persistent engine a deadline equal to the sim
 	// estimate (capped) and let it race the same enumeration. The
 	// engine's budgeter slices its Solve calls against that deadline.
-	satExt, err := NewSATExtractor(opts.Locked, layout)
+	satExt, err := newCalibratedSAT(opts, layout)
 	if err != nil {
 		return pick("sim", "sat-unavailable", se), nil
 	}

@@ -107,10 +107,11 @@ type SATExtractor struct {
 	ctx    context.Context     // nil = never cancelled
 	tel    *telemetry.Registry // nil = uninstrumented
 
-	legacy bool
-	eng    *engine.Engine // lazily built persistent engine (non-legacy path)
-	phase  string         // pending phase label, applied when eng is built
-	bus    *events.Bus    // nil = no lifecycle events
+	legacy    bool
+	portfolio int            // >0 = race a portfolio of this many engines
+	eng       engine.Backend // lazily built persistent backend (non-legacy path)
+	phase     string         // pending phase label, applied when eng is built
+	bus       *events.Bus    // nil = no lifecycle events
 
 	progress func(set *DIPSet, complete bool) // checkpoint hook; nil = disabled
 	seed     *DIPSet                          // resume seed, consumed by the next DIPs call
@@ -163,6 +164,34 @@ func (e *SATExtractor) SetTelemetry(r *telemetry.Registry) {
 // extraction; flipping it afterwards only affects subsequent calls.
 func (e *SATExtractor) SetLegacyEncoding(v bool) { e.legacy = v }
 
+// SetPortfolio selects the racing-portfolio backend with n members
+// (0 = single engine). Must be chosen before the first extraction: once
+// the backend is built the setting is fixed for the extractor's
+// lifetime, so a late call is ignored.
+func (e *SATExtractor) SetPortfolio(n int) {
+	if e.eng == nil {
+		e.portfolio = n
+	}
+}
+
+// SetBackend injects a pre-built engine backend — the attack service's
+// warm pool hands back an already-encoded engine or portfolio for a
+// previously seen netlist, skipping the Tseitin encode entirely. The
+// injected backend must have been built for the identical canonical
+// netlist and layout; the pool keys guarantee that. Ignored in legacy
+// mode and after the extractor has built its own backend.
+func (e *SATExtractor) SetBackend(b engine.Backend) {
+	if e.eng == nil && !e.legacy {
+		e.eng = b
+		e.eng.SetContext(e.ctx)
+		e.eng.SetTelemetry(e.tel)
+		e.eng.SetEvents(e.bus)
+		if e.phase != "" {
+			e.eng.SetPhase(e.phase)
+		}
+	}
+}
+
 // SetEvents attaches a lifecycle event bus, forwarded to the persistent
 // engine (which publishes budget_slice events from its deadline-sliced
 // solve loop). Nil disables event publishing.
@@ -206,16 +235,24 @@ func (e *SATExtractor) takeSeed() *DIPSet {
 	return s
 }
 
-// Engine returns the persistent incremental engine, building it on first
-// use, or nil when the extractor runs in legacy mode. The attack shares
-// this engine for its SAT-based candidate distinguishing, so verifier
-// queries profit from the clauses the enumeration phases learned.
-func (e *SATExtractor) Engine() (*engine.Engine, error) {
+// Engine returns the persistent incremental backend — a single engine,
+// or a racing portfolio when SetPortfolio armed one — building it on
+// first use, or nil when the extractor runs in legacy mode. The attack
+// shares this backend for its SAT-based candidate distinguishing, so
+// verifier queries profit from the clauses the enumeration phases
+// learned.
+func (e *SATExtractor) Engine() (engine.Backend, error) {
 	if e.legacy {
 		return nil, nil
 	}
 	if e.eng == nil {
-		eng, err := engine.New(e.locked, e.layout.InputPos)
+		var eng engine.Backend
+		var err error
+		if e.portfolio > 0 {
+			eng, err = engine.NewPortfolio(e.locked, e.layout.InputPos, e.portfolio)
+		} else {
+			eng, err = engine.New(e.locked, e.layout.InputPos)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -229,6 +266,12 @@ func (e *SATExtractor) Engine() (*engine.Engine, error) {
 	}
 	return e.eng, nil
 }
+
+// Backend returns the already-built backend, or nil. Unlike Engine it
+// never triggers a build: the warm-pool put-back path uses it so an
+// attack that never touched SAT does not construct an engine just to
+// park it.
+func (e *SATExtractor) Backend() engine.Backend { return e.eng }
 
 // assignKey packs a pair assignment into the encoding cache's string
 // key: one byte per 8 key bits, copy A then copy B.

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/events"
+	"repro/internal/sat"
+	"repro/internal/telemetry"
+)
+
+// Backend is the query surface the attack drives: one persistent
+// *Engine, or a *Portfolio of diversified engines racing each call.
+// Both keep the single-shared-encoding contract — a Backend encodes the
+// key-differential miter at most once for its lifetime — and both
+// produce bit-identical results for complete (non-deadline-partial)
+// queries, which the differential tests enforce.
+type Backend interface {
+	SetContext(ctx context.Context)
+	SetTelemetry(r *telemetry.Registry)
+	SetEvents(b *events.Bus)
+	SetPhase(name string)
+	NumKeys() int
+	BlockWidth() int
+	Stats() sat.Stats
+	PhaseStats() map[string]sat.Stats
+	EnumerateDIPs(A, B []bool, visit func(pat uint64) bool) error
+	EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint64) bool), visit func(pat uint64) bool) error
+	Distinguish(keyA, keyB []bool, budget uint64) (witness []bool, equivalent bool, err error)
+	DistinguishEx(keyA, keyB []bool, budget uint64) (DistinguishOutcome, error)
+	BudgetRate() float64
+	SetBudgetRate(rate float64)
+	SetBudgetSmoothing(alpha float64)
+	SetCompactBytes(n uint64)
+	Recycle()
+}
+
+var (
+	_ Backend = (*Engine)(nil)
+	_ Backend = (*Portfolio)(nil)
+)

@@ -42,8 +42,25 @@ const (
 // A phase that exhausts its share is not stopped — correctness never
 // depends on the budget — it just crawls at minSlice-sized grants, which
 // keeps context polls frequent while leaving headroom for later phases.
+// defaultBudgetSmoothing is the EWMA weight of the newest rate
+// observation. The committed BENCH phase histograms show per-phase
+// conflict rates swinging 2–3× between enumeration and distinguish
+// sessions while stabilizing within ~4 sessions of a regime change;
+// a 0.4 new-observation weight tracks such a step to within 13% in four
+// observations ((1-0.4)^4 ≈ 0.13) without letting a single outlier
+// session move the estimate by more than 40%. The old hard-coded 0.3
+// weight needed six sessions for the same convergence, which on short
+// deadlines meant the first post-transition phase was budgeted from a
+// stale rate.
+const defaultBudgetSmoothing = 0.4
+
 type budgeter struct {
 	now func() time.Time // injected for tests; time.Now in production
+
+	// smoothing is the EWMA weight of each new rate observation, in
+	// (0,1); zero means defaultBudgetSmoothing (keeps zero-value
+	// budgeter literals working).
+	smoothing float64
 
 	lastT         time.Time
 	lastConflicts uint64
@@ -54,7 +71,17 @@ type budgeter struct {
 	phaseGrant uint64 // previous grant this phase; the next never exceeds it
 }
 
-func newBudgeter() budgeter { return budgeter{now: time.Now} }
+func newBudgeter() budgeter {
+	return budgeter{now: time.Now, smoothing: defaultBudgetSmoothing}
+}
+
+// setSmoothing overrides the EWMA weight; values outside (0,1) are
+// ignored.
+func (b *budgeter) setSmoothing(alpha float64) {
+	if alpha > 0 && alpha < 1 {
+		b.smoothing = alpha
+	}
+}
 
 // enterPhase resets the per-phase state: the new phase may spend at most
 // half the conflicts predicted to remain before the deadline (no cap
@@ -106,7 +133,11 @@ func (b *budgeter) observe(conflicts uint64, now time.Time) {
 		if b.rate == 0 {
 			b.rate = inst
 		} else {
-			b.rate = 0.7*b.rate + 0.3*inst
+			alpha := b.smoothing
+			if alpha == 0 {
+				alpha = defaultBudgetSmoothing
+			}
+			b.rate = (1-alpha)*b.rate + alpha*inst
 		}
 	}
 	b.lastT = now

@@ -158,6 +158,58 @@ func TestEnterPhaseWithoutDeadlineUncapped(t *testing.T) {
 	}
 }
 
+// TestSmoothingFactors drives the budgeter through an identical rate
+// step under two smoothing factors on the fake clock: each must follow
+// the exact EWMA recurrence for its factor, and the heavier factor must
+// converge on the new rate faster.
+func TestSmoothingFactors(t *testing.T) {
+	rates := map[float64]float64{}
+	for _, alpha := range []float64{0.1, 0.8} {
+		b, clk := testBudgeter()
+		b.setSmoothing(alpha)
+		b.observe(0, clk.t) // anchor
+		clk.advance(time.Second)
+		b.observe(1000, clk.t) // first observation sets rate = 1000
+		// Step the true rate to 5000 c/s for four observations.
+		want, conflicts := 1000.0, uint64(1000)
+		for i := 0; i < 4; i++ {
+			clk.advance(time.Second)
+			conflicts += 5000
+			b.observe(conflicts, clk.t)
+			want = (1-alpha)*want + alpha*5000
+			if b.rate != want {
+				t.Fatalf("alpha=%v step %d: rate = %v, want %v", alpha, i, b.rate, want)
+			}
+		}
+		rates[alpha] = b.rate
+	}
+	if rates[0.8] <= rates[0.1] {
+		t.Fatalf("alpha=0.8 should converge faster toward 5000: got %v vs %v", rates[0.8], rates[0.1])
+	}
+}
+
+// TestSetSmoothingRejectsOutOfRange confirms invalid factors are ignored
+// and the zero-value budgeter falls back to the default weight.
+func TestSetSmoothingRejectsOutOfRange(t *testing.T) {
+	b, clk := testBudgeter()
+	for _, bad := range []float64{-1, 0, 1, 2} {
+		b.setSmoothing(bad)
+		if b.smoothing != 0 {
+			t.Fatalf("setSmoothing(%v) accepted", bad)
+		}
+	}
+	// Zero-value smoothing must behave as the default factor.
+	b.observe(0, clk.t)
+	clk.advance(time.Second)
+	b.observe(1000, clk.t)
+	clk.advance(time.Second)
+	b.observe(3000, clk.t)
+	want := (1-defaultBudgetSmoothing)*1000 + defaultBudgetSmoothing*2000
+	if b.rate != want {
+		t.Fatalf("zero-value smoothing rate = %v, want default-weight %v", b.rate, want)
+	}
+}
+
 func TestObserveChargesCapAndUpdatesRate(t *testing.T) {
 	b, clk := testBudgeter()
 	b.observe(0, clk.t) // anchor
@@ -168,7 +220,7 @@ func TestObserveChargesCapAndUpdatesRate(t *testing.T) {
 	}
 	clk.advance(time.Second)
 	b.observe(3000, clk.t) // instantaneous 2000 c/s
-	want := 0.7*1000 + 0.3*2000
+	want := (1-defaultBudgetSmoothing)*1000 + defaultBudgetSmoothing*2000
 	if b.rate != want {
 		t.Fatalf("EWMA rate = %v, want %v", b.rate, want)
 	}

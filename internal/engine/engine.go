@@ -58,6 +58,12 @@ type Engine struct {
 	tel   *telemetry.Registry // nil = uninstrumented
 	bus   *events.Bus         // nil = no lifecycle events
 	phase string
+	lane  int // trace lane for this engine's spans (portfolio members get their own)
+
+	// preSolve, when set, runs before every Solve call at decision
+	// level 0 — the portfolio drains shared-clause imports here, so
+	// foreign clauses only ever enter between solves.
+	preSolve func()
 
 	bud        budgeter
 	phaseStats map[string]sat.Stats
@@ -93,6 +99,7 @@ func New(locked *netlist.Circuit, blockPos []int) (*Engine, error) {
 		nKeys:        locked.NumKeys(),
 		bud:          newBudgeter(),
 		compactBytes: defaultCompactBytes,
+		lane:         telemetry.EngineLane,
 	}, nil
 }
 
@@ -122,6 +129,22 @@ func (e *Engine) SetPhase(name string) {
 	}
 	e.phase = name
 	e.bud.enterPhase(e.ctx)
+}
+
+// Recycle detaches the engine from a finished attack so it can be
+// parked in a Pool and handed to the next one: the context, telemetry
+// registry, event bus and phase label are cleared (they belong to the
+// finished job), while the encoding, learned clauses, variable
+// activity and the budgeter's EWMA conflict rate — the warmth the pool
+// exists to preserve — are kept.
+func (e *Engine) Recycle() {
+	e.ctx = nil
+	e.tel = nil
+	e.bus = nil
+	e.SetPhase("")
+	if e.solver != nil {
+		e.solver.SetInterrupt(nil)
+	}
 }
 
 // NumKeys returns the key width of one miter copy.
@@ -155,7 +178,7 @@ func (e *Engine) ensure() error {
 	if e.solver != nil {
 		return nil
 	}
-	sp := e.tel.StartSpanLane("engine_encode", telemetry.EngineLane)
+	sp := e.tel.StartSpanLane("engine_encode", e.lane)
 	defer sp.End()
 	kd, err := miter.NewKeyDiff(e.locked)
 	if err != nil {
@@ -202,7 +225,7 @@ func (e *Engine) beginSession(kind string) func() {
 		e.tel.Counter("engine_encodings_avoided_total").Inc()
 	}
 	e.sessions++
-	sp := e.tel.StartSpanLane(kind, telemetry.EngineLane)
+	sp := e.tel.StartSpanLane(kind, e.lane)
 	sp.SetArg("phase", e.phaseName())
 	base := e.solver.Stats()
 	return func() {
@@ -223,6 +246,7 @@ func (e *Engine) beginSession(kind string) func() {
 			BlockingPushed:  ps.BlockingPushed + d.BlockingPushed,
 			BlockingRetired: ps.BlockingRetired + d.BlockingRetired,
 			Simplified:      ps.Simplified + d.Simplified,
+			Imported:        ps.Imported + d.Imported,
 		}
 		if e.tel != nil {
 			e.tel.Counter("sat_conflicts_total").Add(d.Conflicts)
@@ -335,6 +359,9 @@ func (e *Engine) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint6
 				return err
 			}
 		}
+		if e.preSolve != nil {
+			e.preSolve()
+		}
 		e.solver.ConflictBudget = e.bud.slice(e.ctx, e.solver.Stats().Conflicts)
 		switch e.solver.Solve(assume...) {
 		case sat.Unknown:
@@ -375,6 +402,50 @@ func (e *Engine) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint6
 	}
 }
 
+// DistinguishReason types how a distinguish verdict was reached, so
+// budget-starved "equivalent" answers are observable instead of silently
+// identical to proofs.
+type DistinguishReason string
+
+const (
+	// ReasonWitness: a concrete disagreement input was found.
+	ReasonWitness DistinguishReason = "witness"
+	// ReasonProved: the solver proved the keys equivalent (Unsat).
+	ReasonProved DistinguishReason = "proved"
+	// ReasonUnknownBudget: the conflict budget ran out; the pair is
+	// reported equivalent without a proof.
+	ReasonUnknownBudget DistinguishReason = "unknown_budget"
+	// ReasonUnknownCanceled: the solve was interrupted by context
+	// cancellation (e.g. a portfolio race already has a winner); the
+	// verdict carries no information.
+	ReasonUnknownCanceled DistinguishReason = "unknown_canceled"
+)
+
+// Definitive reports whether the reason carries a real verdict (witness
+// or proof) rather than a budget/cancellation artifact.
+func (r DistinguishReason) Definitive() bool {
+	return r == ReasonWitness || r == ReasonProved
+}
+
+// DistinguishOutcome is the full result of a distinguish query.
+type DistinguishOutcome struct {
+	// Witness is the full primary-input vector of a disagreement, nil
+	// when none was found.
+	Witness []bool
+	// Equivalent is true when no disagreement was found — by proof
+	// (ReasonProved) or by running out of budget (see Reason).
+	Equivalent bool
+	// Reason types the verdict.
+	Reason DistinguishReason
+	// Member is the portfolio member that produced the verdict
+	// (0 outside a portfolio).
+	Member int
+	// Disagreed is true when another portfolio member returned a
+	// conflicting definitive verdict — a soundness alarm, also counted
+	// in portfolio_disagreements_total.
+	Disagreed bool
+}
+
 // Distinguish searches for a primary-input pattern on which the locked
 // circuit behaves differently under keyA and keyB: the same persistent
 // miter answers with KA/KB fixed by assumptions and the disagreement
@@ -384,31 +455,65 @@ func (e *Engine) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint6
 // callers must treat as "no difference found" exactly as with
 // miter.ProveEquivalentHashedBudget (safe when candidates are only ever
 // eliminated on concrete oracle disagreements). budget 0 is unbounded.
+// Use DistinguishEx to tell those two "equivalent" answers apart.
 func (e *Engine) Distinguish(keyA, keyB []bool, budget uint64) (witness []bool, equivalent bool, err error) {
-	if err := e.ensure(); err != nil {
+	out, err := e.DistinguishEx(keyA, keyB, budget)
+	if err != nil {
 		return nil, false, err
 	}
+	return out.Witness, out.Equivalent, nil
+}
+
+// DistinguishEx is Distinguish with a typed outcome: budget-starved
+// verdicts are marked ReasonUnknownBudget, counted in
+// engine_distinguish_unknown_total, and published as a distinguish
+// event, so they can no longer masquerade as proofs.
+func (e *Engine) DistinguishEx(keyA, keyB []bool, budget uint64) (DistinguishOutcome, error) {
+	if err := e.ensure(); err != nil {
+		return DistinguishOutcome{}, err
+	}
 	if err := e.checkKeys(keyA, keyB); err != nil {
-		return nil, false, err
+		return DistinguishOutcome{}, err
 	}
 	flush := e.beginSession("engine_distinguish")
 	defer flush()
 	defer func() { e.solver.ConflictBudget = 0 }()
 
+	if e.preSolve != nil {
+		e.preSolve()
+	}
 	assume := e.keyAssumptions(e.assume[:0], keyA, keyB)
 	assume = append(assume, e.diff)
 	e.assume = assume
 
 	e.solver.ConflictBudget = budget
 	switch e.solver.Solve(assume...) {
-	case sat.Unsat, sat.Unknown:
-		return nil, true, nil
+	case sat.Unknown:
+		if e.ctx != nil && e.ctx.Err() != nil {
+			// Canceled mid-solve (portfolio loser or deadline): not a
+			// budget starvation, don't alarm on it.
+			return DistinguishOutcome{Equivalent: true, Reason: ReasonUnknownCanceled}, nil
+		}
+		e.tel.Counter("engine_distinguish_unknown_total").Inc()
+		if e.bus != nil {
+			e.bus.Publish(events.Event{
+				Type:  events.TypeDistinguish,
+				Phase: e.phase,
+				Fields: map[string]string{
+					"reason": string(ReasonUnknownBudget),
+					"budget": strconv.FormatUint(budget, 10),
+				},
+			})
+		}
+		return DistinguishOutcome{Equivalent: true, Reason: ReasonUnknownBudget}, nil
+	case sat.Unsat:
+		return DistinguishOutcome{Equivalent: true, Reason: ReasonProved}, nil
 	}
 	w := make([]bool, len(e.inputs))
 	for i, l := range e.inputs {
 		w[i] = e.solver.ModelValue(l)
 	}
-	return w, false, nil
+	return DistinguishOutcome{Witness: w, Reason: ReasonWitness}, nil
 }
 
 // retireScope closes the enumeration's blocking scope and compacts the
@@ -428,7 +533,7 @@ func (e *Engine) retireScope() {
 	if e.solver.RetiredBytes() < e.compactBytes {
 		return
 	}
-	sp := e.tel.StartSpanLane("engine_compact", telemetry.EngineLane)
+	sp := e.tel.StartSpanLane("engine_compact", e.lane)
 	removedBefore := e.solver.Stats().Simplified
 	e.solver.Simplify()
 	e.tel.Counter("engine_simplify_runs_total").Inc()
@@ -459,3 +564,8 @@ func (e *Engine) SetBudgetRate(rate float64) {
 		e.bud.rate = rate
 	}
 }
+
+// SetBudgetSmoothing overrides the budgeter's EWMA new-observation
+// weight; values outside (0,1) are ignored (the default is derived from
+// the committed phase-histogram trajectory, see defaultBudgetSmoothing).
+func (e *Engine) SetBudgetSmoothing(alpha float64) { e.bud.setSmoothing(alpha) }

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/telemetry"
+)
+
+// TestPoolLRUAndCounters pins the eviction story: capacity counts
+// parked backends, overflow drops the least-recently-parked one, Take
+// returns the newest entry for a key and removes it, and the
+// engine_pool_* counters record every hit, miss and eviction.
+func TestPoolLRUAndCounters(t *testing.T) {
+	locked := lockedInstance(t, 6, "2A-O-A", 7)
+	mk := func() *Engine {
+		e, err := New(locked, allInputs(locked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	reg := telemetry.New()
+	p := NewPool(2)
+	p.SetTelemetry(reg)
+	e1, e2, e3 := mk(), mk(), mk()
+	p.Put("a", e1)
+	p.Put("a", e2)
+	p.Put("b", e3) // over capacity: e1 (oldest) is evicted
+	if p.Len() != 2 {
+		t.Fatalf("pool holds %d backends, want 2", p.Len())
+	}
+	if got := p.Take("a"); got != Backend(e2) {
+		t.Fatal("Take(a) did not return the most recently parked backend")
+	}
+	if got := p.Take("a"); got != nil {
+		t.Fatal("Take(a) returned an evicted or duplicate backend")
+	}
+	if got := p.Take("b"); got != Backend(e3) {
+		t.Fatal("Take(b) did not return the parked backend")
+	}
+	p.Put("c", nil) // ignored
+	if p.Len() != 0 {
+		t.Fatalf("pool holds %d backends, want 0", p.Len())
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["engine_pool_hits_total"] != 2 ||
+		snap.Counters["engine_pool_misses_total"] != 1 ||
+		snap.Counters["engine_pool_evictions_total"] != 1 {
+		t.Fatalf("pool counters = hits %d / misses %d / evictions %d, want 2/1/1",
+			snap.Counters["engine_pool_hits_total"],
+			snap.Counters["engine_pool_misses_total"],
+			snap.Counters["engine_pool_evictions_total"])
+	}
+}
+
+// TestPoolRecycleKeepsWarmth checks the Put→Take round trip: job
+// wiring (context, telemetry, events, phase) is detached, while the
+// budgeter rate and the solved encoding survive — a recycled backend
+// answers the next job's queries correctly without re-encoding.
+func TestPoolRecycleKeepsWarmth(t *testing.T) {
+	locked := lockedInstance(t, 6, "2A-O-A", 7)
+	for _, size := range []int{0, 3} { // 0 = single engine, 3 = portfolio
+		var b Backend
+		var err error
+		if size > 0 {
+			b, err = NewPortfolio(locked, allInputs(locked), size)
+		} else {
+			b, err = New(locked, allInputs(locked))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.New()
+		b.SetTelemetry(reg)
+		b.SetEvents(events.New(events.Options{}))
+		b.SetContext(context.Background())
+		b.SetPhase("job1")
+		rng := rand.New(rand.NewSource(71))
+		nk := locked.NumKeys()
+		keyA, keyB := randomKey(rng, nk), randomKey(rng, nk)
+		want := bruteDIPs(t, locked, keyA, keyB)
+		collectBackend(t, b, keyA, keyB)
+		b.SetBudgetRate(123.5) // stand-in for the learned EWMA rate
+
+		p := NewPool(1)
+		p.Put("k", b)
+		got := p.Take("k")
+		if got == nil {
+			t.Fatal("warm backend lost in the pool")
+		}
+		if rate := got.BudgetRate(); rate != 123.5 {
+			t.Fatalf("budgeter rate = %v after recycle, want 123.5 preserved", rate)
+		}
+		if e, ok := got.(*Engine); ok && (e.ctx != nil || e.tel != nil || e.bus != nil || e.phase != "") {
+			t.Fatal("recycled engine still wired to the finished job")
+		}
+		reg2 := telemetry.New()
+		got.SetTelemetry(reg2)
+		found := collectBackend(t, got, keyA, keyB)
+		if len(found) != len(want) {
+			t.Fatalf("recycled backend found %d DIPs, want %d", len(found), len(want))
+		}
+		// Warmth proof: the adopted backend never encoded under the new
+		// job's registry.
+		if n := reg2.Snapshot().Counters["engine_encodings_total"]; n != 0 {
+			t.Fatalf("recycled backend re-encoded %d times", n)
+		}
+	}
+}

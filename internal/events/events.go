@@ -54,6 +54,12 @@ const (
 	// TypeResume records a checkpoint resume: banked oracle rows and
 	// replayed DIPs, before any fresh work.
 	TypeResume Type = "resume"
+	// TypeDistinguish reports a distinguish verdict that is not a
+	// proof: Fields["reason"] is "unknown_budget" when the conflict
+	// budget ran out (the caller will treat the pair as equivalent
+	// without one), and "disagreement" when portfolio members returned
+	// conflicting definitive answers (a soundness alarm).
+	TypeDistinguish Type = "distinguish"
 	// TypeProgress is the estimator's digest: Fraction, Phase, and
 	// ETAMillis are authoritative on this event type.
 	TypeProgress Type = "progress"

@@ -113,6 +113,9 @@ type MatrixOptions struct {
 	// cells; 0 auto-calibrates per instance (see
 	// core.Options.SATWidthLimit).
 	SATWidthLimit int
+	// Portfolio, when > 0, races a portfolio of that many diversified
+	// SAT engines in each cell (see core.Options.Portfolio).
+	Portfolio int
 }
 
 // newOracle builds one cell's oracle: the clean simulator, optionally
@@ -266,7 +269,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 		return fail("bypass circuit incorrect")
 	case "DIP-learning":
 		if scheme == "M-CAS" {
-			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit})
+			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit, Portfolio: mo.Portfolio})
 			if err != nil {
 				return fail("failed: " + trimErr(err))
 			}
@@ -277,7 +280,7 @@ func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName str
 			}
 			return fail("wrong key")
 		}
-		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit})
+		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit, Portfolio: mo.Portfolio})
 		if err != nil {
 			return fail("n/a: " + trimErr(err))
 		}

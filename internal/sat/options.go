@@ -1,0 +1,131 @@
+package sat
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// RestartStrategy selects the restart schedule a solver follows.
+type RestartStrategy int
+
+const (
+	// RestartLuby is the default Luby sequence (unit 100 conflicts).
+	RestartLuby RestartStrategy = iota
+	// RestartGeometric grows the conflict budget geometrically:
+	// 100 × 1.5^restarts, capped at 2^20 conflicts per restart.
+	RestartGeometric
+)
+
+// Options diversifies a solver's search heuristics without changing what
+// it can prove: every configuration explores the same clause set, only in
+// a different order. Portfolio members use distinct Options so they race
+// down different parts of the search tree. The zero value reproduces
+// New() exactly.
+type Options struct {
+	// VSIDSDecay is the activity decay factor in (0,1); higher values
+	// keep old conflict activity relevant longer. 0 means the default
+	// 0.95.
+	VSIDSDecay float64
+	// RestartStrategy picks Luby (default) or geometric restarts.
+	RestartStrategy RestartStrategy
+	// PolaritySeed, when nonzero, seeds each fresh variable's saved
+	// phase from a hash of (seed, var) instead of the default false,
+	// steering the first descent into a different region.
+	PolaritySeed uint64
+	// OrderSeed, when nonzero, adds a deterministic jitter in
+	// [0, 1e-6) to each fresh variable's initial activity, shuffling
+	// tie-breaks in the VSIDS heap before any conflicts accumulate.
+	OrderSeed uint64
+}
+
+// NewWithOptions returns an empty solver configured by opts.
+// NewWithOptions(Options{}) is behaviorally identical to New().
+func NewWithOptions(opts Options) *Solver {
+	s := New()
+	if opts.VSIDSDecay != 0 {
+		if opts.VSIDSDecay <= 0 || opts.VSIDSDecay >= 1 {
+			panic(fmt.Sprintf("sat: VSIDSDecay %v outside (0,1)", opts.VSIDSDecay))
+		}
+		s.varDecay = 1.0 / opts.VSIDSDecay
+	}
+	s.restart = opts.RestartStrategy
+	s.polaritySeed = opts.PolaritySeed
+	s.orderSeed = opts.OrderSeed
+	return s
+}
+
+// SetInterrupt installs a poll function checked every 256 conflicts and
+// at every restart boundary; when it returns true the current Solve call
+// backtracks to level 0 and returns Unknown. Used by portfolio racing to
+// cancel losers promptly without waiting out their conflict budgets. Pass
+// nil to clear. The function must be cheap and safe to call from the
+// solving goroutine.
+func (s *Solver) SetInterrupt(fn func() bool) { s.interrupt = fn }
+
+// SetLearntHook registers fn to receive learnt clauses (including learnt
+// units) of at most maxLen literals whose DIMACS variables are all
+// ≤ maxVar. The variable bound is the soundness filter for clause
+// sharing: a learnt clause over only the first maxVar variables — the
+// prefix built by a shared encoding, allocated before any member-local
+// activation or auxiliary variables — is derived by resolution from
+// clauses over that prefix alone, so it is implied by the shared encoding
+// and sound to import into any solver holding the same prefix. Clauses
+// touching later variables (blocking-scope activation guards, local
+// auxiliaries) never pass the filter. The slice passed to fn is freshly
+// allocated and may be retained. Pass a nil fn to clear.
+func (s *Solver) SetLearntHook(maxVar, maxLen int, fn func([]cnf.Lit)) {
+	s.hookMaxVar = maxVar
+	s.hookMaxLen = maxLen
+	s.learntHook = fn
+}
+
+// exportLearnt fires the learnt hook when the clause passes the
+// variable-range and length filters.
+func (s *Solver) exportLearnt(learnt []lit) {
+	if s.learntHook == nil || len(learnt) > s.hookMaxLen {
+		return
+	}
+	for _, l := range learnt {
+		if l.vari() >= s.hookMaxVar {
+			return
+		}
+	}
+	out := make([]cnf.Lit, len(learnt))
+	for i, l := range learnt {
+		out[i] = toCNF(l)
+	}
+	s.learntHook(out)
+}
+
+// ImportClause adds a clause learned by another solver over the shared
+// variable prefix (see SetLearntHook for the soundness argument). It is
+// an AddClause that additionally counts the import in Stats.Imported.
+// Like AddClause it may only be called between Solve calls.
+func (s *Solver) ImportClause(lits ...cnf.Lit) bool {
+	s.stats.Imported++
+	return s.AddClause(lits...)
+}
+
+// splitmix64 is the SplitMix64 finalizer; used to derive per-variable
+// pseudo-random bits from a seed deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// geometricBudget returns the conflict budget for the given restart count
+// under RestartGeometric: 100 × 1.5^restarts, capped at 2^20.
+func geometricBudget(restarts uint64) uint64 {
+	const cap64 = uint64(1) << 20
+	b := 100.0
+	for i := uint64(0); i < restarts; i++ {
+		b *= 1.5
+		if b >= float64(cap64) {
+			return cap64
+		}
+	}
+	return uint64(b)
+}

@@ -1,0 +1,190 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// TestZeroOptionsMatchesNew verifies NewWithOptions(Options{}) is
+// behaviorally identical to New(): same answers AND same work counters
+// on a batch of random formulas (any heuristic divergence would show up
+// in decisions/conflicts).
+func TestZeroOptionsMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		vars := 5 + rng.Intn(10)
+		f := randomFormula(rng, vars, 3+rng.Intn(vars*5), 3)
+		a := New()
+		a.AddFormula(f)
+		b := NewWithOptions(Options{})
+		b.AddFormula(f)
+		stA, stB := a.Solve(), b.Solve()
+		if stA != stB {
+			t.Fatalf("trial %d: New=%v NewWithOptions(zero)=%v", trial, stA, stB)
+		}
+		if a.Stats() != b.Stats() {
+			t.Fatalf("trial %d: stats diverge: %+v vs %+v", trial, a.Stats(), b.Stats())
+		}
+	}
+}
+
+// TestDiversifiedConfigsAgree checks that every diversification knob
+// preserves answers against the DPLL reference.
+func TestDiversifiedConfigsAgree(t *testing.T) {
+	configs := []Options{
+		{VSIDSDecay: 0.85},
+		{RestartStrategy: RestartGeometric},
+		{PolaritySeed: 0xfeed},
+		{OrderSeed: 0xbeef},
+		{VSIDSDecay: 0.99, RestartStrategy: RestartGeometric, PolaritySeed: 7, OrderSeed: 9},
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		vars := 4 + rng.Intn(10)
+		f := randomFormula(rng, vars, 2+rng.Intn(vars*5), 3)
+		want, _ := SolveDPLL(f)
+		for ci, o := range configs {
+			s := NewWithOptions(o)
+			s.AddFormula(f)
+			got := s.Solve()
+			if got != want {
+				t.Fatalf("trial %d config %d: got %v want %v\n%s", trial, ci, got, want, f.DIMACSString())
+			}
+			if got == Sat {
+				ok, err := f.Eval(s.Model())
+				if err != nil || !ok {
+					t.Fatalf("trial %d config %d: invalid model (err=%v)", trial, ci, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGeometricBudget(t *testing.T) {
+	if got := geometricBudget(0); got != 100 {
+		t.Fatalf("geometricBudget(0) = %d, want 100", got)
+	}
+	if got := geometricBudget(2); got != 225 {
+		t.Fatalf("geometricBudget(2) = %d, want 225", got)
+	}
+	if got := geometricBudget(1000); got != 1<<20 {
+		t.Fatalf("geometricBudget(1000) = %d, want %d (cap)", got, 1<<20)
+	}
+	last := uint64(0)
+	for r := uint64(0); r < 40; r++ {
+		b := geometricBudget(r)
+		if b < last {
+			t.Fatalf("geometricBudget not monotone at %d: %d < %d", r, b, last)
+		}
+		last = b
+	}
+}
+
+// TestInterruptAborts proves an interrupt stops a hard solve with
+// Unknown and leaves the solver reusable.
+func TestInterruptAborts(t *testing.T) {
+	s := NewFromFormula(pigeonhole(8, 7))
+	fired := false
+	s.SetInterrupt(func() bool { fired = true; return true })
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("interrupted solve = %v, want Unknown", st)
+	}
+	if !fired {
+		t.Fatal("interrupt was never polled")
+	}
+	s.SetInterrupt(nil)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("resumed solve = %v, want Unsat", st)
+	}
+}
+
+// TestLearntHookFilter verifies the export filter: every exported clause
+// respects the length and variable bounds, and exported clauses are
+// sound (implied by the formula: adding them to a fresh solver cannot
+// change any answer under any assumption set).
+func TestLearntHookFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		vars := 6 + rng.Intn(8)
+		f := randomFormula(rng, vars, 4+rng.Intn(vars*5), 3)
+		maxVar, maxLen := vars/2, 4
+		var exported [][]cnf.Lit
+		s := New()
+		s.SetLearntHook(maxVar, maxLen, func(cl []cnf.Lit) {
+			exported = append(exported, cl)
+		})
+		s.AddFormula(f)
+		s.Solve()
+		for _, cl := range exported {
+			if len(cl) > maxLen {
+				t.Fatalf("exported clause too long: %v", cl)
+			}
+			for _, l := range cl {
+				if l.Var() > maxVar {
+					t.Fatalf("exported clause crosses var bound %d: %v", maxVar, cl)
+				}
+			}
+		}
+		// Soundness: an importer with the same formula plus every
+		// exported clause must agree with DPLL on the original formula.
+		want, _ := SolveDPLL(f)
+		imp := New()
+		imp.AddFormula(f)
+		for _, cl := range exported {
+			imp.ImportClause(cl...)
+		}
+		if got := imp.Solve(); got != want {
+			t.Fatalf("trial %d: importer=%v DPLL=%v after %d imports", trial, got, want, len(exported))
+		}
+		if len(exported) > 0 && imp.Stats().Imported != uint64(len(exported)) {
+			t.Fatalf("Imported stat = %d, want %d", imp.Stats().Imported, len(exported))
+		}
+	}
+}
+
+// TestLearntHookExcludesBlockingScopes proves the variable-range filter
+// keeps activation-guarded clauses private: every clause learnt while a
+// blocking scope is active either mentions the activation variable
+// (blocked by the filter) or is implied by the pre-scope formula alone.
+func TestLearntHookExcludesBlockingScopes(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		vars := 6 + rng.Intn(6)
+		f := randomFormula(rng, vars, 4+rng.Intn(vars*4), 3)
+		s := New()
+		s.AddFormula(f)
+		shared := s.NumVars() // the "shared prefix": everything before blocking vars
+		var exported [][]cnf.Lit
+		s.SetLearntHook(shared, 8, func(cl []cnf.Lit) { exported = append(exported, cl) })
+		act := s.BlockingLit()
+		// Push random blocking clauses, then solve under the scope.
+		for i := 0; i < 5; i++ {
+			a := cnf.Lit(1 + rng.Intn(vars))
+			b := cnf.Lit(1 + rng.Intn(vars))
+			if rng.Intn(2) == 0 {
+				a = -a
+			}
+			if rng.Intn(2) == 0 {
+				b = -b
+			}
+			s.PushBlocking(a, b)
+		}
+		s.Solve(act)
+		want, _ := SolveDPLL(f)
+		imp := New()
+		imp.AddFormula(f)
+		for _, cl := range exported {
+			for _, l := range cl {
+				if l.Var() > shared {
+					t.Fatalf("exported clause leaks scope var: %v (shared=%d)", cl, shared)
+				}
+			}
+			imp.ImportClause(cl...)
+		}
+		if got := imp.Solve(); got != want {
+			t.Fatalf("trial %d: shared-clause import changed answer: importer=%v DPLL=%v", trial, got, want)
+		}
+	}
+}

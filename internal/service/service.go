@@ -32,6 +32,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/events"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
@@ -69,6 +70,14 @@ type Config struct {
 	// ones re-admitted, resuming from their latest checkpoint. Empty
 	// disables durability (the pre-journal in-memory behavior).
 	JournalDir string
+	// WarmEngines, when > 0, keeps up to that many idle SAT backends
+	// (engines or portfolios) warm across jobs in an LRU pool keyed by
+	// the canonical hashes of both netlists plus the portfolio size: a
+	// repeat attack over the same instance adopts a parked backend —
+	// encoding, learned clauses and budgeter rate intact — instead of
+	// re-encoding from scratch. Jobs over distinct netlists never share
+	// members. 0 disables the pool.
+	WarmEngines int
 }
 
 // AttackRequest is one job submission. Locked and Oracle are
@@ -92,6 +101,12 @@ type AttackRequest struct {
 	// precisely for suspected engine misbehavior, so a legacy run must
 	// not be answered from an engine-path cache entry.
 	LegacyEncoding bool `json:"legacy_encoding,omitempty"`
+	// Portfolio, when > 0, races a portfolio of that many diversified
+	// SAT engines for this job (see core.Options.Portfolio). Part of the
+	// cache key for the same reason LegacyEncoding is: results are
+	// bit-identical by contract, but the knob exists to compare engine
+	// configurations, so runs must not alias in the cache.
+	Portfolio int `json:"portfolio,omitempty"`
 	// TimeoutMS bounds the attack; expiry yields a partial outcome.
 	// Not part of the cache key (a budget, not a problem statement).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -279,6 +294,7 @@ type Service struct {
 	beforeRun func(ctx context.Context, hash string) error
 
 	journal *journal
+	warm    *engine.Pool // nil = warm-engine reuse disabled
 
 	cSubmitted      *telemetry.Counter
 	cCacheHits      *telemetry.Counter
@@ -344,6 +360,10 @@ func New(cfg Config) (*Service, error) {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		journal:   jnl,
+	}
+	if cfg.WarmEngines > 0 {
+		s.warm = engine.NewPool(cfg.WarmEngines)
+		s.warm.SetTelemetry(cfg.Registry)
 	}
 	s.cSubmitted = s.tel.Counter("service_jobs_submitted_total")
 	s.cCacheHits = s.tel.Counter("service_cache_hits_total")
@@ -482,8 +502,8 @@ func hashRequest(p *parsedRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	opts := fmt.Sprintf("v2 mcas=%t seed=%d retries=%d satwidth=%d legacy=%t",
-		p.req.MCAS, p.req.Seed, p.req.Retries, p.req.SATWidthLimit, p.req.LegacyEncoding)
+	opts := fmt.Sprintf("v3 mcas=%t seed=%d retries=%d satwidth=%d legacy=%t portfolio=%d",
+		p.req.MCAS, p.req.Seed, p.req.Retries, p.req.SATWidthLimit, p.req.LegacyEncoding, p.req.Portfolio)
 	return cache.SumParts(lockedBytes, origBytes, []byte(opts)), nil
 }
 
@@ -496,7 +516,7 @@ func (s *Service) validate(req AttackRequest) (*parsedRequest, error) {
 	if strings.TrimSpace(req.Locked) == "" || strings.TrimSpace(req.Oracle) == "" {
 		return nil, errInvalid("locked and oracle netlists are required")
 	}
-	if req.Retries < 0 || req.SATWidthLimit < 0 || req.Workers < 0 || req.TimeoutMS < 0 {
+	if req.Retries < 0 || req.SATWidthLimit < 0 || req.Workers < 0 || req.TimeoutMS < 0 || req.Portfolio < 0 {
 		return nil, errInvalid("negative option values")
 	}
 	locked, err := bench.ReadString("locked", req.Locked)
@@ -1009,9 +1029,16 @@ func (s *Service) runProtected(exec *execution) (out *outcome) {
 		MismatchRetries: req.Retries,
 		SATWidthLimit:   req.SATWidthLimit,
 		LegacyEncoding:  req.LegacyEncoding,
+		Portfolio:       req.Portfolio,
 		Workers:         req.Workers,
 		Telemetry:       exec.tel,
 		Events:          exec.bus,
+	}
+	if s.warm != nil {
+		if key := warmKey(exec); key != "" {
+			opts.EnginePool = s.warm
+			opts.EngineKey = key
+		}
 	}
 	if w := s.armDurability(exec, &opts); w != nil {
 		defer w.Close()
@@ -1041,6 +1068,26 @@ func (s *Service) runProtected(exec *execution) (out *outcome) {
 	s.cQueries.Add(queriesOf(res, exec.tel))
 	jobSpan.SetArg("state", string(out.state()))
 	return s.sealTrace(exec, out)
+}
+
+// warmKey scopes a job's warm-pool entries. Canonical hashes of BOTH
+// netlists: the backend's literal layout only depends on the locked
+// circuit, but keying the oracle too keeps jobs against different
+// oracles on fresh members (conservative isolation, and the property
+// the pool regression test pins). The MCAS flag is included because
+// the mirrored pipeline attacks the SPS-stripped inner circuit, not
+// the submitted one. Empty (no pooling) when canonicalization fails —
+// the attack will surface that error itself.
+func warmKey(exec *execution) string {
+	lockedBytes, err := bench.Canonical(exec.parsed.locked)
+	if err != nil {
+		return ""
+	}
+	origBytes, err := bench.Canonical(exec.parsed.orig)
+	if err != nil {
+		return ""
+	}
+	return cache.SumParts(lockedBytes, origBytes, []byte(fmt.Sprintf("mcas=%t", exec.parsed.req.MCAS)))
 }
 
 // armDurability points a journal-armed job at its checkpoint slot in

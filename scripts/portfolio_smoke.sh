@@ -1,0 +1,69 @@
+#!/bin/sh
+# portfolio-smoke: differential check of the racing SAT portfolio
+# against the single persistent engine.
+#
+# Attacks one SAT-regime CAS instance (width-12 block, 24 key bits —
+# the portfolio carries every enumeration, calibration and verification
+# query) and one wide 32-bit-key instance (simulation regime, where the
+# portfolio only serves distinguishing), each twice: default single
+# engine versus -portfolio. The portfolio is a pure solving-strategy
+# change — diversified members race on one shared encoding and exchange
+# learned clauses — so both runs must SAT-prove their key and print
+# byte-identical key bits; any divergence is a clause-sharing soundness
+# bug, not tuning.
+#
+# Usage: portfolio_smoke.sh <workdir>
+set -eu
+
+DIR=${1:?usage: portfolio_smoke.sh workdir}
+GO=${GO:-go}
+rm -rf "$DIR" && mkdir -p "$DIR/bin"
+
+$GO build -o "$DIR/bin/" ./cmd/caslock-attack ./cmd/casgen
+
+# Width-12 block -> 24 key bits: inside the SAT-extractor limit.
+"$DIR/bin/casgen" -inputs 14 -gates 70 -scheme cas \
+	-chain "5A-O-5A" \
+	-out "$DIR/sat_locked.bench" -orig "$DIR/sat_orig.bench"
+
+# Width-16 block -> 32 key bits: simulation regime; the portfolio backs
+# the verifier's distinguishing queries only.
+"$DIR/bin/casgen" -inputs 36 -gates 160 -scheme cas \
+	-chain "7A-O-7A" \
+	-out "$DIR/wide_locked.bench" -orig "$DIR/wide_orig.bench"
+
+for inst in sat wide; do
+	"$DIR/bin/caslock-attack" -locked "$DIR/${inst}_locked.bench" \
+		-oracle "$DIR/${inst}_orig.bench" >"$DIR/${inst}_single.out" 2>&1 || {
+		echo "portfolio-smoke: $inst single-engine attack failed" >&2
+		cat "$DIR/${inst}_single.out" >&2
+		exit 1
+	}
+	"$DIR/bin/caslock-attack" -locked "$DIR/${inst}_locked.bench" \
+		-oracle "$DIR/${inst}_orig.bench" \
+		-portfolio >"$DIR/${inst}_portfolio.out" 2>&1 || {
+		echo "portfolio-smoke: $inst portfolio attack failed" >&2
+		cat "$DIR/${inst}_portfolio.out" >&2
+		exit 1
+	}
+
+	for path in single portfolio; do
+		if ! grep -q "SAT-PROVEN equivalent" "$DIR/${inst}_$path.out"; then
+			echo "portfolio-smoke: $inst $path run did not SAT-prove its key" >&2
+			cat "$DIR/${inst}_$path.out" >&2
+			exit 1
+		fi
+	done
+
+	ONE_KEY=$(grep "key:" "$DIR/${inst}_single.out")
+	PORT_KEY=$(grep "key:" "$DIR/${inst}_portfolio.out")
+	if [ -z "$ONE_KEY" ] || [ "$ONE_KEY" != "$PORT_KEY" ]; then
+		echo "portfolio-smoke: $inst keys diverge between single-engine and portfolio runs" >&2
+		echo "single:    $ONE_KEY" >&2
+		echo "portfolio: $PORT_KEY" >&2
+		exit 1
+	fi
+done
+
+echo "portfolio-smoke: OK (SAT-regime and 32-bit keys byte-identical across single-engine and portfolio runs)"
+rm -rf "$DIR"
