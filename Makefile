@@ -31,6 +31,10 @@
 #                    restart/resume, and assert the resumed key is
 #                    bit-identical with strictly fewer chip queries and
 #                    the daemon's jobs survive the restart
+#   make matrix-smoke end-to-end registry check: lockbench -list must
+#                    enumerate both registries, a -schemes/-attacks
+#                    sub-grid must hold the narrative verdicts on the
+#                    engine and legacy paths, unknown names rejected
 #   make events-smoke end-to-end observability check: caslock-attack
 #                    -events-out NDJSON validated by tracecheck -events,
 #                    live SSE job stream consumed to the terminal done
@@ -43,8 +47,8 @@
 #   make ci          build + vet + fmt-check + test + test-race +
 #                    fuzz-smoke + trace-smoke + serve-smoke +
 #                    signal-smoke + engine-smoke + crash-smoke +
-#                    events-smoke + govulncheck (required automatically
-#                    when installed)
+#                    matrix-smoke + events-smoke + govulncheck
+#                    (required automatically when installed)
 #   make bench       tier-1 benchmarks with allocation reporting
 #   make benchjson   refresh BENCH_core.json (the perf trajectory file);
 #                    diffs against the committed baseline into the
@@ -62,12 +66,13 @@ ENGDIR ?= .engine-smoke
 PORTDIR ?= .portfolio-smoke
 CRASHDIR ?= .crash-smoke
 EVDIR ?= .events-smoke
+MATDIR ?= .matrix-smoke
 MAXREGRESS ?= 0.20
 # When the runner ships govulncheck, its absence elsewhere must not be
 # silently skippable: auto-promote the scan to required.
 GOVULNCHECK_REQUIRED ?= $(shell command -v govulncheck >/dev/null 2>&1 && echo 1)
 
-.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke events-smoke govulncheck ci bench benchjson bench-compare
+.PHONY: build test test-race vet fmt-check fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke crash-smoke matrix-smoke events-smoke govulncheck ci bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -120,6 +125,9 @@ crash-smoke:
 events-smoke:
 	GO="$(GO)" sh scripts/events_smoke.sh $(EVDIR)
 
+matrix-smoke:
+	GO="$(GO)" sh scripts/matrix_smoke.sh $(MATDIR)
+
 # Vulnerability scan, gated: the CI container has no network, so the
 # tool cannot be installed on the fly. Runs when present, else skips
 # loudly enough to notice — unless GOVULNCHECK_REQUIRED=1, which makes
@@ -134,7 +142,7 @@ govulncheck:
 		echo "govulncheck not installed; skipping vulnerability scan"; \
 	fi
 
-ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke portfolio-smoke crash-smoke events-smoke govulncheck
+ci: build vet fmt-check test test-race fuzz-smoke trace-smoke serve-smoke signal-smoke engine-smoke portfolio-smoke crash-smoke matrix-smoke events-smoke govulncheck
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/core/ .

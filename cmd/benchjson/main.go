@@ -30,6 +30,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/attack/satattack"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -366,6 +367,14 @@ func main() {
 	fatalIf(err)
 	rep.Results = append(rep.Results, portRes)
 
+	// The classic oracle-guided SAT attack on the engine path, capped on
+	// the same resistant instance, so the trajectory prices the attack
+	// loop itself (encode + enumerate/constrain cycles), not just raw
+	// extraction.
+	atkRes, err := satAttackWorkload()
+	fatalIf(err)
+	rep.Results = append(rep.Results, atkRes)
+
 	row := experiments.TableI32[1] // c880, no duplicate-config note
 	var last *experiments.TableIResult
 	r = bench(func(b *testing.B) {
@@ -589,17 +598,12 @@ func simRunWorkloads() ([]Result, error) {
 	return out, nil
 }
 
-// satWorkload mirrors BenchmarkDIPExtraction/sat_n8, instrumented so
-// the report's telemetry summary carries the SAT solver's work totals.
-// With legacy set, the extractor runs the per-assignment re-encode path
-// and the result is reported as sat_extract_n8_legacy. With portfolio
-// set, a racing portfolio of that many diversified members carries the
-// queries instead of the single persistent engine and the result is
-// reported as sat_extract_n8_portfolio.
-func satWorkload(tel *telemetry.Registry, legacy bool, portfolio int) (Result, error) {
+// satInstance builds the n=8 CAS instance every sat_* workload shares:
+// an 11-input host behind an 8-block mixed AND/OR chain.
+func satInstance() (*netlist.Circuit, *lock.Locked, error) {
 	host, err := synth.Generate(synth.Config{Name: "bh", Inputs: 11, Outputs: 4, Gates: 80, Seed: 7})
 	if err != nil {
-		return Result{}, err
+		return nil, nil, err
 	}
 	chain := make(lock.ChainConfig, 7)
 	for i := range chain {
@@ -609,6 +613,21 @@ func satWorkload(tel *telemetry.Registry, legacy bool, portfolio int) (Result, e
 	}
 	chain[6] = lock.ChainAnd
 	locked, _, err := lock.ApplyCAS(host, lock.CASOptions{Chain: chain, Seed: 11})
+	if err != nil {
+		return nil, nil, err
+	}
+	return host, locked, nil
+}
+
+// satWorkload mirrors BenchmarkDIPExtraction/sat_n8, instrumented so
+// the report's telemetry summary carries the SAT solver's work totals.
+// With legacy set, the extractor runs the per-assignment re-encode path
+// and the result is reported as sat_extract_n8_legacy. With portfolio
+// set, a racing portfolio of that many diversified members carries the
+// queries instead of the single persistent engine and the result is
+// reported as sat_extract_n8_portfolio.
+func satWorkload(tel *telemetry.Registry, legacy bool, portfolio int) (Result, error) {
+	_, locked, err := satInstance()
 	if err != nil {
 		return Result{}, err
 	}
@@ -648,6 +667,45 @@ func satWorkload(tel *telemetry.Registry, legacy bool, portfolio int) (Result, e
 		name += "_portfolio"
 	}
 	return toResult(name, r), nil
+}
+
+// satAttackCap bounds the classic SAT attack's DIP loop on the
+// SAT-resistant CAS instance so each op measures a fixed amount of
+// work: one miter encode plus 24 enumerate/constrain cycles on the
+// persistent engine.
+const satAttackCap = 24
+
+// satAttackWorkload benchmarks the oracle-guided SAT attack (the
+// registry's "sat" entry) on the engine path against the same n=8 CAS
+// instance the extraction workloads share. CAS-Lock resists the attack,
+// so the run is capped and must NOT complete — a completion means the
+// instance no longer measures the resistant regime. The sat_ prefix
+// joins the entry to the gated aggregate that bench-compare holds to
+// MAXREGRESS. Uninstrumented: its solver work would skew the telemetry
+// summary away from the DIP-learning attack shape the budgeter's
+// default smoothing weight is learned from.
+func satAttackWorkload() (Result, error) {
+	host, locked, err := satInstance()
+	if err != nil {
+		return Result{}, err
+	}
+	orc := oracle.MustNewSim(host)
+	var last *satattack.Result
+	r := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := satattack.Run(locked.Circuit, orc, satattack.Options{MaxIterations: satAttackCap})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Completed {
+				b.Fatal("capped SAT attack completed on the resistant CAS instance")
+			}
+			last = res
+		}
+	})
+	res := toResult("sat_attack_n8_engine", r)
+	res.Extra, res.ExtraName = float64(last.Iterations), "iterations"
+	return res, nil
 }
 
 // maxCheckpointOverhead caps what an armed checkpoint writer may add to

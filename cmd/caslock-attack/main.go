@@ -9,6 +9,13 @@
 //	caslock-attack -locked locked.bench -oracle orig.bench -checkpoint run.ckpt
 //	caslock-attack -locked locked.bench -oracle orig.bench -checkpoint run.ckpt -resume-from run.ckpt
 //	caslock-attack -locked locked.bench -oracle orig.bench -progress -events-out run-events.ndjson
+//	caslock-attack -locked locked.bench -oracle orig.bench -attack sat -satcap 500
+//
+// The default -attack dip runs the paper's DIP-learning pipeline with
+// its full feature set (checkpointing, event streaming, M-CAS
+// stripping, structure reporting). Any other registered attack (see
+// internal/attack; e.g. sat, appsat, bypass) mounts generically against
+// the same oracle stack and reports its proven outcome.
 //
 // Exit codes: 0 — key recovered (and SAT-proven unless -prove=false);
 // 3 — deadline/budget hit, partial structure reported; 1 — attack ran
@@ -28,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
@@ -148,6 +156,8 @@ func main() {
 	var (
 		lockedPath = flag.String("locked", "", "locked netlist (.bench, key inputs named keyinput*)")
 		oraclePath = flag.String("oracle", "", "original/activated netlist used as the oracle (.bench)")
+		attackName = flag.String("attack", "dip", "attack to mount, by registry name ("+attack.Universe()+")")
+		satCap     = flag.Int("satcap", 500, "SAT/AppSAT iteration cap (with -attack sat / appsat)")
 		mcas       = flag.Bool("mcas", false, "treat the design as Mirrored CAS-Lock (SPS-strip the outer instance first)")
 		seed       = flag.Int64("seed", 1, "attack sampling seed")
 		prove      = flag.Bool("prove", true, "SAT-prove the recovered key against the oracle netlist")
@@ -218,6 +228,40 @@ func main() {
 		defer cancel()
 	}
 	watchSignals(cancel)
+
+	// Any non-default attack mounts generically through the attack
+	// registry: same oracle stack, same deadline, Outcome verified by the
+	// registry's SAT equivalence proof against the oracle netlist.
+	if *attackName != "dip" {
+		atk, ok := attack.AttackByName(*attackName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "caslock-attack: unknown attack %q (have: %s)\n", *attackName, attack.Universe())
+			os.Exit(2)
+		}
+		port := 0
+		if *portfolio {
+			port = *portSize
+		}
+		start := time.Now()
+		out := atk.Run(&attack.Context{
+			Ctx: ctx, Locked: locked, Host: original, MCAS: *mcas,
+			NewOracle: func() oracle.Oracle { return orc },
+			SATCap:    *satCap, Seed: *seed, Retries: *retries,
+			Telemetry: tel, LegacySolver: *legacyEnc, LegacyEncoding: *legacyEnc,
+			SATWidthLimit: *satWidth, Portfolio: port,
+		})
+		fmt.Printf("%s: %s (%v)\n", atk.Label, out.Detail, time.Since(start).Round(time.Millisecond))
+		if out.Key != nil {
+			fmt.Printf("  key: %s\n", keyString(out.Key))
+		}
+		printOracleStats(resilient)
+		flushTelemetry()
+		if !out.Broken {
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := core.Options{
 		Context:         ctx,
 		Oracle:          orc,

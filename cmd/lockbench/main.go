@@ -9,6 +9,11 @@
 //	lockbench -timeout 2m         # deadline for the whole grid
 //	lockbench -noise 1e-3 -retries 4   # noisy oracles behind the resilient decorator
 //	lockbench -trace grid.json -debug-addr :6060   # observe the grid live
+//	lockbench -schemes cas,mcas -attacks dip,sat   # sub-grid by registry name
+//	lockbench -list               # print the scheme and attack registries
+//
+// Rows and columns are enumerated from the scheme and attack registries
+// (internal/lock, internal/attack); -list shows the valid names.
 //
 // Exit codes: 0 — grid completed; 3 — deadline hit (partial results are
 // not printed: cells are all-or-nothing); 1 — error; 2 — usage error.
@@ -21,13 +26,48 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"text/tabwriter"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/lock"
 	"repro/internal/telemetry"
 )
+
+// splitList turns a comma-separated flag value into a name slice (nil
+// when the flag is unset).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// printRegistries renders the -list output: both registries with names,
+// labels and descriptions.
+func printRegistries(w *os.File) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SCHEMES (-schemes)")
+	for _, s := range lock.Schemes() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", s.Name, s.Label, s.Description)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprintln(tw, "ATTACKS (-attacks)")
+	for _, a := range attack.Attacks() {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\n", a.Name, a.Label, a.Description)
+	}
+	tw.Flush()
+}
 
 // portfolioSize maps the -portfolio/-portfolio-size flag pair to
 // core.Options.Portfolio (0 = single engine).
@@ -54,8 +94,15 @@ func main() {
 		trace     = flag.String("trace", "", "write a Chrome-trace JSON of the grid's attack spans here (open in Perfetto)")
 		metrics   = flag.String("metrics-out", "", "write a metrics snapshot on exit (.json = JSON snapshot, anything else = Prometheus text)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (e.g. :6060)")
+		schemes   = flag.String("schemes", "", "comma-separated scheme rows (registry names or labels; empty = all)")
+		attacks   = flag.String("attacks", "", "comma-separated attack columns (registry names or labels; empty = all)")
+		list      = flag.Bool("list", false, "print the scheme and attack registries and exit")
 	)
 	flag.Parse()
+	if *list {
+		printRegistries(os.Stdout)
+		return
+	}
 	if *noise < 0 || *noise >= 1 || *timeout < 0 || *satWidth < 0 || *portSize < 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -120,6 +167,8 @@ func main() {
 		LegacyEncoding: *legacyEnc,
 		SATWidthLimit:  *satWidth,
 		Portfolio:      portfolioSize(*portfolio, *portSize),
+		Schemes:        splitList(*schemes),
+		Attacks:        splitList(*attacks),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)

@@ -7,17 +7,28 @@
 // whereas on traditional locking it converges to an exact key. It is the
 // third baseline the DIP-learning attack is contrasted with: AppSAT
 // trades exactness for termination, the paper's attack gets both.
+//
+// By default the attack runs on the persistent incremental-SAT engine
+// (internal/engine): the key-differential miter is encoded once, DIP and
+// reinforcement constraints live in an assumption-guarded session scope,
+// and learned clauses persist across the run (and across runs with a
+// warm Backend). Options.LegacySolver restores the original throwaway
+// per-run solver. Both paths extract canonical lex-min candidate keys,
+// so exact outcomes are bit-identical across the two paths.
 package appsat
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/cnf"
+	"repro/internal/engine"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/sat"
+	"repro/internal/telemetry"
 )
 
 // Options tunes the attack.
@@ -36,6 +47,19 @@ type Options struct {
 	MaxIterations int
 	// Seed drives sampling.
 	Seed int64
+	// LegacySolver rebuilds a throwaway solver for this run instead of
+	// driving the persistent engine — the pre-engine behavior, kept as
+	// an escape hatch and as the differential-test baseline.
+	LegacySolver bool
+	// Backend, when non-nil, is the engine the attack drives (a warm
+	// pool entry or a portfolio); nil builds a fresh engine for the run.
+	// Ignored under LegacySolver.
+	Backend engine.Backend
+	// Context, when non-nil, bounds the engine path: solves are sliced
+	// against the deadline and cancellation is polled between slices.
+	Context context.Context
+	// Telemetry instruments the run (attack_* span + engine families).
+	Telemetry *telemetry.Registry
 }
 
 // Result reports the attack outcome.
@@ -68,69 +92,35 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	if locked.NumInputs() != orc.NumInputs() || locked.NumOutputs() != orc.NumOutputs() {
 		return nil, fmt.Errorf("appsat: locked netlist I/O does not match oracle")
 	}
-	kd, err := miter.NewKeyDiff(locked)
-	if err != nil {
-		return nil, err
+	sp := opts.Telemetry.StartSpan("attack_appsat")
+	defer sp.End()
+	if opts.LegacySolver {
+		return runLegacy(locked, orc, opts)
 	}
-	solver := sat.New()
-	enc, err := cnf.EncodeInto(kd.Circuit, solver)
-	if err != nil {
-		return nil, err
-	}
-	diffLit := enc.OutputLits(kd.Circuit)[0]
-	inputLits := enc.InputLits(kd.Circuit)
-	keyLits := enc.KeyLits(kd.Circuit)
-	keysA := keyLits[:kd.NKeys]
-	keysB := keyLits[kd.NKeys:]
+	return runEngine(locked, orc, opts)
+}
 
+// loop is the solver-independent AppSAT protocol: the DIP iteration
+// interleaved with sampling rounds, parameterized over the three solver
+// touchpoints so the engine-session and legacy paths share one
+// control flow (and therefore one oracle/rng consumption order).
+type loop struct {
+	findDIP    func() ([]bool, sat.Status, error)
+	constrain  func(in, out []bool) error
+	extractKey func() ([]bool, error)
+}
+
+func (l *loop) run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	sim, err := netlist.NewSimulator(locked)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{}
-
-	addIO := func(keys []cnf.Lit, in, out []bool) error {
-		e, err := cnf.EncodeInto(locked, solver)
-		if err != nil {
-			return err
-		}
-		for i, kl := range e.KeyLits(locked) {
-			solver.Add(kl.Neg(), keys[i])
-			solver.Add(kl, keys[i].Neg())
-		}
-		for i, il := range e.InputLits(locked) {
-			if in[i] {
-				solver.Add(il)
-			} else {
-				solver.Add(il.Neg())
-			}
-		}
-		for i, ol := range e.OutputLits(locked) {
-			if out[i] {
-				solver.Add(ol)
-			} else {
-				solver.Add(ol.Neg())
-			}
-		}
-		return nil
-	}
-
-	extractKey := func() ([]bool, error) {
-		if st := solver.Solve(); st != sat.Sat {
-			return nil, fmt.Errorf("appsat: key extraction returned %v", st)
-		}
-		key := make([]bool, kd.NKeys)
-		for i, l := range keysA {
-			key[i] = solver.ModelValue(l)
-		}
-		return key, nil
-	}
-
 	for {
 		// Sampling round.
 		if res.Iterations > 0 && res.Iterations%opts.RoundInterval == 0 {
-			key, err := extractKey()
+			key, err := l.extractKey()
 			if err != nil {
 				return nil, err
 			}
@@ -169,16 +159,13 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 			// Reinforce: the worst sampled disagreement becomes an IO
 			// constraint for both key copies (AppSAT's amendment step).
 			if failIn != nil {
-				if err := addIO(keysA, failIn, failOut); err != nil {
-					return nil, err
-				}
-				if err := addIO(keysB, failIn, failOut); err != nil {
+				if err := l.constrain(failIn, failOut); err != nil {
 					return nil, err
 				}
 			}
 		}
 		if res.Iterations >= opts.MaxIterations {
-			key, err := extractKey()
+			key, err := l.extractKey()
 			if err != nil {
 				return nil, err
 			}
@@ -187,9 +174,13 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 			return res, nil
 		}
 		// One DIP iteration.
-		switch solver.Solve(diffLit) {
+		dip, st, err := l.findDIP()
+		if err != nil {
+			return nil, err
+		}
+		switch st {
 		case sat.Unsat:
-			key, err := extractKey()
+			key, err := l.extractKey()
 			if err != nil {
 				return nil, err
 			}
@@ -200,20 +191,142 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 			return nil, fmt.Errorf("appsat: solver returned UNKNOWN")
 		}
 		res.Iterations++
-		dip := make([]bool, len(inputLits))
-		for i, l := range inputLits {
-			dip[i] = solver.ModelValue(l)
-		}
 		out, err := orc.Query(dip)
 		if err != nil {
 			return nil, err
 		}
 		res.OracleQueries++
-		if err := addIO(keysA, dip, out); err != nil {
-			return nil, err
-		}
-		if err := addIO(keysB, dip, out); err != nil {
+		if err := l.constrain(dip, out); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// runEngine drives the protocol through a persistent engine session.
+func runEngine(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	be := opts.Backend
+	if be == nil {
+		eng, err := engine.New(locked, nil)
+		if err != nil {
+			return nil, err
+		}
+		be = eng
+	}
+	if opts.Context != nil {
+		be.SetContext(opts.Context)
+	}
+	if opts.Telemetry != nil {
+		be.SetTelemetry(opts.Telemetry)
+	}
+	be.SetPhase("appsat")
+
+	ses, err := be.OpenSession()
+	if err != nil {
+		return nil, err
+	}
+	defer ses.Close()
+
+	l := &loop{
+		findDIP:   ses.FindDIP,
+		constrain: ses.Constrain,
+		extractKey: func() ([]bool, error) {
+			key, st, err := ses.ExtractKey()
+			if err != nil {
+				return nil, err
+			}
+			if st != sat.Sat {
+				return nil, fmt.Errorf("appsat: key extraction returned %v", st)
+			}
+			return key, nil
+		},
+	}
+	return l.run(locked, orc, opts)
+}
+
+// runLegacy is the original throwaway-solver attack, kept as the
+// LegacySolver escape hatch and differential baseline.
+func runLegacy(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	kd, err := miter.NewKeyDiff(locked)
+	if err != nil {
+		return nil, err
+	}
+	solver := sat.New()
+	enc, err := cnf.EncodeInto(kd.Circuit, solver)
+	if err != nil {
+		return nil, err
+	}
+	diffLit := enc.OutputLits(kd.Circuit)[0]
+	inputLits := enc.InputLits(kd.Circuit)
+	keyLits := enc.KeyLits(kd.Circuit)
+	keysA := keyLits[:kd.NKeys]
+	keysB := keyLits[kd.NKeys:]
+
+	addIO := func(keys []cnf.Lit, in, out []bool) error {
+		e, err := cnf.EncodeInto(locked, solver)
+		if err != nil {
+			return err
+		}
+		for i, kl := range e.KeyLits(locked) {
+			solver.Add(kl.Neg(), keys[i])
+			solver.Add(kl, keys[i].Neg())
+		}
+		for i, il := range e.InputLits(locked) {
+			if in[i] {
+				solver.Add(il)
+			} else {
+				solver.Add(il.Neg())
+			}
+		}
+		for i, ol := range e.OutputLits(locked) {
+			if out[i] {
+				solver.Add(ol)
+			} else {
+				solver.Add(ol.Neg())
+			}
+		}
+		return nil
+	}
+
+	l := &loop{
+		findDIP: func() ([]bool, sat.Status, error) {
+			st := solver.Solve(diffLit)
+			if st != sat.Sat {
+				return nil, st, nil
+			}
+			dip := make([]bool, len(inputLits))
+			for i, lt := range inputLits {
+				dip[i] = solver.ModelValue(lt)
+			}
+			return dip, sat.Sat, nil
+		},
+		constrain: func(in, out []bool) error {
+			if err := addIO(keysA, in, out); err != nil {
+				return err
+			}
+			return addIO(keysB, in, out)
+		},
+		// Canonical lex-min extraction, matching the engine session: the
+		// candidate key is a function of the constraint set alone, not of
+		// the solver's model choice.
+		extractKey: func() ([]bool, error) {
+			if st := solver.Solve(); st != sat.Sat {
+				return nil, fmt.Errorf("appsat: key extraction returned %v", st)
+			}
+			key := make([]bool, kd.NKeys)
+			assume := make([]cnf.Lit, 0, kd.NKeys)
+			for i, lt := range keysA {
+				switch st := solver.Solve(append(assume, lt.Neg())...); st {
+				case sat.Sat:
+					assume = append(assume, lt.Neg())
+				case sat.Unsat:
+					key[i] = true
+					assume = append(assume, lt)
+				default:
+					return nil, fmt.Errorf("appsat: key extraction returned %v", st)
+				}
+			}
+			return key, nil
+		},
+	}
+	return l.run(locked, orc, opts)
 }

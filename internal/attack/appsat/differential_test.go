@@ -1,0 +1,90 @@
+package appsat
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// TestEngineLegacyDifferential holds the engine-backed AppSAT and the
+// legacy throwaway-solver AppSAT to the same observable results across
+// every registered scheme. Both paths extract canonical lex-min
+// candidate keys, so when the attack terminates exactly (miter UNSAT)
+// the recovered key is a function of the terminal key set — identical
+// for both paths — and must agree bit-for-bit. Approximate outcomes
+// (low-corruptibility schemes settling at a sampling round) must agree
+// on the verdict, the round they settle at, and the error estimate:
+// the two paths consume the identical sampling sequence, and on
+// one-point-corruption schemes the sampled estimate is robust to the
+// paths' differing DIP trajectories.
+func TestEngineLegacyDifferential(t *testing.T) {
+	h, err := synth.Generate(synth.Config{Name: "ah", Inputs: 12, Outputs: 3, Gates: 60, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range lock.Schemes() {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			locked, _, err := sch.Apply(h.Clone(), 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{MaxIterations: 64, Seed: 5}
+			legacyOpts := opts
+			legacyOpts.LegacySolver = true
+			legacy, err := Run(locked.Circuit, oracle.MustNewSim(h), legacyOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tel := telemetry.New()
+			engOpts := opts
+			engOpts.Telemetry = tel
+			eng, err := Run(locked.Circuit, oracle.MustNewSim(h), engOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Exact != legacy.Exact {
+				t.Fatalf("exact: engine %v, legacy %v", eng.Exact, legacy.Exact)
+			}
+			if eng.ErrorEstimate != legacy.ErrorEstimate {
+				t.Fatalf("error estimate: engine %v, legacy %v", eng.ErrorEstimate, legacy.ErrorEstimate)
+			}
+			if eng.Exact {
+				if len(eng.Key) != len(legacy.Key) {
+					t.Fatalf("key widths: engine %d, legacy %d", len(eng.Key), len(legacy.Key))
+				}
+				for i := range eng.Key {
+					if eng.Key[i] != legacy.Key[i] {
+						t.Fatalf("key bit %d: engine %v, legacy %v (lex-min keys must agree)", i, eng.Key[i], legacy.Key[i])
+					}
+				}
+				ok, err := miter.ProveUnlockedHashed(locked.Circuit, eng.Key, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("exact key is not functionally correct")
+				}
+			} else {
+				// Approximate settlement: same round, same query count —
+				// the sampling schedule is the observable behavior here.
+				if eng.Iterations != legacy.Iterations {
+					t.Fatalf("iterations: engine %d, legacy %d", eng.Iterations, legacy.Iterations)
+				}
+				if eng.OracleQueries != legacy.OracleQueries {
+					t.Fatalf("oracle queries: engine %d, legacy %d", eng.OracleQueries, legacy.OracleQueries)
+				}
+			}
+			if got := tel.Counter("engine_encodings_total").Value(); got != 1 {
+				t.Fatalf("engine_encodings_total = %d, want 1", got)
+			}
+		})
+	}
+}

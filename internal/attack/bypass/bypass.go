@@ -10,15 +10,18 @@
 package bypass
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/sat"
+	"repro/internal/telemetry"
 )
 
 // Options configures the attack.
@@ -183,16 +186,49 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	}, nil
 }
 
-// RunGeneric mounts the scheme-agnostic form of the bypass attack: pick
-// two arbitrary wrong keys, enumerate the full-input DIPs of their miter
-// by SAT (up to the fix budget), learn the correct outputs from the
-// oracle, and attach full-width comparators correcting the applied key.
-// This is the published attack's shape for one-point-function schemes
-// (SARLock, Anti-SAT): the applied key's corruption set is inside the
-// miter's DIP set, so correcting those patterns yields an exact circuit
-// (verified by the caller). On high-corruptibility schemes the fix
-// budget blows up, which is the point.
+// GenericOptions configures RunGenericOpts.
+type GenericOptions struct {
+	// MaxFixes aborts when the bypass would need more corrections than
+	// this (0 = 1<<12).
+	MaxFixes int
+	// Seed draws the two wrong keys.
+	Seed int64
+	// LegacySolver enumerates witnesses with a throwaway solver instead
+	// of the persistent engine — the pre-engine behavior, kept as an
+	// escape hatch and as the differential-test baseline.
+	LegacySolver bool
+	// Backend, when non-nil, is the engine the attack drives; nil builds
+	// a fresh engine for the run. Ignored under LegacySolver.
+	Backend engine.Backend
+	// Context, when non-nil, bounds the engine path.
+	Context context.Context
+	// Telemetry instruments the run (attack_* span + engine families).
+	Telemetry *telemetry.Registry
+}
+
+// RunGeneric mounts the scheme-agnostic form of the bypass attack with
+// default options; see RunGenericOpts.
 func RunGeneric(locked *netlist.Circuit, orc oracle.Oracle, maxFixes int, seed int64) (*Result, error) {
+	return RunGenericOpts(locked, orc, GenericOptions{MaxFixes: maxFixes, Seed: seed})
+}
+
+// RunGenericOpts mounts the scheme-agnostic form of the bypass attack:
+// pick two arbitrary wrong keys, enumerate the full-input DIPs of their
+// miter by SAT (up to the fix budget), learn the correct outputs from
+// the oracle, and attach full-width comparators correcting the applied
+// key. This is the published attack's shape for one-point-function
+// schemes (SARLock, Anti-SAT): the applied key's corruption set is
+// inside the miter's DIP set, so correcting those patterns yields an
+// exact circuit (verified by the caller). On high-corruptibility
+// schemes the fix budget blows up, which is the point.
+//
+// By default witnesses come from the persistent engine
+// (Backend.EnumerateWitnesses); the witness *set* is determined by the
+// circuit and the key pair, so the bypass network is the same on either
+// path up to enumeration order (the differential tests prove the fix
+// count, overhead and functional behavior identical).
+func RunGenericOpts(locked *netlist.Circuit, orc oracle.Oracle, opts GenericOptions) (*Result, error) {
+	maxFixes := opts.MaxFixes
 	if maxFixes <= 0 {
 		maxFixes = 1 << 12
 	}
@@ -200,40 +236,73 @@ func RunGeneric(locked *netlist.Circuit, orc oracle.Oracle, maxFixes int, seed i
 	if nk == 0 {
 		return nil, fmt.Errorf("bypass: circuit has no key inputs")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	sp := opts.Telemetry.StartSpan("attack_bypass")
+	defer sp.End()
+	rng := rand.New(rand.NewSource(opts.Seed))
 	keyA := make([]bool, nk)
 	keyB := make([]bool, nk)
 	for i := range keyA {
 		keyA[i] = rng.Intn(2) == 1
 		keyB[i] = rng.Intn(2) == 1
 	}
-	m, err := miter.NewFixedKey(locked, keyA, keyB)
+
+	b, err := newBuilder(locked, orc, keyA, maxFixes)
 	if err != nil {
 		return nil, err
+	}
+	if opts.LegacySolver {
+		err = enumerateLegacy(locked, keyA, keyB, b.correct)
+	} else {
+		err = enumerateEngine(locked, keyA, keyB, opts, b.correct)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b.finish()
+}
+
+// enumerateEngine streams miter witnesses from the persistent engine.
+func enumerateEngine(locked *netlist.Circuit, keyA, keyB []bool, opts GenericOptions, visit func(pat []bool) error) error {
+	be := opts.Backend
+	if be == nil {
+		eng, err := engine.New(locked, nil)
+		if err != nil {
+			return err
+		}
+		be = eng
+	}
+	if opts.Context != nil {
+		be.SetContext(opts.Context)
+	}
+	if opts.Telemetry != nil {
+		be.SetTelemetry(opts.Telemetry)
+	}
+	be.SetPhase("bypass")
+	var visitErr error
+	err := be.EnumerateWitnesses(keyA, keyB, func(pat []bool) bool {
+		visitErr = visit(pat)
+		return visitErr == nil
+	})
+	if visitErr != nil {
+		return visitErr
+	}
+	return err
+}
+
+// enumerateLegacy streams miter witnesses from a throwaway solver with
+// permanent blocking clauses — the original implementation.
+func enumerateLegacy(locked *netlist.Circuit, keyA, keyB []bool, visit func(pat []bool) error) error {
+	m, err := miter.NewFixedKey(locked, keyA, keyB)
+	if err != nil {
+		return err
 	}
 	solver := sat.New()
 	enc, err := cnf.EncodeInto(m, solver)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	solver.Add(enc.OutputLits(m)[0])
 	inLits := enc.InputLits(m)
-
-	applied, err := oracle.Activate(locked, keyA)
-	if err != nil {
-		return nil, err
-	}
-	baseGates := applied.NumGates()
-	sim, err := netlist.NewSimulator(locked)
-	if err != nil {
-		return nil, err
-	}
-
-	flipAccum := make([]netlist.ID, applied.NumOutputs())
-	for i := range flipAccum {
-		flipAccum[i] = netlist.InvalidID
-	}
-	fixes := 0
 	for solver.Solve() == sat.Sat {
 		pat := make([]bool, len(inLits))
 		blocking := make([]cnf.Lit, len(inLits))
@@ -246,64 +315,116 @@ func RunGeneric(locked *netlist.Circuit, orc oracle.Oracle, maxFixes int, seed i
 			}
 		}
 		solver.Add(blocking...)
-		want, err := orc.Query(pat)
-		if err != nil {
-			return nil, err
-		}
-		got, err := sim.Run(pat, keyA)
-		if err != nil {
-			return nil, err
-		}
-		var wrong []int
-		for o := range want {
-			if want[o] != got[o] {
-				wrong = append(wrong, o)
-			}
-		}
-		if len(wrong) == 0 {
-			continue // this DIP corrupts key B only
-		}
-		fixes++
-		if fixes > maxFixes {
-			return nil, fmt.Errorf("bypass: fix budget %d exceeded — bypass impractical on this instance", maxFixes)
-		}
-		cmp, err := inputComparator(applied, pat, fixes)
-		if err != nil {
-			return nil, err
-		}
-		for _, o := range wrong {
-			if flipAccum[o] == netlist.InvalidID {
-				flipAccum[o] = cmp
-				continue
-			}
-			acc, err := applied.AddGate(netlist.Or, fmt.Sprintf("bypg_or_%d_%d", o, fixes), flipAccum[o], cmp)
-			if err != nil {
-				return nil, err
-			}
-			flipAccum[o] = acc
+		if err := visit(pat); err != nil {
+			return err
 		}
 	}
-	for o, acc := range flipAccum {
+	return nil
+}
+
+// builder accumulates the bypass network over a witness stream. The
+// result depends only on the witness *set* (gate tags aside), so the
+// engine and legacy enumerations converge to the same circuit.
+type builder struct {
+	applied   *netlist.Circuit
+	sim       *netlist.Simulator
+	orc       oracle.Oracle
+	keyA      []bool
+	maxFixes  int
+	baseGates int
+	flipAccum []netlist.ID
+	fixes     int
+}
+
+func newBuilder(locked *netlist.Circuit, orc oracle.Oracle, keyA []bool, maxFixes int) (*builder, error) {
+	applied, err := oracle.Activate(locked, keyA)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return nil, err
+	}
+	flipAccum := make([]netlist.ID, applied.NumOutputs())
+	for i := range flipAccum {
+		flipAccum[i] = netlist.InvalidID
+	}
+	return &builder{
+		applied:   applied,
+		sim:       sim,
+		orc:       orc,
+		keyA:      keyA,
+		maxFixes:  maxFixes,
+		baseGates: applied.NumGates(),
+		flipAccum: flipAccum,
+	}, nil
+}
+
+// correct learns the oracle's outputs on one witness and, when the
+// applied key is the corrupted one there, wires a comparator correction.
+func (b *builder) correct(pat []bool) error {
+	want, err := b.orc.Query(pat)
+	if err != nil {
+		return err
+	}
+	got, err := b.sim.Run(pat, b.keyA)
+	if err != nil {
+		return err
+	}
+	var wrong []int
+	for o := range want {
+		if want[o] != got[o] {
+			wrong = append(wrong, o)
+		}
+	}
+	if len(wrong) == 0 {
+		return nil // this DIP corrupts key B only
+	}
+	b.fixes++
+	if b.fixes > b.maxFixes {
+		return fmt.Errorf("bypass: fix budget %d exceeded — bypass impractical on this instance", b.maxFixes)
+	}
+	cmp, err := inputComparator(b.applied, pat, b.fixes)
+	if err != nil {
+		return err
+	}
+	for _, o := range wrong {
+		if b.flipAccum[o] == netlist.InvalidID {
+			b.flipAccum[o] = cmp
+			continue
+		}
+		acc, err := b.applied.AddGate(netlist.Or, fmt.Sprintf("bypg_or_%d_%d", o, b.fixes), b.flipAccum[o], cmp)
+		if err != nil {
+			return err
+		}
+		b.flipAccum[o] = acc
+	}
+	return nil
+}
+
+// finish XORs the accumulated flip conditions into the outputs.
+func (b *builder) finish() (*Result, error) {
+	for o, acc := range b.flipAccum {
 		if acc == netlist.InvalidID {
 			continue
 		}
-		orig := applied.Outputs()[o]
-		g, err := applied.AddGate(netlist.Xor, fmt.Sprintf("bypg_fix_%d", o), orig, acc)
+		orig := b.applied.Outputs()[o]
+		g, err := b.applied.AddGate(netlist.Xor, fmt.Sprintf("bypg_fix_%d", o), orig, acc)
 		if err != nil {
 			return nil, err
 		}
-		if err := applied.ReplaceOutput(o, g); err != nil {
+		if err := b.applied.ReplaceOutput(o, g); err != nil {
 			return nil, err
 		}
 	}
-	if err := applied.Validate(); err != nil {
+	if err := b.applied.Validate(); err != nil {
 		return nil, err
 	}
 	return &Result{
-		Circuit:       applied,
-		AppliedKey:    keyA,
-		Fixes:         fixes,
-		OverheadGates: applied.NumGates() - baseGates,
+		Circuit:       b.applied,
+		AppliedKey:    b.keyA,
+		Fixes:         b.fixes,
+		OverheadGates: b.applied.NumGates() - b.baseGates,
 	}, nil
 }
 

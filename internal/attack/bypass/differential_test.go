@@ -1,0 +1,78 @@
+package bypass
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// TestEngineLegacyDifferential holds the engine-backed generic bypass
+// and the legacy throwaway-solver bypass to identical results on the
+// one-point-function schemes the attack targets. The witness set of the
+// two wrong keys' miter is determined by the circuit and the key pair,
+// so even though the engine may enumerate it in a different order, the
+// fix count, the applied key, the gate overhead and the corrected
+// circuit's function must all coincide.
+func TestEngineLegacyDifferential(t *testing.T) {
+	h, err := synth.Generate(synth.Config{Name: "bh", Inputs: 11, Outputs: 3, Gates: 55, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"antisat", "sarlock"} {
+		sch, ok := lock.SchemeByName(name)
+		if !ok {
+			t.Fatalf("scheme %q not registered", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			locked, _, err := sch.Apply(h.Clone(), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := RunGenericOpts(locked.Circuit, oracle.MustNewSim(h),
+				GenericOptions{MaxFixes: 64, Seed: 9, LegacySolver: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tel := telemetry.New()
+			eng, err := RunGenericOpts(locked.Circuit, oracle.MustNewSim(h),
+				GenericOptions{MaxFixes: 64, Seed: 9, Telemetry: tel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Fixes != legacy.Fixes {
+				t.Fatalf("fixes: engine %d, legacy %d", eng.Fixes, legacy.Fixes)
+			}
+			if eng.OverheadGates != legacy.OverheadGates {
+				t.Fatalf("overhead gates: engine %d, legacy %d", eng.OverheadGates, legacy.OverheadGates)
+			}
+			for i := range eng.AppliedKey {
+				if eng.AppliedKey[i] != legacy.AppliedKey[i] {
+					t.Fatalf("applied key bit %d differs", i)
+				}
+			}
+			// Both corrected circuits must implement the original design.
+			for _, res := range []*Result{eng, legacy} {
+				ok, cex, err := miter.ProveEquivalentHashed(res.Circuit, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("bypassed circuit is not equivalent to the host (cex %v)", cex)
+				}
+			}
+			if got := tel.Counter("engine_encodings_total").Value(); got != 1 {
+				t.Fatalf("engine_encodings_total = %d, want 1", got)
+			}
+			if got := tel.Counter("engine_witnesses_total").Value(); got == 0 {
+				t.Fatal("engine path enumerated no witnesses")
+			}
+		})
+	}
+}

@@ -1,0 +1,164 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+func TestRegistryMechanics(t *testing.T) {
+	want := []string{"sat", "appsat", "casunlock", "sps-removal", "bypass", "dip"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registered %d attacks, want %d (%v)", len(names), len(want), names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registration order: got %v, want %v", names, want)
+		}
+	}
+	if len(Labels()) != len(want) {
+		t.Fatal("Labels/Names length mismatch")
+	}
+	// Resolution by name, by label, case-insensitively.
+	for _, q := range []string{"sat", "SAT", "dip", "DIP-learning", "Bypass", "SPS-REMOVAL"} {
+		if _, ok := AttackByName(q); !ok {
+			t.Fatalf("AttackByName(%q) failed", q)
+		}
+	}
+	if _, ok := AttackByName("no-such-attack"); ok {
+		t.Fatal("AttackByName resolved a bogus name")
+	}
+	// Only the checkpointable DIP-learning pipeline is servable.
+	for _, a := range Attacks() {
+		if a.Servable != (a.Name == "dip") {
+			t.Fatalf("attack %q Servable=%v", a.Name, a.Servable)
+		}
+	}
+	if err := RegisterAttack(Attack{Name: "SAT", Run: func(*Context) Outcome { return Outcome{} }}); err == nil {
+		t.Fatal("duplicate registration (case-folded) was accepted")
+	}
+	if err := RegisterAttack(Attack{Name: "anon"}); err == nil {
+		t.Fatal("registration without Run was accepted")
+	}
+	if u := Universe(); u == "" {
+		t.Fatal("empty universe")
+	}
+}
+
+// TestRegistryEndToEnd mounts registry attacks the way the experiment
+// matrix does — scheme registry supplies the instance and KeyCheck, the
+// attack registry supplies the mount — and checks the two canonical
+// verdicts: the SAT attack breaks RLL exactly, and the same attack
+// capped on CAS-Lock reports a capped non-break.
+func TestRegistryEndToEnd(t *testing.T) {
+	h, err := synth.Generate(synth.Config{Name: "rg", Inputs: 12, Outputs: 3, Gates: 60, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	atk, ok := AttackByName("sat")
+	if !ok {
+		t.Fatal("sat attack not registered")
+	}
+	mount := func(scheme string, cap int) (Outcome, []bool) {
+		sch, ok := lock.SchemeByName(scheme)
+		if !ok {
+			t.Fatalf("scheme %q not registered", scheme)
+		}
+		locked, kc, err := sch.Apply(h.Clone(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel := telemetry.New()
+		out := atk.Run(&Context{
+			Locked: locked.Circuit, Host: h, KeyCheck: kc,
+			NewOracle: func() oracle.Oracle { return oracle.MustNewSim(h) },
+			SATCap:    cap, Seed: 1, Telemetry: tel,
+		})
+		if got := tel.Counter("engine_encodings_total").Value(); got != 1 {
+			t.Fatalf("engine_encodings_total = %d, want 1", got)
+		}
+		return out, locked.Key
+	}
+	if out, _ := mount("rll", 200); !out.Broken {
+		t.Fatalf("SAT attack failed to break RLL: %s", out.Detail)
+	} else if out.Key == nil {
+		t.Fatal("break reported without a key")
+	}
+	if out, _ := mount("cas", 24); out.Broken {
+		t.Fatalf("capped SAT attack claimed to break CAS-Lock: %s", out.Detail)
+	}
+}
+
+// TestMultiCorrectKeyVerification pins the registry's break criterion to
+// functional correctness rather than golden-key equality. CAS-Lock's
+// effective mask for half h is m_i = k_i XOR (gate_i == XNOR), and a key
+// is correct iff the two halves apply equal masks — so flipping bit i in
+// BOTH halves flips both masks at position i and preserves their
+// equality. The resulting key differs from the inserted one yet must
+// pass the scheme KeyCheck, the SAT unlock proof, and Context.Verified.
+func TestMultiCorrectKeyVerification(t *testing.T) {
+	h, err := synth.Generate(synth.Config{Name: "mk", Inputs: 12, Outputs: 3, Gates: 60, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	sch, ok := lock.SchemeByName("cas")
+	if !ok {
+		t.Fatal("cas not registered")
+	}
+	locked, kc, err := sch.Apply(h.Clone(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc == nil {
+		t.Fatal("cas scheme returned no KeyCheck")
+	}
+	golden := locked.Key
+	half := len(golden) / 2
+	alt := append([]bool(nil), golden...)
+	alt[0] = !alt[0]
+	alt[half] = !alt[half]
+
+	if !kc(golden) {
+		t.Fatal("KeyCheck rejected the inserted key")
+	}
+	if !kc(alt) {
+		t.Fatal("KeyCheck rejected a functionally correct non-golden key")
+	}
+	same := true
+	for i := range alt {
+		if alt[i] != golden[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("alt key construction did not produce a distinct key")
+	}
+	ok, err = miter.ProveUnlockedHashed(locked.Circuit, alt, h)
+	if err != nil || !ok {
+		t.Fatalf("non-golden correct key failed the unlock proof (ok=%v err=%v)", ok, err)
+	}
+	c := &Context{Locked: locked.Circuit, Host: h, KeyCheck: kc}
+	if !c.Verified(alt) {
+		t.Fatal("Context.Verified rejected a functionally correct key")
+	}
+	// A genuinely wrong key (one half flipped only) must fail KeyCheck.
+	bad := append([]bool(nil), golden...)
+	bad[0] = !bad[0]
+	if kc(bad) {
+		t.Fatal("KeyCheck accepted a key with unequal effective masks")
+	}
+	if c.Verified(bad) {
+		t.Fatal("Context.Verified accepted a wrong key")
+	}
+}

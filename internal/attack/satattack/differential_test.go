@@ -1,0 +1,111 @@
+package satattack
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/miter"
+	"repro/internal/oracle"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// TestEngineLegacyDifferential holds the engine-backed attack and the
+// legacy throwaway-solver attack to the same observable results across
+// every registered scheme.
+//
+// The contract is exact where the math makes it exact and functional
+// where it does not:
+//
+//   - SAT-hard schemes (Anti-SAT, SARLock, CAS, M-CAS) never run out of
+//     DIPs within the cap, and a DIP exists on both paths whenever one
+//     exists at all — so iteration and oracle-query counts must match
+//     the cap bit-exactly on both paths.
+//
+//   - Completing schemes (RLL, SLL, SFLL-HD) terminate when the miter
+//     goes UNSAT. The *sequence* of DIPs is a CDCL-trajectory artifact —
+//     scope-guarded constraint clauses legitimately perturb the search
+//     relative to legacy's permanent clauses, so iteration counts can
+//     differ in either direction. What is trajectory-independent is the
+//     terminal key set: at completion the satisfying keys are exactly
+//     the functionally correct keys, identical for both paths no matter
+//     which DIPs built the constraints. Both paths therefore extract the
+//     lexicographically minimal key, which must agree bit-for-bit, and
+//     must SAT-prove functional against the host. (The same RLL/SLL
+//     instances demonstrably admit several functional keys — golden-key
+//     comparison would be wrong here; see the registry's KeyCheck docs.)
+//
+// The engine path must additionally encode the miter exactly once per
+// run.
+func TestEngineLegacyDifferential(t *testing.T) {
+	h, err := synth.Generate(synth.Config{Name: "dh", Inputs: 12, Outputs: 3, Gates: 60, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	// Schemes that run out of DIPs within completeCap on this host; the
+	// rest are SAT-resistant and must saturate cappedCap on both paths.
+	completing := map[string]bool{"rll": true, "sll": true, "sfll": true}
+	const cappedCap = 24
+	const completeCap = 96
+	for _, sch := range lock.Schemes() {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			locked, _, err := sch.Apply(h.Clone(), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cap := cappedCap
+			if completing[sch.Name] {
+				cap = completeCap
+			}
+			legacy, err := Run(locked.Circuit, oracle.MustNewSim(h), Options{MaxIterations: cap, LegacySolver: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tel := telemetry.New()
+			eng, err := Run(locked.Circuit, oracle.MustNewSim(h), Options{MaxIterations: cap, Telemetry: tel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Completed != legacy.Completed {
+				t.Fatalf("completed: engine %v, legacy %v", eng.Completed, legacy.Completed)
+			}
+			if completing[sch.Name] {
+				if !eng.Completed {
+					t.Fatalf("scheme %s should complete within %d iterations", sch.Name, cap)
+				}
+				if len(eng.Key) != len(legacy.Key) {
+					t.Fatalf("key widths: engine %d, legacy %d", len(eng.Key), len(legacy.Key))
+				}
+				for i := range eng.Key {
+					if eng.Key[i] != legacy.Key[i] {
+						t.Fatalf("key bit %d: engine %v, legacy %v (lex-min keys must agree)", i, eng.Key[i], legacy.Key[i])
+					}
+				}
+				ok, err := miter.ProveUnlockedHashed(locked.Circuit, eng.Key, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("recovered key is not functionally correct")
+				}
+			} else {
+				if eng.Completed {
+					t.Fatalf("scheme %s should not complete within %d iterations", sch.Name, cap)
+				}
+				if eng.Iterations != cap || legacy.Iterations != cap {
+					t.Fatalf("iterations: engine %d, legacy %d, want both %d", eng.Iterations, legacy.Iterations, cap)
+				}
+				if eng.OracleQueries != legacy.OracleQueries {
+					t.Fatalf("oracle queries: engine %d, legacy %d", eng.OracleQueries, legacy.OracleQueries)
+				}
+			}
+			if got := tel.Counter("engine_encodings_total").Value(); got != 1 {
+				t.Fatalf("engine_encodings_total = %d, want 1", got)
+			}
+		})
+	}
+}

@@ -5,16 +5,28 @@
 // a key-differential miter, constrains both key copies to agree with the
 // oracle on each DIP, and terminates when no further DIP exists — at
 // which point any key satisfying the accumulated constraints is correct.
+//
+// By default the attack runs on the persistent incremental-SAT engine
+// (internal/engine): the miter is encoded once, per-DIP IO constraints
+// live in an assumption-guarded scope, and learned clauses persist
+// across the whole run (and across runs, when the caller supplies a
+// warm Backend). Options.LegacySolver restores the original throwaway
+// per-run solver; the differential tests hold the two paths to
+// bit-identical keys (both extract the canonical lex-min correct key)
+// and identical iteration budgets on SAT-resistant schemes.
 package satattack
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cnf"
+	"repro/internal/engine"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/sat"
+	"repro/internal/telemetry"
 )
 
 // Options bounds the attack.
@@ -25,6 +37,19 @@ type Options struct {
 	MaxIterations int
 	// ConflictBudget bounds each individual SAT call (0 = unlimited).
 	ConflictBudget uint64
+	// LegacySolver rebuilds a throwaway solver for this run instead of
+	// driving the persistent engine — the pre-engine behavior, kept as
+	// an escape hatch and as the differential-test baseline.
+	LegacySolver bool
+	// Backend, when non-nil, is the engine the attack drives (a warm
+	// pool entry or a portfolio); nil builds a fresh engine for the run.
+	// Ignored under LegacySolver.
+	Backend engine.Backend
+	// Context, when non-nil, bounds the engine path: solves are sliced
+	// against the deadline and cancellation is polled between slices.
+	Context context.Context
+	// Telemetry instruments the run (attack_* span + engine families).
+	Telemetry *telemetry.Registry
 }
 
 // Result reports the attack outcome.
@@ -38,7 +63,7 @@ type Result struct {
 	Completed bool
 	// OracleQueries is the number of oracle patterns consumed.
 	OracleQueries uint64
-	// SolverStats aggregates SAT work.
+	// SolverStats aggregates the SAT work of this run.
 	SolverStats sat.Stats
 }
 
@@ -49,6 +74,87 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 		return nil, fmt.Errorf("satattack: locked netlist I/O (%d/%d) does not match oracle (%d/%d)",
 			locked.NumInputs(), locked.NumOutputs(), orc.NumInputs(), orc.NumOutputs())
 	}
+	sp := opts.Telemetry.StartSpan("attack_satattack")
+	defer sp.End()
+	if opts.LegacySolver {
+		return runLegacy(locked, orc, opts)
+	}
+	return runEngine(locked, orc, opts)
+}
+
+// runEngine drives the attack through a persistent engine session.
+func runEngine(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
+	be := opts.Backend
+	if be == nil {
+		eng, err := engine.New(locked, nil)
+		if err != nil {
+			return nil, err
+		}
+		be = eng
+	}
+	if opts.Context != nil {
+		be.SetContext(opts.Context)
+	}
+	if opts.Telemetry != nil {
+		be.SetTelemetry(opts.Telemetry)
+	}
+	be.SetPhase("satattack")
+	statsBase := be.Stats()
+
+	ses, err := be.OpenSession()
+	if err != nil {
+		return nil, err
+	}
+	defer ses.Close()
+	ses.SetConflictBudget(opts.ConflictBudget)
+
+	res := &Result{}
+	queriesBefore := countQueries(orc)
+	finish := func() *Result {
+		res.SolverStats = be.Stats().Diff(statsBase)
+		res.OracleQueries = countQueries(orc) - queriesBefore
+		return res
+	}
+
+	for {
+		if opts.MaxIterations > 0 && res.Iterations >= opts.MaxIterations {
+			return finish(), nil
+		}
+		dip, st, err := ses.FindDIP()
+		if err != nil {
+			return nil, err
+		}
+		if st == sat.Unknown {
+			return finish(), nil
+		}
+		if st == sat.Unsat {
+			break // no more DIPs: constraints pin a correct key
+		}
+		res.Iterations++
+		out, err := orc.Query(dip)
+		if err != nil {
+			return nil, err
+		}
+		if err := ses.Constrain(dip, out); err != nil {
+			return nil, err
+		}
+	}
+
+	key, st, err := ses.ExtractKey()
+	if err != nil {
+		return nil, err
+	}
+	if st != sat.Sat {
+		return nil, fmt.Errorf("satattack: final key extraction returned %v", st)
+	}
+	res.Key = key
+	res.Completed = true
+	return finish(), nil
+}
+
+// runLegacy is the original throwaway-solver attack, kept bit-compatible
+// as the LegacySolver escape hatch and differential baseline.
+func runLegacy(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, error) {
 	kd, err := miter.NewKeyDiff(locked)
 	if err != nil {
 		return nil, err
@@ -102,13 +208,12 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 		}
 	}
 
-	// Any satisfying assignment of the constraints is a correct key.
-	if st := solver.Solve(); st != sat.Sat {
-		return nil, fmt.Errorf("satattack: final key extraction returned %v", st)
-	}
-	key := make([]bool, kd.NKeys)
-	for i, l := range keysA {
-		key[i] = solver.ModelValue(l)
+	// Any satisfying assignment of the constraints is a correct key; like
+	// the engine path, return the lex-min one so the recovered key is
+	// canonical rather than an artifact of the search trajectory.
+	key, err := lexMinKey(solver, keysA)
+	if err != nil {
+		return nil, err
 	}
 	res.Key = key
 	res.Completed = true
@@ -146,6 +251,32 @@ func addIOConstraint(locked *netlist.Circuit, solver *sat.Solver,
 		}
 	}
 	return nil
+}
+
+// lexMinKey extracts the lexicographically smallest key satisfying the
+// solver's constraints, one incremental solve per bit: false wins a bit
+// whenever some satisfying key has it false. At attack completion the
+// satisfying keys are exactly the functionally correct keys, so this is
+// a canonical representative independent of the DIP sequence — the
+// legacy-path twin of Session.ExtractKey.
+func lexMinKey(solver *sat.Solver, keys []cnf.Lit) ([]bool, error) {
+	if st := solver.Solve(); st != sat.Sat {
+		return nil, fmt.Errorf("satattack: final key extraction returned %v", st)
+	}
+	key := make([]bool, len(keys))
+	assume := make([]cnf.Lit, 0, len(keys)+1)
+	for i, l := range keys {
+		switch st := solver.Solve(append(assume, l.Neg())...); st {
+		case sat.Sat:
+			assume = append(assume, l.Neg())
+		case sat.Unsat:
+			key[i] = true
+			assume = append(assume, l)
+		default:
+			return nil, fmt.Errorf("satattack: key extraction returned %v", st)
+		}
+	}
+	return key, nil
 }
 
 func countQueries(orc oracle.Oracle) uint64 {

@@ -14,14 +14,17 @@
 package sensitization
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/cnf"
+	"repro/internal/engine"
 	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/sat"
+	"repro/internal/telemetry"
 )
 
 // Options bounds the attack.
@@ -34,6 +37,18 @@ type Options struct {
 	MuteSamples int
 	// Seed drives sampling.
 	Seed int64
+	// LegacySolver builds one throwaway solver per key bit instead of
+	// streaming candidates from the persistent engine — the pre-engine
+	// behavior, kept as an escape hatch and as the differential-test
+	// baseline.
+	LegacySolver bool
+	// Backend, when non-nil, is the engine the attack drives; nil builds
+	// a fresh engine for the run. Ignored under LegacySolver.
+	Backend engine.Backend
+	// Context, when non-nil, bounds the engine path.
+	Context context.Context
+	// Telemetry instruments the run (attack_* span + engine families).
+	Telemetry *telemetry.Registry
 }
 
 // Result reports which key bits leaked.
@@ -63,6 +78,8 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	if locked.NumInputs() != orc.NumInputs() {
 		return nil, fmt.Errorf("sensitization: oracle input width mismatch")
 	}
+	sp := opts.Telemetry.StartSpan("attack_sensitization")
+	defer sp.End()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	sim, err := netlist.NewSimulator(locked)
 	if err != nil {
@@ -70,8 +87,60 @@ func Run(locked *netlist.Circuit, orc oracle.Oracle, opts Options) (*Result, err
 	}
 	res := &Result{Known: make([]bool, nk), Key: make([]bool, nk)}
 
+	// propose streams up to CandidatesPerBit sensitization candidates for
+	// one key bit, muting-checking each; the engine path shares one
+	// persistent encoding across all bits, the legacy path rebuilds a
+	// solver per bit.
+	var propose func(bit int) (pattern []bool, outIdx int, v0, v1, found bool, err error)
+	if opts.LegacySolver {
+		propose = func(bit int) ([]bool, int, bool, bool, bool, error) {
+			return findSensitizingPattern(locked, sim, bit, opts, rng)
+		}
+	} else {
+		be := opts.Backend
+		if be == nil {
+			eng, err := engine.New(locked, nil)
+			if err != nil {
+				return nil, err
+			}
+			be = eng
+		}
+		if opts.Context != nil {
+			be.SetContext(opts.Context)
+		}
+		if opts.Telemetry != nil {
+			be.SetTelemetry(opts.Telemetry)
+		}
+		be.SetPhase("sensitization")
+		propose = func(bit int) (pattern []bool, outIdx int, v0, v1, found bool, err error) {
+			cand := 0
+			var innerErr error
+			enumErr := be.EnumerateSensitizations(bit, func(pat []bool) bool {
+				cand++
+				idx, b0, b1, muted, err := checkMuting(locked, sim, pat, bit, opts, rng)
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				if muted {
+					pattern = append([]bool(nil), pat...)
+					outIdx, v0, v1, found = idx, b0, b1, true
+					return false
+				}
+				return cand < opts.CandidatesPerBit
+			})
+			if innerErr != nil {
+				return nil, 0, false, false, false, innerErr
+			}
+			if enumErr != nil {
+				return nil, 0, false, false, false, enumErr
+			}
+			return pattern, outIdx, v0, v1, found, nil
+		}
+	}
+
 	for bit := 0; bit < nk; bit++ {
-		pattern, outIdx, v0, v1, found, err := findSensitizingPattern(locked, sim, bit, opts, rng)
+		pattern, outIdx, v0, v1, found, err := propose(bit)
 		if err != nil {
 			return nil, err
 		}

@@ -25,6 +25,16 @@ type Backend interface {
 	PhaseStats() map[string]sat.Stats
 	EnumerateDIPs(A, B []bool, visit func(pat uint64) bool) error
 	EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint64) bool), visit func(pat uint64) bool) error
+	// OpenSession starts a scoped free-key query window (SAT attack /
+	// AppSAT shape); EnumerateWitnesses and EnumerateSensitizations are
+	// the bypass and key-sensitization query shapes. See Engine for the
+	// contracts; a Portfolio serves all three from its baseline member,
+	// because these are sequential protocols whose later queries depend
+	// on earlier models — racing would trade run-to-run determinism for
+	// nothing (the member still enjoys clause persistence and imports).
+	OpenSession() (*Session, error)
+	EnumerateWitnesses(keyA, keyB []bool, visit func(pattern []bool) bool) error
+	EnumerateSensitizations(bit int, visit func(pattern []bool) bool) error
 	Distinguish(keyA, keyB []bool, budget uint64) (witness []bool, equivalent bool, err error)
 	DistinguishEx(keyA, keyB []bool, budget uint64) (DistinguishOutcome, error)
 	BudgetRate() float64

@@ -188,6 +188,52 @@ func TestSmoothingFactors(t *testing.T) {
 	}
 }
 
+// TestDeriveSmoothing pins the learned-weight derivation: the default
+// weight is exactly what DeriveSmoothing computes from the committed
+// trajectory, a spacious trajectory (long phase dwells) learns a
+// lighter weight than a tight one, sub-significant phases cannot drive
+// the weight, the result always lands in the clamp range, and
+// degenerate trajectories fall back to the fast-tracking end.
+func TestDeriveSmoothing(t *testing.T) {
+	if got := DeriveSmoothing(benchTrajectory); got != defaultBudgetSmoothing {
+		t.Fatalf("default weight %v is not DeriveSmoothing(benchTrajectory) = %v", defaultBudgetSmoothing, got)
+	}
+	if defaultBudgetSmoothing < minSmoothing || defaultBudgetSmoothing > maxSmoothing {
+		t.Fatalf("default weight %v outside [%v, %v]", defaultBudgetSmoothing, minSmoothing, maxSmoothing)
+	}
+	// The committed trajectory's tightest phase dwells ~1 session per
+	// visit, flooring the window at 2 → the weight clamps at the
+	// fast-tracking end.
+	if defaultBudgetSmoothing != maxSmoothing {
+		t.Fatalf("committed trajectory should clamp to maxSmoothing, got %v", defaultBudgetSmoothing)
+	}
+	spacious := Trajectory{
+		PhaseSeconds: map[string]float64{"enumerate": 1, "verify": 1},
+		SolveCalls:   10000, Extractions: 100, // 50 sessions per phase visit
+	}
+	if a := DeriveSmoothing(spacious); a >= defaultBudgetSmoothing {
+		t.Fatalf("long dwells should learn a lighter weight, got %v", a)
+	} else if a < minSmoothing || a > maxSmoothing {
+		t.Fatalf("derived weight %v outside clamp range", a)
+	}
+	// A vanishing phase (below minSignificantShare) must not tighten the
+	// dwell estimate.
+	withNoise := spacious
+	withNoise.PhaseSeconds = map[string]float64{"enumerate": 1, "verify": 1, "algo2": 0.001}
+	if DeriveSmoothing(withNoise) != DeriveSmoothing(spacious) {
+		t.Fatal("a sub-significant phase changed the learned weight")
+	}
+	for _, degenerate := range []Trajectory{
+		{},
+		{PhaseSeconds: map[string]float64{"verify": 1}},
+		{SolveCalls: 100, Extractions: 10},
+	} {
+		if a := DeriveSmoothing(degenerate); a != maxSmoothing {
+			t.Fatalf("degenerate trajectory learned %v, want fallback %v", a, maxSmoothing)
+		}
+	}
+}
+
 // TestSetSmoothingRejectsOutOfRange confirms invalid factors are ignored
 // and the zero-value budgeter falls back to the default weight.
 func TestSetSmoothingRejectsOutOfRange(t *testing.T) {

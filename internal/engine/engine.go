@@ -72,6 +72,9 @@ type Engine struct {
 	compactBytes uint64 // retired-bytes threshold that triggers Simplify
 	dbHighWater  uint64 // largest clause-DB size observed, mirrored as a gauge
 
+	keyEq     []cnf.Lit // lazily built per-bit key-equality guards (sensitization)
+	scopeHeld bool      // the single blocking scope is reserved by a Session/enumeration
+
 	assume   []cnf.Lit // scratch: assumption vector
 	blocking []cnf.Lit // scratch: per-model blocking clause
 }
@@ -325,6 +328,10 @@ func (e *Engine) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat uint6
 	if err := e.checkKeys(A, B); err != nil {
 		return err
 	}
+	if err := e.acquireScope(); err != nil {
+		return err
+	}
+	defer e.releaseScope()
 	flush := e.beginSession("engine_enumerate")
 	defer flush()
 	defer e.retireScope()

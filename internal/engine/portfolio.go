@@ -38,6 +38,13 @@ const (
 	// fills, it is cleared (re-sharing a clause is harmless — the
 	// importer's AddClause tolerates duplicates).
 	dedupCap = 1 << 15
+	// defaultShrinkStreak is how many consecutive races one member must
+	// win before the portfolio shrinks its race fan-out to that member
+	// alone. A stable winner means the diversification isn't paying for
+	// its goroutines on this instance; 16 straight wins makes a flip
+	// afterwards unlikely while still adapting early in a long
+	// enumeration phase. SetShrinkAfter overrides (0 disables).
+	defaultShrinkStreak = 16
 )
 
 // memberOptions returns the diversification profile of portfolio member
@@ -111,6 +118,18 @@ type Portfolio struct {
 	bus   *events.Bus
 	phase string
 
+	// Adaptive sizing: active lists the member indices raced per query.
+	// When one member wins shrinkAfter consecutive races, active shrinks
+	// to that member alone — the race is decided, so the losers' CPU is
+	// pure overhead. Results are unaffected: every member computes the
+	// same answers, and delegated (session/witness/sensitization) queries
+	// keep going to the baseline member 0 regardless. Win-streak state is
+	// only touched from the driving goroutine.
+	active       []int
+	shrinkAfter  int
+	streakMember int
+	streak       int
+
 	encoded bool
 }
 
@@ -135,11 +154,28 @@ func NewPortfolio(locked *netlist.Circuit, blockPos []int, size int) (*Portfolio
 	}
 	p.nKeys = p.members[0].nKeys
 	p.phaseQuota.Store(phaseExportCap)
+	p.shrinkAfter = defaultShrinkStreak
+	p.streakMember = -1
+	for i := range p.members {
+		p.active = append(p.active, i)
+	}
 	return p, nil
 }
 
 // Size returns the member count.
 func (p *Portfolio) Size() int { return len(p.members) }
+
+// ActiveSize returns how many members the next race will fan out to;
+// it starts at Size and drops to 1 once the adaptive sizing decides the
+// race (see SetShrinkAfter).
+func (p *Portfolio) ActiveSize() int { return len(p.active) }
+
+// SetShrinkAfter sets the consecutive-win streak after which the race
+// fan-out shrinks to the streak winner alone (default 16). n <= 0
+// disables adaptive sizing. A shrink is counted in
+// portfolio_resized_total; calling SetShrinkAfter after a shrink does
+// not restore the dropped members.
+func (p *Portfolio) SetShrinkAfter(n int) { p.shrinkAfter = n }
 
 // teeSink broadcasts one Tseitin encoding into every member solver.
 // All solvers start empty and receive identical NewVar/Add sequences,
@@ -417,9 +453,29 @@ func (p *Portfolio) raceContext() (context.Context, context.CancelFunc) {
 	return context.WithCancel(base)
 }
 
-// recordWin counts a race win for member w.
+// recordWin counts a race win for member w and advances the adaptive
+// sizing: once w has won shrinkAfter races in a row (and more than one
+// member is still racing), the fan-out shrinks to w alone.
 func (p *Portfolio) recordWin(w int) {
 	p.tel.Counter(telemetry.Label("portfolio_wins_total", "member", strconv.Itoa(w))).Inc()
+	if w == p.streakMember {
+		p.streak++
+	} else {
+		p.streakMember, p.streak = w, 1
+	}
+	if p.shrinkAfter > 0 && len(p.active) > 1 && p.streak >= p.shrinkAfter {
+		p.active = []int{w}
+		p.tel.Counter("portfolio_resized_total").Inc()
+		p.bus.Publish(events.Event{
+			Type:  events.TypeDistinguish,
+			Phase: p.phase,
+			Fields: map[string]string{
+				"reason": "portfolio_resized",
+				"winner": strconv.Itoa(w),
+				"streak": strconv.Itoa(p.streak),
+			},
+		})
+	}
 }
 
 // EnumerateDIPs races the full DIP enumeration across all members; see
@@ -448,13 +504,13 @@ func (p *Portfolio) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat ui
 		err  error
 		ran  bool
 	}
-	results := make([]result, len(p.members))
+	results := make([]result, len(p.active))
 	var winner atomic.Int32
 	winner.Store(-1)
 	var wg sync.WaitGroup
-	for i, m := range p.members {
+	for ri, mi := range p.active {
 		wg.Add(1)
-		go func(i int, m *Engine) {
+		go func(ri int, m *Engine) {
 			defer wg.Done()
 			m.SetContext(raceCtx)
 			m.solver.SetInterrupt(func() bool { return raceCtx.Err() != nil })
@@ -464,11 +520,11 @@ func (p *Portfolio) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat ui
 				pats = append(pats, pat)
 				return true
 			})
-			results[i] = result{pats: pats, err: err, ran: true}
-			if err == nil && winner.CompareAndSwap(-1, int32(i)) {
+			results[ri] = result{pats: pats, err: err, ran: true}
+			if err == nil && winner.CompareAndSwap(-1, int32(ri)) {
 				cancel()
 			}
-		}(i, m)
+		}(ri, p.members[mi])
 	}
 	wg.Wait()
 
@@ -489,13 +545,58 @@ func (p *Portfolio) EnumerateDIPsSeeded(A, B []bool, seed func(yield func(pat ui
 		}
 		return results[best].err
 	}
-	p.recordWin(w)
+	p.recordWin(p.active[w])
 	for _, pat := range results[w].pats {
 		if !visit(pat) {
 			break
 		}
 	}
 	return nil
+}
+
+// baseline prepares member 0 for a delegated (non-raced) query: the
+// sequential session/witness/sensitization protocols run on the
+// baseline configuration so their model trajectories are exactly the
+// single engine's, while the member still benefits from clauses
+// imported during earlier races.
+func (p *Portfolio) baseline() (*Engine, error) {
+	if err := p.ensure(); err != nil {
+		return nil, err
+	}
+	m := p.members[0]
+	m.SetContext(p.ctx)
+	return m, nil
+}
+
+// OpenSession opens a scoped free-key session on the baseline member;
+// see Engine.OpenSession and the Backend contract for why sessions are
+// not raced.
+func (p *Portfolio) OpenSession() (*Session, error) {
+	m, err := p.baseline()
+	if err != nil {
+		return nil, err
+	}
+	return m.OpenSession()
+}
+
+// EnumerateWitnesses runs the bypass witness enumeration on the
+// baseline member; see Engine.EnumerateWitnesses.
+func (p *Portfolio) EnumerateWitnesses(keyA, keyB []bool, visit func(pattern []bool) bool) error {
+	m, err := p.baseline()
+	if err != nil {
+		return err
+	}
+	return m.EnumerateWitnesses(keyA, keyB, visit)
+}
+
+// EnumerateSensitizations runs the per-bit sensitization proposal
+// stream on the baseline member; see Engine.EnumerateSensitizations.
+func (p *Portfolio) EnumerateSensitizations(bit int, visit func(pattern []bool) bool) error {
+	m, err := p.baseline()
+	if err != nil {
+		return err
+	}
+	return m.EnumerateSensitizations(bit, visit)
 }
 
 // Distinguish races a distinguish query; see Engine.Distinguish.
@@ -521,23 +622,23 @@ func (p *Portfolio) DistinguishEx(keyA, keyB []bool, budget uint64) (Distinguish
 	raceCtx, cancel := p.raceContext()
 	defer cancel()
 
-	outs := make([]DistinguishOutcome, len(p.members))
-	errs := make([]error, len(p.members))
+	outs := make([]DistinguishOutcome, len(p.active))
+	errs := make([]error, len(p.active))
 	var winner atomic.Int32
 	winner.Store(-1)
 	var wg sync.WaitGroup
-	for i, m := range p.members {
+	for ri, mi := range p.active {
 		wg.Add(1)
-		go func(i int, m *Engine) {
+		go func(ri int, m *Engine) {
 			defer wg.Done()
 			m.SetContext(raceCtx)
 			m.solver.SetInterrupt(func() bool { return raceCtx.Err() != nil })
 			defer m.solver.SetInterrupt(nil)
-			outs[i], errs[i] = m.DistinguishEx(keyA, keyB, budget)
-			if errs[i] == nil && outs[i].Reason.Definitive() && winner.CompareAndSwap(-1, int32(i)) {
+			outs[ri], errs[ri] = m.DistinguishEx(keyA, keyB, budget)
+			if errs[ri] == nil && outs[ri].Reason.Definitive() && winner.CompareAndSwap(-1, int32(ri)) {
 				cancel()
 			}
-		}(i, m)
+		}(ri, p.members[mi])
 	}
 	wg.Wait()
 
@@ -557,7 +658,7 @@ func (p *Portfolio) DistinguishEx(keyA, keyB []bool, budget uint64) (Distinguish
 		return DistinguishOutcome{Equivalent: true, Reason: reason}, nil
 	}
 	out := outs[w]
-	out.Member = w
+	out.Member = p.active[w]
 	for i := range outs {
 		if i == w || errs[i] != nil || !outs[i].Reason.Definitive() {
 			continue
@@ -570,13 +671,13 @@ func (p *Portfolio) DistinguishEx(keyA, keyB []bool, budget uint64) (Distinguish
 				Phase: p.phase,
 				Fields: map[string]string{
 					"reason":  "disagreement",
-					"winner":  strconv.Itoa(w),
-					"dissent": strconv.Itoa(i),
+					"winner":  strconv.Itoa(p.active[w]),
+					"dissent": strconv.Itoa(p.active[i]),
 				},
 			})
 		}
 	}
-	p.recordWin(w)
+	p.recordWin(p.active[w])
 	return out, nil
 }
 

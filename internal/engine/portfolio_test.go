@@ -316,6 +316,93 @@ func TestPortfolioRaceHammer(t *testing.T) {
 	}
 }
 
+// TestPortfolioAdaptiveShrink pins the adaptive-sizing contract: the
+// race fan-out shrinks to the streak winner only after shrinkAfter
+// CONSECUTIVE wins (a broken streak restarts the count), the shrink is
+// counted once in portfolio_resized_total, post-shrink races still
+// enumerate the complete DIP set, and delegated session queries keep
+// running on the baseline member.
+func TestPortfolioAdaptiveShrink(t *testing.T) {
+	locked := lockedInstance(t, 6, "2A-O-A", 7)
+	port, err := NewPortfolio(locked, allInputs(locked), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	port.SetTelemetry(reg)
+	port.SetShrinkAfter(4)
+	if err := port.ensure(); err != nil {
+		t.Fatal(err)
+	}
+	// Three wins for member 1: below the threshold, no shrink.
+	for i := 0; i < 3; i++ {
+		port.recordWin(1)
+	}
+	if port.ActiveSize() != 3 {
+		t.Fatalf("shrank after %d wins, threshold is 4", 3)
+	}
+	// A win for member 2 breaks the streak…
+	port.recordWin(2)
+	if port.ActiveSize() != 3 {
+		t.Fatal("shrank on a broken streak")
+	}
+	// …and four more consecutive wins for member 2 trigger the shrink.
+	for i := 0; i < 4; i++ {
+		port.recordWin(2)
+	}
+	if port.ActiveSize() != 1 {
+		t.Fatalf("ActiveSize = %d after a 4-win streak, want 1", port.ActiveSize())
+	}
+	if port.active[0] != 2 {
+		t.Fatalf("active member = %d, want the streak winner 2", port.active[0])
+	}
+	if got := reg.Snapshot().Counters["portfolio_resized_total"]; got != 1 {
+		t.Fatalf("portfolio_resized_total = %d, want 1", got)
+	}
+	// Further wins cannot shrink (or count) again.
+	for i := 0; i < 8; i++ {
+		port.recordWin(2)
+	}
+	if got := reg.Snapshot().Counters["portfolio_resized_total"]; got != 1 {
+		t.Fatalf("portfolio_resized_total = %d after extra wins, want 1", got)
+	}
+	// Post-shrink races remain complete and correct.
+	rng := rand.New(rand.NewSource(71))
+	nk := locked.NumKeys()
+	for trial := 0; trial < 4; trial++ {
+		keyA, keyB := randomKey(rng, nk), randomKey(rng, nk)
+		want := bruteDIPs(t, locked, keyA, keyB)
+		if got := collectBackend(t, port, keyA, keyB); len(got) != len(want) {
+			t.Fatalf("trial %d: post-shrink race found %d DIPs, want %d", trial, len(got), len(want))
+		}
+	}
+	// Delegated sessions still run on the baseline member 0.
+	ses, err := port.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ses.FindDIP(); err != nil {
+		t.Fatal(err)
+	}
+	ses.Close()
+	// SetShrinkAfter(0) disables adaptivity entirely.
+	fixed, err := NewPortfolio(locked, allInputs(locked), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed.SetTelemetry(reg)
+	fixed.SetShrinkAfter(0)
+	if err := fixed.ensure(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		fixed.recordWin(0)
+	}
+	if fixed.ActiveSize() != 2 {
+		t.Fatal("SetShrinkAfter(0) did not disable adaptive sizing")
+	}
+}
+
 // TestPortfolioSizeDefaults covers the sizing contract.
 func TestPortfolioSizeDefaults(t *testing.T) {
 	locked := lockedInstance(t, 6, "2A-O-A", 7)

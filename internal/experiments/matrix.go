@@ -7,15 +7,9 @@ import (
 	"text/tabwriter"
 	"time"
 
-	"repro/internal/attack/appsat"
-	"repro/internal/attack/bypass"
-	"repro/internal/attack/casunlock"
-	"repro/internal/attack/satattack"
-	"repro/internal/attack/sps"
-	"repro/internal/core"
+	"repro/internal/attack"
 	"repro/internal/faults"
 	"repro/internal/lock"
-	"repro/internal/miter"
 	"repro/internal/netlist"
 	"repro/internal/oracle"
 	"repro/internal/synth"
@@ -27,7 +21,10 @@ import (
 // the executable version of the survey table the paper's introduction
 // walks through (SAT breaks RLL; Anti-SAT/SARLock stop SAT but fall to
 // bypass/removal; SFLL resists bypass; CAS-Lock stops all of the above
-// and falls to DIP learning).
+// and falls to DIP learning). Rows and columns are enumerated from the
+// scheme registry (internal/lock) and the attack registry
+// (internal/attack): registering a new scheme or attack grows the grid
+// with no change here.
 
 // MatrixCell is one scheme/attack outcome.
 type MatrixCell struct {
@@ -38,46 +35,6 @@ type MatrixCell struct {
 	// Detail is a short human-readable outcome.
 	Detail string
 	Time   time.Duration
-}
-
-// MatrixSchemes lists the scheme labels in row order.
-var MatrixSchemes = []string{"RLL", "Anti-SAT", "SARLock", "SFLL-HD", "CAS-Lock", "M-CAS"}
-
-// MatrixAttacks lists the attack labels in column order.
-var MatrixAttacks = []string{"SAT", "AppSAT", "CAS-Unlock", "SPS-removal", "bypass", "DIP-learning"}
-
-// lockScheme builds one locked instance of the named scheme.
-func lockScheme(scheme string, host *netlist.Circuit, seed int64) (*lock.Locked, func([]bool) bool, error) {
-	switch scheme {
-	case "RLL":
-		l, _, err := lock.ApplyRLL(host, 10, seed)
-		return l, nil, err
-	case "Anti-SAT":
-		l, inst, err := lock.ApplyAntiSAT(host, 10, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		return l, inst.IsCorrectCASKey, nil
-	case "SARLock":
-		l, _, err := lock.ApplySARLock(host, 10, seed)
-		return l, nil, err
-	case "SFLL-HD":
-		l, _, err := lock.ApplySFLLHD(host, 8, 2, seed)
-		return l, nil, err
-	case "CAS-Lock":
-		l, inst, err := lock.ApplyCAS(host, lock.CASOptions{Chain: lock.MustParseChain("2A-O-4A-O-2A"), Seed: seed})
-		if err != nil {
-			return nil, nil, err
-		}
-		return l, inst.IsCorrectCASKey, nil
-	case "M-CAS":
-		l, inst, err := lock.ApplyMCAS(host, lock.CASOptions{Chain: lock.MustParseChain("3A-O-A"), Seed: seed})
-		if err != nil {
-			return nil, nil, err
-		}
-		return l, inst.IsCorrectMCASKey, nil
-	}
-	return nil, nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
 }
 
 // MatrixOptions tunes a matrix run.
@@ -101,13 +58,16 @@ type MatrixOptions struct {
 	// Retries is the resilient decorator's transient-retry budget and
 	// the attack's mismatch re-query count (0 = library defaults).
 	Retries int
-	// Telemetry, when non-nil, instruments every cell: the DIP-learning
-	// attacks' phase spans, the fault injectors' and resilient
-	// decorators' counters. Cells run concurrently; the registry is
-	// race-safe, so one registry aggregates the whole grid.
+	// Telemetry, when non-nil, instruments every cell: the attacks'
+	// spans, the fault injectors' and resilient decorators' counters.
+	// Cells run concurrently; the registry is race-safe, so one registry
+	// aggregates the whole grid.
 	Telemetry *telemetry.Registry
-	// LegacyEncoding disables the persistent incremental-SAT engine in
-	// the DIP-learning cells (see core.Options.LegacyEncoding).
+	// LegacyEncoding routes every cell off the persistent engine: the
+	// classic attacks rebuild throwaway solvers per run (see
+	// attack.Context.LegacySolver) and the DIP-learning cells use the
+	// pre-engine encoding (see core.Options.LegacyEncoding) — one flag
+	// for a matrix-level engine-vs-legacy differential.
 	LegacyEncoding bool
 	// SATWidthLimit pins the SAT/sim regime boundary in the DIP-learning
 	// cells; 0 auto-calibrates per instance (see
@@ -116,6 +76,12 @@ type MatrixOptions struct {
 	// Portfolio, when > 0, races a portfolio of that many diversified
 	// SAT engines in each cell (see core.Options.Portfolio).
 	Portfolio int
+	// Schemes restricts the rows to the named schemes (registry names or
+	// labels); empty means the full scheme registry.
+	Schemes []string
+	// Attacks restricts the columns to the named attacks (registry names
+	// or labels); empty means the full attack registry.
+	Attacks []string
 }
 
 // newOracle builds one cell's oracle: the clean simulator, optionally
@@ -133,6 +99,37 @@ func (o MatrixOptions) newOracle(host *netlist.Circuit, seed int64) oracle.Oracl
 		votes = 5
 	}
 	return oracle.NewResilient(orc, oracle.ResilientOptions{Retries: o.Retries, Votes: votes, Seed: seed, Telemetry: o.Telemetry})
+}
+
+// resolveGrid expands the option filters against the registries,
+// preserving registry order for unfiltered axes and request order for
+// filtered ones.
+func (o MatrixOptions) resolveGrid() ([]lock.Scheme, []attack.Attack, error) {
+	var rows []lock.Scheme
+	if len(o.Schemes) == 0 {
+		rows = lock.Schemes()
+	} else {
+		for _, name := range o.Schemes {
+			s, ok := lock.SchemeByName(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("experiments: unknown scheme %q (have: %s)", name, lock.SchemeUniverse())
+			}
+			rows = append(rows, s)
+		}
+	}
+	var cols []attack.Attack
+	if len(o.Attacks) == 0 {
+		cols = attack.Attacks()
+	} else {
+		for _, name := range o.Attacks {
+			a, ok := attack.AttackByName(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("experiments: unknown attack %q (have: %s)", name, attack.Universe())
+			}
+			cols = append(cols, a)
+		}
+	}
+	return rows, cols, nil
 }
 
 // RunMatrix evaluates every attack against every scheme with the
@@ -157,6 +154,10 @@ func RunMatrixWorkers(ctx context.Context, hostInputs, satCap int, seed int64, w
 // Cell order — and every cell's outcome, which is fixed by the seeds —
 // is independent of the worker count.
 func RunMatrixOptions(mo MatrixOptions) ([]MatrixCell, error) {
+	rows, cols, err := mo.resolveGrid()
+	if err != nil {
+		return nil, err
+	}
 	host, err := synth.Generate(synth.Config{
 		Name: "mx", Inputs: mo.HostInputs, Outputs: 4, Gates: 70, Seed: mo.Seed,
 	})
@@ -167,156 +168,60 @@ func RunMatrixOptions(mo MatrixOptions) ([]MatrixCell, error) {
 	if _, err := host.TopoOrder(); err != nil {
 		return nil, err
 	}
-	nCols := len(MatrixAttacks)
-	return RunIndexed(mo.Context, len(MatrixSchemes)*nCols, mo.Workers, func(ctx context.Context, idx int) (MatrixCell, error) {
+	nCols := len(cols)
+	return RunIndexed(mo.Context, len(rows)*nCols, mo.Workers, func(ctx context.Context, idx int) (MatrixCell, error) {
 		si, ai := idx/nCols, idx%nCols
+		sch, atk := rows[si], cols[ai]
 		h := host.Clone()
-		locked, keyCheck, err := lockScheme(MatrixSchemes[si], h, mo.Seed+int64(si))
+		locked, keyCheck, err := sch.Apply(h, mo.Seed+int64(si))
 		if err != nil {
 			return MatrixCell{}, err
 		}
+		seed := mo.Seed
 		start := time.Now()
-		cell := runMatrixCell(ctx, mo, MatrixSchemes[si], MatrixAttacks[ai], h, locked, keyCheck, int64(idx))
-		cell.Time = time.Since(start)
-		return cell, nil
+		out := atk.Run(&attack.Context{
+			Ctx: ctx, Locked: locked.Circuit, Host: h,
+			KeyCheck: keyCheck, MCAS: sch.MCAS,
+			NewOracle: func() oracle.Oracle { return mo.newOracle(h, seed^int64(idx)<<20) },
+			SATCap:    mo.SATCap, Seed: seed, Retries: mo.Retries,
+			Telemetry: mo.Telemetry, LegacySolver: mo.LegacyEncoding,
+			LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit,
+			Portfolio: mo.Portfolio,
+		})
+		return MatrixCell{
+			Scheme: sch.Label, Attack: atk.Label,
+			Broken: out.Broken, Detail: out.Detail, Time: time.Since(start),
+		}, nil
 	})
 }
 
-func runMatrixCell(ctx context.Context, mo MatrixOptions, scheme, attackName string, host *netlist.Circuit,
-	locked *lock.Locked, keyCheck func([]bool) bool, cellIdx int64) MatrixCell {
-
-	satCap, seed := mo.SATCap, mo.Seed
-	newOrc := func() oracle.Oracle { return mo.newOracle(host, seed^cellIdx<<20) }
-	cell := MatrixCell{Scheme: scheme, Attack: attackName}
-	prove := func(key []bool) bool {
-		ok, err := miter.ProveUnlockedHashed(locked.Circuit, key, host)
-		return err == nil && ok
-	}
-	fail := func(detail string) MatrixCell {
-		cell.Broken = false
-		cell.Detail = detail
-		return cell
-	}
-	switch attackName {
-	case "SAT":
-		res, err := satattack.Run(locked.Circuit, newOrc(), satattack.Options{MaxIterations: satCap})
-		if err != nil {
-			return fail("error: " + err.Error())
-		}
-		if res.Completed && prove(res.Key) {
-			cell.Broken = true
-			cell.Detail = fmt.Sprintf("exact key, %d iters", res.Iterations)
-			return cell
-		}
-		return fail(fmt.Sprintf("capped at %d iters", res.Iterations))
-	case "AppSAT":
-		res, err := appsat.Run(locked.Circuit, newOrc(), appsat.Options{Seed: seed, MaxIterations: satCap})
-		if err != nil {
-			return fail("error: " + err.Error())
-		}
-		if prove(res.Key) {
-			cell.Broken = true
-			cell.Detail = fmt.Sprintf("exact key, %d iters", res.Iterations)
-			return cell
-		}
-		return fail(fmt.Sprintf("approximate key (err≈%.3f)", res.ErrorEstimate))
-	case "CAS-Unlock":
-		res, err := casunlock.Run(locked.Circuit, newOrc(), 300, seed)
-		if err != nil {
-			return fail("n/a: " + err.Error())
-		}
-		if res.Succeeded && prove(res.Key) {
-			cell.Broken = true
-			cell.Detail = "uniform key works"
-			return cell
-		}
-		return fail("uniform keys fail")
-	case "SPS-removal":
-		res, err := sps.RemoveOuterFlip(locked.Circuit, 0.05)
-		if err != nil {
-			return fail("no skewed flip target")
-		}
-		if res.Circuit.NumKeys() == 0 {
-			eq, _, err := miter.ProveEquivalentHashed(res.Circuit, host)
-			if err == nil && eq {
-				cell.Broken = true
-				cell.Detail = "flip removed, design recovered"
-				return cell
-			}
-			return fail("removal left a faulty circuit")
-		}
-		return fail(fmt.Sprintf("outer stripped, %d keys remain locked", res.Circuit.NumKeys()))
-	case "bypass":
-		// An area budget of 192 comparator fixes models the published
-		// attack's practicality envelope: plenty for one-point functions,
-		// far below CAS-Lock's DIP count. The CAS-aware extractor is
-		// tried first; other schemes go through the generic SAT-miter
-		// form of the attack.
-		const fixBudget = 192
-		res, err := bypass.Run(locked.Circuit, newOrc(), bypass.Options{MaxFixes: fixBudget})
-		if err != nil {
-			res, err = bypass.RunGeneric(locked.Circuit, newOrc(), fixBudget, seed)
-		}
-		if err != nil {
-			return fail("infeasible: " + trimErr(err))
-		}
-		eq, _, perr := miter.ProveEquivalentHashed(res.Circuit, host)
-		if perr == nil && eq {
-			cell.Broken = true
-			cell.Detail = fmt.Sprintf("%d fixes, +%d gates", res.Fixes, res.OverheadGates)
-			return cell
-		}
-		return fail("bypass circuit incorrect")
-	case "DIP-learning":
-		if scheme == "M-CAS" {
-			res, err := core.RunMCAS(locked.Circuit, newOrc(), core.Options{Context: ctx, Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit, Portfolio: mo.Portfolio})
-			if err != nil {
-				return fail("failed: " + trimErr(err))
-			}
-			if (keyCheck == nil || keyCheck(res.Key)) && prove(res.Key) {
-				cell.Broken = true
-				cell.Detail = fmt.Sprintf("exact key, %d DIPs", res.Inner.TotalDIPs)
-				return cell
-			}
-			return fail("wrong key")
-		}
-		res, err := core.Run(core.Options{Context: ctx, Locked: locked.Circuit, Oracle: newOrc(), Seed: seed, MismatchRetries: mo.Retries, Telemetry: mo.Telemetry, LegacyEncoding: mo.LegacyEncoding, SATWidthLimit: mo.SATWidthLimit, Portfolio: mo.Portfolio})
-		if err != nil {
-			return fail("n/a: " + trimErr(err))
-		}
-		if (keyCheck == nil || keyCheck(res.Key)) && prove(res.Key) {
-			cell.Broken = true
-			cell.Detail = fmt.Sprintf("exact key, %d DIPs", res.TotalDIPs)
-			return cell
-		}
-		return fail("wrong key")
-	}
-	return fail("unknown attack")
-}
-
-func trimErr(err error) string {
-	s := err.Error()
-	if len(s) > 60 {
-		return s[:57] + "..."
-	}
-	return s
-}
-
-// PrintMatrix renders the matrix with schemes as rows.
+// PrintMatrix renders the matrix with schemes as rows. Row and column
+// order follow first appearance in the cell slice, which RunMatrix
+// emits in registry order.
 func PrintMatrix(w io.Writer, cells []MatrixCell) {
 	byKey := map[string]MatrixCell{}
+	var schemes, attacks []string
+	seenS, seenA := map[string]bool{}, map[string]bool{}
 	for _, c := range cells {
 		byKey[c.Scheme+"/"+c.Attack] = c
+		if !seenS[c.Scheme] {
+			seenS[c.Scheme] = true
+			schemes = append(schemes, c.Scheme)
+		}
+		if !seenA[c.Attack] {
+			seenA[c.Attack] = true
+			attacks = append(attacks, c.Attack)
+		}
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "scheme")
-	for _, a := range MatrixAttacks {
+	for _, a := range attacks {
 		fmt.Fprintf(tw, "\t%s", a)
 	}
 	fmt.Fprintln(tw)
-	for _, s := range MatrixSchemes {
+	for _, s := range schemes {
 		fmt.Fprint(tw, s)
-		for _, a := range MatrixAttacks {
+		for _, a := range attacks {
 			c := byKey[s+"/"+a]
 			mark := "✗"
 			if c.Broken {
@@ -328,8 +233,8 @@ func PrintMatrix(w io.Writer, cells []MatrixCell) {
 	}
 	tw.Flush()
 	fmt.Fprintln(w)
-	for _, s := range MatrixSchemes {
-		for _, a := range MatrixAttacks {
+	for _, s := range schemes {
+		for _, a := range attacks {
 			c := byKey[s+"/"+a]
 			fmt.Fprintf(w, "%-9s × %-13s %s\n", s, a, c.Detail)
 		}

@@ -16,10 +16,13 @@ import "repro/internal/cnf"
 // BlockingLit returns the activation literal of the open blocking scope,
 // opening one (allocating a fresh variable) if none is open. Callers must
 // pass this literal as an assumption to Solve for the scope's clauses to
-// constrain the search.
+// constrain the search. The activation variable is an aux var: the solver
+// never branches on it, so queries that do not assume it cannot
+// spuriously decide it true and activate the scope, and its presence
+// cannot perturb the branching order of the problem variables.
 func (s *Solver) BlockingLit() cnf.Lit {
 	if s.blockingAct == 0 {
-		s.blockingAct = s.NewVar()
+		s.blockingAct = s.NewAuxVar()
 		s.blockingCount = 0
 	}
 	return s.blockingAct

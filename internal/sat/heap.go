@@ -52,6 +52,22 @@ func (h *varHeap) pop() int {
 }
 
 // update restores heap order after v's activity increased.
+// remove deletes v from the heap if present (aux-var exclusion).
+func (h *varHeap) remove(v int) {
+	if !h.contains(v) {
+		return
+	}
+	i := h.position[v]
+	last := len(h.heap) - 1
+	h.swap(i, last)
+	h.heap = h.heap[:last]
+	h.position[v] = -1
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+}
+
 func (h *varHeap) update(v int) {
 	if h.contains(v) {
 		h.siftUp(h.position[v])

@@ -94,6 +94,7 @@ type Solver struct {
 	assigns  []lbool     // per var
 	polarity []bool      // saved phase per var (true = last assigned true)
 	activity []float64   // VSIDS activity per var
+	aux      []bool      // per var: excluded from the decision heap (see NewAuxVar)
 	varInc   float64
 	claInc   float64
 	order    *varHeap
@@ -170,11 +171,25 @@ func (s *Solver) NewVar() cnf.Lit {
 	return cnf.Lit(v + 1)
 }
 
+// NewAuxVar allocates a fresh variable that is permanently excluded from
+// the decision heap: the solver never branches on it, so it is assigned
+// only by assumptions or unit propagation. Activation and guard literals
+// use this so that wrapping a formula in scoped machinery cannot perturb
+// the branching order of the problem variables — a prerequisite for the
+// engine-vs-legacy differential guarantees.
+func (s *Solver) NewAuxVar() cnf.Lit {
+	v := s.newVarInternal()
+	s.aux[v] = true
+	s.order.remove(v)
+	return cnf.Lit(v + 1)
+}
+
 func (s *Solver) newVarInternal() int {
 	v := len(s.assigns)
 	s.assigns = append(s.assigns, lUndef)
 	s.polarity = append(s.polarity, false)
 	s.activity = append(s.activity, 0)
+	s.aux = append(s.aux, false)
 	s.reason = append(s.reason, nil)
 	s.level = append(s.level, 0)
 	s.seen = append(s.seen, 0)
@@ -392,7 +407,7 @@ func (s *Solver) cancelUntil(level int) {
 		s.polarity[v] = s.assigns[v] == lTrue
 		s.assigns[v] = lUndef
 		s.reason[v] = nil
-		if !s.order.contains(v) {
+		if !s.aux[v] && !s.order.contains(v) {
 			s.order.push(v)
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/attack"
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/checkpoint"
@@ -86,6 +87,13 @@ type Config struct {
 type AttackRequest struct {
 	Locked string `json:"locked"`
 	Oracle string `json:"oracle"`
+	// Attack names the attack to mount, resolved against the attack
+	// registry (internal/attack). Empty means "dip". Only attacks the
+	// registry marks Servable are admitted — currently the DIP-learning
+	// pipeline, the one attack with checkpoint/resume and event-stream
+	// support; the rest are rejected at validation with the servable
+	// universe in the error.
+	Attack string `json:"attack,omitempty"`
 	// MCAS routes the job through the Mirrored-CAS pipeline (SPS strip,
 	// then the DIP-learning attack).
 	MCAS bool `json:"mcas,omitempty"`
@@ -502,9 +510,20 @@ func hashRequest(p *parsedRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	opts := fmt.Sprintf("v3 mcas=%t seed=%d retries=%d satwidth=%d legacy=%t portfolio=%d",
-		p.req.MCAS, p.req.Seed, p.req.Retries, p.req.SATWidthLimit, p.req.LegacyEncoding, p.req.Portfolio)
+	opts := fmt.Sprintf("v4 attack=%s mcas=%t seed=%d retries=%d satwidth=%d legacy=%t portfolio=%d",
+		p.req.Attack, p.req.MCAS, p.req.Seed, p.req.Retries, p.req.SATWidthLimit, p.req.LegacyEncoding, p.req.Portfolio)
 	return cache.SumParts(lockedBytes, origBytes, []byte(opts)), nil
+}
+
+// servableUniverse renders the attacks the service admits as jobs.
+func servableUniverse() string {
+	var names []string
+	for _, a := range attack.Attacks() {
+		if a.Servable {
+			names = append(names, a.Name)
+		}
+	}
+	return strings.Join(names, ", ")
 }
 
 // validate is the admission boundary: it parses both netlists, checks
@@ -518,6 +537,17 @@ func (s *Service) validate(req AttackRequest) (*parsedRequest, error) {
 	}
 	if req.Retries < 0 || req.SATWidthLimit < 0 || req.Workers < 0 || req.TimeoutMS < 0 || req.Portfolio < 0 {
 		return nil, errInvalid("negative option values")
+	}
+	attackName := req.Attack
+	if attackName == "" {
+		attackName = "dip"
+	}
+	atk, ok := attack.AttackByName(attackName)
+	if !ok {
+		return nil, errInvalid("unknown attack %q (have: %s)", req.Attack, attack.Universe())
+	}
+	if !atk.Servable {
+		return nil, errInvalid("attack %q is not servable as a job (servable: %s)", atk.Name, servableUniverse())
 	}
 	locked, err := bench.ReadString("locked", req.Locked)
 	if err != nil {
@@ -537,6 +567,9 @@ func (s *Service) validate(req AttackRequest) (*parsedRequest, error) {
 	if locked.NumKeys() == 0 {
 		return nil, errInvalid("locked netlist has no key inputs")
 	}
+	// Normalize the attack name so equivalent spellings ("", "dip",
+	// "DIP-learning") content-address identically.
+	req.Attack = atk.Name
 	p := &parsedRequest{req: req, locked: locked, orig: orig}
 	if req.MCAS {
 		// The M-CAS pipeline discovers the inner layout only after the

@@ -327,6 +327,8 @@ func TestAdmissionValidation(t *testing.T) {
 		{"oracle with keys", AttackRequest{Locked: f.locked, Oracle: f.locked}, KindInvalid},
 		{"unlocked locked", AttackRequest{Locked: f.orig, Oracle: f.orig}, KindInvalid},
 		{"negative seeds ok, negative retries not", AttackRequest{Locked: f.locked, Oracle: f.orig, Retries: -1}, KindInvalid},
+		{"unknown attack", AttackRequest{Locked: f.locked, Oracle: f.orig, Attack: "frobnicate"}, KindInvalid},
+		{"registered but non-servable attack", AttackRequest{Locked: f.locked, Oracle: f.orig, Attack: "sat"}, KindInvalid},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -441,6 +443,15 @@ func TestHashExcludesBudgetKnobs(t *testing.T) {
 	retried.Retries = 2
 	if h(retried) == want {
 		t.Error("retry change did not change the content address")
+	}
+	// Attack-name spellings normalize: "", "dip" and the display label
+	// are the same job and must share one cache entry.
+	for _, spelling := range []string{"dip", "DIP-learning"} {
+		named := base
+		named.Attack = spelling
+		if h(named) != want {
+			t.Errorf("attack spelling %q changed the content address", spelling)
+		}
 	}
 	legacy := base
 	legacy.LegacyEncoding = true
